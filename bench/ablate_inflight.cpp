@@ -1,0 +1,49 @@
+// Ablation — non-blocking NMP call depth (§3.5).
+//
+// Sweeps the number of in-flight NMP calls per host thread (the paper uses
+// 4, "hybrid-nonblocking4") for both hybrid structures.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hybrids/sim/exp/experiment.hpp"
+#include "hybrids/util/table.hpp"
+#include "hybrids/workload/ycsb.hpp"
+
+namespace hs = hybrids::sim;
+namespace hw = hybrids::workload;
+namespace hb = hybrids::bench;
+
+int main(int argc, char** argv) {
+  hb::Options opt = hb::parse_options(argc, argv);
+  const std::uint64_t sl_keys = opt.keys ? opt.keys : 1ull << 19;
+  const std::uint64_t bt_keys = opt.keys ? opt.keys : 1ull << 20;
+  const std::uint32_t threads = opt.threads.empty() ? 8 : opt.threads.front();
+
+  std::cout << "Ablation: non-blocking in-flight depth, YCSB-C, " << threads
+            << " threads\n\n";
+
+  hybrids::util::Table table({"in-flight", "skiplist Mops/s", "B+ tree Mops/s"});
+  for (std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    hs::ExperimentConfig scfg;
+    scfg.workload = hw::ycsb_c(sl_keys);
+    scfg.threads = threads;
+    scfg.ops_per_thread = opt.ops;
+    scfg.warmup_per_thread = opt.warmup;
+    scfg.inflight = k;
+    hs::ExperimentResult sr =
+        hs::run_skiplist_experiment(hs::SkiplistKind::kHybridNonBlocking, scfg);
+
+    hs::ExperimentConfig bcfg;
+    bcfg.workload = hw::ycsb_c(bt_keys);
+    bcfg.threads = threads;
+    bcfg.ops_per_thread = opt.ops;
+    bcfg.warmup_per_thread = opt.warmup;
+    bcfg.inflight = k;
+    hs::ExperimentResult br =
+        hs::run_btree_experiment(hs::BTreeKind::kHybridNonBlocking, bcfg);
+
+    table.new_row().add_int(k).add_num(sr.mops, 3).add_num(br.mops, 3);
+  }
+  if (opt.csv) table.print_csv(std::cout); else table.print(std::cout);
+  return 0;
+}

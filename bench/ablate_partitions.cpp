@@ -1,0 +1,56 @@
+// Ablation — partition skew (§5.2 footnote 4 / §7 limitation).
+//
+// When operations concentrate on one NMP partition's key range, that
+// partition's single combiner serializes them. We compare a uniform
+// workload against one whose keys all fall in partition 0's range by
+// shrinking the key space (keys uniform over 1/8 of the space).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hybrids/sim/exp/experiment.hpp"
+#include "hybrids/util/table.hpp"
+#include "hybrids/workload/ycsb.hpp"
+
+namespace hs = hybrids::sim;
+namespace hw = hybrids::workload;
+namespace hb = hybrids::bench;
+
+int main(int argc, char** argv) {
+  hb::Options opt = hb::parse_options(argc, argv);
+  const std::uint64_t keys = opt.keys ? opt.keys : 1ull << 19;
+  const std::uint32_t threads = opt.threads.empty() ? 8 : opt.threads.front();
+
+  std::cout << "Ablation: partition-skew serialization (hybrid skiplist, "
+            << threads << " threads)\n\n";
+
+  hybrids::util::Table table({"workload", "Mops/s", "DRAM reads/op"});
+
+  // Uniform over all 8 partitions.
+  {
+    hs::ExperimentConfig cfg;
+    cfg.workload = hw::sensitivity(keys, 100, 0, 0);
+    cfg.threads = threads;
+    cfg.ops_per_thread = opt.ops;
+    cfg.warmup_per_thread = opt.warmup;
+    auto r = hs::run_skiplist_experiment(hs::SkiplistKind::kHybridBlocking, cfg);
+    table.new_row().add_cell("uniform over 8 partitions").add_num(r.mops, 3).add_num(
+        r.dram_reads_per_op, 1);
+  }
+  // All keys inside one partition's range: the structure still has 8
+  // partitions, but with 1/8 of the keys every lookup goes to partition 0.
+  {
+    hs::ExperimentConfig cfg;
+    cfg.workload = hw::sensitivity(keys / 8, 100, 0, 0);
+    cfg.workload.partitions = 1;  // key layout confined to one range
+    cfg.threads = threads;
+    cfg.ops_per_thread = opt.ops;
+    cfg.warmup_per_thread = opt.warmup;
+    auto r = hs::run_skiplist_experiment(hs::SkiplistKind::kHybridBlocking, cfg);
+    table.new_row().add_cell("all ops to 1 partition").add_num(r.mops, 3).add_num(
+        r.dram_reads_per_op, 1);
+  }
+  if (opt.csv) table.print_csv(std::cout); else table.print(std::cout);
+  std::cout << "\n(One combiner serializes all offloads: the paper notes this "
+               "limitation for highly skewed partitioning.)\n";
+  return 0;
+}

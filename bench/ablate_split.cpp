@@ -1,0 +1,56 @@
+// Ablation — host-NMP split point (§3.3's sizing rule).
+//
+// Sweeps the number of NMP-managed skiplist levels around the LLC-sized
+// split and reports throughput + DRAM reads. The paper's rule picks the
+// split so the host portion just fits the LLC; too few host levels waste
+// cache (more NMP serialization), too many overflow it (host DRAM misses).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hybrids/ds/hybrid_skiplist.hpp"
+#include "hybrids/sim/exp/experiment.hpp"
+#include "hybrids/util/table.hpp"
+#include "hybrids/workload/ycsb.hpp"
+
+namespace hs = hybrids::sim;
+namespace hw = hybrids::workload;
+namespace hb = hybrids::bench;
+
+int main(int argc, char** argv) {
+  hb::Options opt = hb::parse_options(argc, argv);
+  const std::uint64_t keys = opt.keys ? opt.keys : 1ull << 19;
+  const std::uint32_t threads = opt.threads.empty() ? 8 : opt.threads.front();
+
+  int total = 1;
+  while ((1ull << total) < keys) ++total;
+  hs::MachineConfig machine;
+  const int auto_nmp = hybrids::ds::HybridSkipList::nmp_height_for_cache(
+      keys, machine.l2_bytes, machine.block_bytes);
+
+  std::cout << "Ablation: hybrid skiplist split point (" << keys << " keys, "
+            << total << " levels; LLC-sized rule picks " << auto_nmp
+            << " NMP levels)\n\n";
+
+  hybrids::util::Table table(
+      {"nmp-levels", "host-levels", "Mops/s", "DRAM reads/op", "host reads/op"});
+  for (int nmp = auto_nmp - 3; nmp <= auto_nmp + 3; ++nmp) {
+    if (nmp < 1 || nmp >= total) continue;
+    hs::ExperimentConfig cfg;
+    cfg.workload = hw::ycsb_c(keys);
+    cfg.threads = threads;
+    cfg.ops_per_thread = opt.ops;
+    cfg.warmup_per_thread = opt.warmup;
+    cfg.total_height = total;
+    cfg.nmp_height = nmp;
+    hs::ExperimentResult r =
+        hs::run_skiplist_experiment(hs::SkiplistKind::kHybridBlocking, cfg);
+    table.new_row()
+        .add_int(nmp)
+        .add_int(total - nmp)
+        .add_num(r.mops, 3)
+        .add_num(r.dram_reads_per_op, 1)
+        .add_num(r.host_dram_reads_per_op, 1);
+  }
+  if (opt.csv) table.print_csv(std::cout); else table.print(std::cout);
+  return 0;
+}

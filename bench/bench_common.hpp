@@ -1,0 +1,65 @@
+// Shared command-line handling and run helpers for the figure/table benches.
+//
+// Every bench accepts:
+//   --keys=N      initial key count (default: scaled-down from the paper)
+//   --ops=N       measured operations per host thread
+//   --warmup=N    warmup operations per host thread
+//   --threads=CSV host-thread counts to sweep (default per bench)
+//   --full        paper-scale sizes (long running)
+//   --csv         machine-readable output
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace hybrids::bench {
+
+struct Options {
+  std::uint64_t keys = 0;  // 0: use the bench default
+  std::uint64_t ops = 4000;
+  std::uint64_t warmup = 2000;
+  std::vector<std::uint32_t> threads;
+  bool full = false;
+  bool csv = false;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--keys=")) {
+      opt.keys = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--ops=")) {
+      opt.ops = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--warmup=")) {
+      opt.warmup = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--threads=")) {
+      opt.threads.clear();
+      const char* p = v;
+      while (*p != '\0') {
+        char* end = nullptr;
+        opt.threads.push_back(static_cast<std::uint32_t>(std::strtoul(p, &end, 10)));
+        p = *end == ',' ? end + 1 : end;
+      }
+    } else if (arg == "--full") {
+      opt.full = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: --keys=N --ops=N --warmup=N --threads=1,2,4,8 "
+                   "--full --csv\n";
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+}  // namespace hybrids::bench

@@ -1,0 +1,64 @@
+// Shared runner for the B+ tree sensitivity study (Figures 8 and 9): the
+// same five workloads — 100-0-0 / 90-5-5 / 70-15-15 / 50-25-25 with
+// split-heavy partition-tail inserts, plus 50-25-25 "fully uniform" (no
+// node splits) — against host-only, hybrid-blocking and
+// hybrid-nonblocking4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hybrids/sim/exp/experiment.hpp"
+#include "hybrids/workload/ycsb.hpp"
+
+namespace hybrids::bench {
+
+struct BTreeSensitivityPoint {
+  std::string mix;
+  sim::ExperimentResult host_only;
+  sim::ExperimentResult hybrid_blocking;
+  sim::ExperimentResult hybrid_nonblocking;
+};
+
+inline std::vector<BTreeSensitivityPoint> run_btree_sensitivity(
+    const Options& opt, std::uint64_t keys, std::uint32_t threads) {
+  struct Mix {
+    int read, insert, remove;
+    bool split_heavy;
+    const char* suffix;
+  };
+  const Mix mixes[] = {
+      {100, 0, 0, true, ""},
+      {90, 5, 5, true, ""},
+      {70, 15, 15, true, ""},
+      {50, 25, 25, true, ""},
+      {50, 25, 25, false, " fully-uniform"},
+  };
+
+  std::vector<BTreeSensitivityPoint> points;
+  for (const Mix& mix : mixes) {
+    workload::WorkloadSpec wl =
+        workload::sensitivity(keys, mix.read, mix.insert, mix.remove, mix.split_heavy);
+    BTreeSensitivityPoint point;
+    point.mix = wl.mix.name() + std::string(mix.suffix);
+    for (auto kind : {sim::BTreeKind::kHostOnly, sim::BTreeKind::kHybridBlocking,
+                      sim::BTreeKind::kHybridNonBlocking}) {
+      sim::ExperimentConfig cfg;
+      cfg.workload = wl;
+      cfg.threads = threads;
+      cfg.ops_per_thread = opt.ops;
+      cfg.warmup_per_thread = opt.warmup;
+      sim::ExperimentResult r = sim::run_btree_experiment(kind, cfg);
+      switch (kind) {
+        case sim::BTreeKind::kHostOnly: point.host_only = r; break;
+        case sim::BTreeKind::kHybridBlocking: point.hybrid_blocking = r; break;
+        case sim::BTreeKind::kHybridNonBlocking: point.hybrid_nonblocking = r; break;
+      }
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace hybrids::bench

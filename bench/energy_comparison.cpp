@@ -1,0 +1,60 @@
+// Energy comparison (paper §1 / dissertation [15]): estimated memory-system
+// energy per operation for every design under YCSB-C. The hybrid's savings
+// come from (i) fewer DRAM accesses and (ii) replacing host<->memory block
+// transfers over the serial link with NMP-local accesses.
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "hybrids/sim/exp/energy.hpp"
+#include "hybrids/sim/exp/experiment.hpp"
+#include "hybrids/util/table.hpp"
+#include "hybrids/workload/ycsb.hpp"
+
+namespace hs = hybrids::sim;
+namespace hw = hybrids::workload;
+namespace hb = hybrids::bench;
+
+int main(int argc, char** argv) {
+  hb::Options opt = hb::parse_options(argc, argv);
+  const std::uint64_t sl_keys = opt.keys ? opt.keys : 1ull << 19;
+  const std::uint64_t bt_keys = opt.keys ? opt.keys : 1ull << 20;
+  const std::uint32_t threads = opt.threads.empty() ? 8 : opt.threads.front();
+  const hs::EnergyModel energy;
+
+  std::cout << "Memory-system energy per operation, YCSB-C, " << threads
+            << " threads\n\n";
+
+  hybrids::util::Table table({"design", "nJ/op", "Mops/s", "idx DRAM reads/op"});
+  auto add = [&](const char* name, const hs::ExperimentResult& r) {
+    table.new_row()
+        .add_cell(name)
+        .add_num(energy.nj_per_op(r.mem, r.ops), 1)
+        .add_num(r.mops, 3)
+        .add_num(r.dram_reads_per_op, 1);
+  };
+
+  for (auto kind : {hs::SkiplistKind::kLockFree, hs::SkiplistKind::kNmp,
+                    hs::SkiplistKind::kHybridBlocking,
+                    hs::SkiplistKind::kHybridNonBlocking}) {
+    hs::ExperimentConfig cfg;
+    cfg.workload = hw::ycsb_c(sl_keys);
+    cfg.threads = threads;
+    cfg.ops_per_thread = opt.ops;
+    cfg.warmup_per_thread = opt.warmup;
+    add((std::string("skiplist ") + hs::to_string(kind)).c_str(),
+        hs::run_skiplist_experiment(kind, cfg));
+  }
+  for (auto kind : {hs::BTreeKind::kHostOnly, hs::BTreeKind::kHybridBlocking,
+                    hs::BTreeKind::kHybridNonBlocking}) {
+    hs::ExperimentConfig cfg;
+    cfg.workload = hw::ycsb_c(bt_keys);
+    cfg.threads = threads;
+    cfg.ops_per_thread = opt.ops;
+    cfg.warmup_per_thread = opt.warmup;
+    add((std::string("btree ") + hs::to_string(kind)).c_str(),
+        hs::run_btree_experiment(kind, cfg));
+  }
+  if (opt.csv) table.print_csv(std::cout); else table.print(std::cout);
+  return 0;
+}

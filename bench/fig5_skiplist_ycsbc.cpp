@@ -1,0 +1,57 @@
+// Figure 5 — skiplist baseline evaluation with YCSB-C (read-only, zipfian).
+//
+// Reproduces both panels:
+//   5a: operation throughput vs number of host threads for lock-free,
+//       NMP-based, hybrid-blocking and hybrid-nonblocking4;
+//   5b: average DRAM reads per operation.
+//
+// Default scale: 2^20 keys (paper: 2^22; pass --full). The host-managed
+// portion is auto-sized to the 1MB LLC as in §3.3.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hybrids/sim/exp/experiment.hpp"
+#include "hybrids/util/table.hpp"
+#include "hybrids/workload/ycsb.hpp"
+
+namespace hs = hybrids::sim;
+namespace hw = hybrids::workload;
+namespace hb = hybrids::bench;
+
+int main(int argc, char** argv) {
+  hb::Options opt = hb::parse_options(argc, argv);
+  const std::uint64_t keys = opt.keys ? opt.keys : (opt.full ? 1ull << 22 : 1ull << 20);
+  if (opt.threads.empty()) opt.threads = {1, 2, 4, 8};
+
+  const hs::SkiplistKind kinds[] = {
+      hs::SkiplistKind::kLockFree, hs::SkiplistKind::kNmp,
+      hs::SkiplistKind::kHybridBlocking, hs::SkiplistKind::kHybridNonBlocking};
+
+  std::cout << "Figure 5: skiplist baseline evaluation, YCSB-C (" << keys
+            << " keys, zipfian reads)\n\n";
+
+  hybrids::util::Table tput({"threads", "lock-free", "NMP-based",
+                             "hybrid-blocking", "hybrid-nonblocking4"});
+  hybrids::util::Table reads({"threads", "lock-free", "NMP-based",
+                              "hybrid-blocking", "hybrid-nonblocking4"});
+  for (std::uint32_t t : opt.threads) {
+    tput.new_row().add_int(t);
+    reads.new_row().add_int(t);
+    for (hs::SkiplistKind kind : kinds) {
+      hs::ExperimentConfig cfg;
+      cfg.workload = hw::ycsb_c(keys);
+      cfg.threads = t;
+      cfg.ops_per_thread = opt.ops;
+      cfg.warmup_per_thread = opt.warmup;
+      hs::ExperimentResult r = hs::run_skiplist_experiment(kind, cfg);
+      tput.add_num(r.mops, 3);
+      reads.add_num(r.dram_reads_per_op, 1);
+    }
+  }
+
+  std::cout << "(5a) operation throughput [Mops/s]\n";
+  if (opt.csv) tput.print_csv(std::cout); else tput.print(std::cout);
+  std::cout << "\n(5b) average DRAM reads per operation\n";
+  if (opt.csv) reads.print_csv(std::cout); else reads.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 6 — B+ tree baseline evaluation with YCSB-C (read-only, zipfian).
+//
+//   6a: operation throughput vs host threads for host-only, hybrid-blocking
+//       and hybrid-nonblocking4;
+//   6b: average DRAM reads per operation (paper: host-only ~9, hybrid ~3).
+//
+// Default scale: 2^21 keys loaded sorted at 50% node occupancy (paper: ~30M
+// keys, 9 levels; pass --full for 2^24). The top levels are auto-sized to
+// the LLC as in §3.4.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hybrids/sim/exp/experiment.hpp"
+#include "hybrids/util/table.hpp"
+#include "hybrids/workload/ycsb.hpp"
+
+namespace hs = hybrids::sim;
+namespace hw = hybrids::workload;
+namespace hb = hybrids::bench;
+
+int main(int argc, char** argv) {
+  hb::Options opt = hb::parse_options(argc, argv);
+  const std::uint64_t keys = opt.keys ? opt.keys : (opt.full ? 1ull << 24 : 1ull << 21);
+  if (opt.threads.empty()) opt.threads = {1, 2, 4, 8};
+
+  const hs::BTreeKind kinds[] = {hs::BTreeKind::kHostOnly,
+                                 hs::BTreeKind::kHybridBlocking,
+                                 hs::BTreeKind::kHybridNonBlocking};
+
+  std::cout << "Figure 6: B+ tree baseline evaluation, YCSB-C (" << keys
+            << " keys, zipfian reads)\n\n";
+
+  hybrids::util::Table tput({"threads", "host-only", "hybrid-blocking",
+                             "hybrid-nonblocking4"});
+  hybrids::util::Table reads({"threads", "host-only", "hybrid-blocking",
+                              "hybrid-nonblocking4"});
+  for (std::uint32_t t : opt.threads) {
+    tput.new_row().add_int(t);
+    reads.new_row().add_int(t);
+    for (hs::BTreeKind kind : kinds) {
+      hs::ExperimentConfig cfg;
+      cfg.workload = hw::ycsb_c(keys);
+      cfg.threads = t;
+      cfg.ops_per_thread = opt.ops;
+      cfg.warmup_per_thread = opt.warmup;
+      hs::ExperimentResult r = hs::run_btree_experiment(kind, cfg);
+      tput.add_num(r.mops, 3);
+      reads.add_num(r.dram_reads_per_op, 1);
+    }
+  }
+
+  std::cout << "(6a) operation throughput [Mops/s]\n";
+  if (opt.csv) tput.print_csv(std::cout); else tput.print(std::cout);
+  std::cout << "\n(6b) average DRAM reads per operation\n";
+  if (opt.csv) reads.print_csv(std::cout); else reads.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 7 — skiplist sensitivity to concurrent modifications.
+//
+// Read-insert-remove mixes 100-0-0 / 90-5-5 / 70-15-15 / 50-25-25 with
+// uniform keys at 8 host threads; throughput normalized to lock-free at
+// 100-0-0. The paper's claims: all implementations slow down with more
+// modifications, but the hybrids degrade *less* (lock-free drops to 80%,
+// hybrid-blocking to 90%, hybrid-nonblocking4 to 93% at 50-25-25).
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hybrids/sim/exp/experiment.hpp"
+#include "hybrids/util/table.hpp"
+#include "hybrids/workload/ycsb.hpp"
+
+namespace hs = hybrids::sim;
+namespace hw = hybrids::workload;
+namespace hb = hybrids::bench;
+
+int main(int argc, char** argv) {
+  hb::Options opt = hb::parse_options(argc, argv);
+  const std::uint64_t keys = opt.keys ? opt.keys : (opt.full ? 1ull << 22 : 1ull << 20);
+  const std::uint32_t threads = opt.threads.empty() ? 8 : opt.threads.front();
+
+  struct Mix {
+    int read, insert, remove;
+  };
+  const std::array<Mix, 4> mixes = {{{100, 0, 0}, {90, 5, 5}, {70, 15, 15}, {50, 25, 25}}};
+  const hs::SkiplistKind kinds[] = {hs::SkiplistKind::kLockFree,
+                                    hs::SkiplistKind::kNmp,
+                                    hs::SkiplistKind::kHybridBlocking,
+                                    hs::SkiplistKind::kHybridNonBlocking};
+
+  std::cout << "Figure 7: skiplist sensitivity, uniform keys, " << threads
+            << " threads (" << keys << " keys)\n"
+            << "normalized operation throughput (lock-free 100-0-0 = 1.0)\n\n";
+
+  double baseline = 0.0;
+  hybrids::util::Table table({"mix", "lock-free", "NMP-based", "hybrid-blocking",
+                              "hybrid-nonblocking4"});
+  hybrids::util::Table raw({"mix", "lock-free", "NMP-based", "hybrid-blocking",
+                            "hybrid-nonblocking4"});
+  for (const Mix& mix : mixes) {
+    hw::WorkloadSpec wl = hw::sensitivity(keys, mix.read, mix.insert, mix.remove);
+    table.new_row().add_cell(wl.mix.name());
+    raw.new_row().add_cell(wl.mix.name());
+    for (hs::SkiplistKind kind : kinds) {
+      hs::ExperimentConfig cfg;
+      cfg.workload = wl;
+      cfg.threads = threads;
+      cfg.ops_per_thread = opt.ops;
+      cfg.warmup_per_thread = opt.warmup;
+      hs::ExperimentResult r = hs::run_skiplist_experiment(kind, cfg);
+      if (baseline == 0.0) baseline = r.mops;  // lock-free @ 100-0-0
+      table.add_num(r.mops / baseline, 2);
+      raw.add_num(r.mops, 3);
+    }
+  }
+
+  if (opt.csv) table.print_csv(std::cout); else table.print(std::cout);
+  std::cout << "\nraw throughput [Mops/s]\n";
+  if (opt.csv) raw.print_csv(std::cout); else raw.print(std::cout);
+  return 0;
+}

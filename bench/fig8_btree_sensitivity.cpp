@@ -1,0 +1,43 @@
+// Figure 8 — B+ tree sensitivity to concurrent modifications and node
+// splits: normalized operation throughput (host-only 100-0-0 = 1.0) for the
+// split-heavy mixes and the 50-25-25 fully-uniform (no splits) variant.
+#include <iostream>
+
+#include "btree_sensitivity_common.hpp"
+#include "hybrids/util/table.hpp"
+
+namespace hb = hybrids::bench;
+
+int main(int argc, char** argv) {
+  hb::Options opt = hb::parse_options(argc, argv);
+  const std::uint64_t keys = opt.keys ? opt.keys : (opt.full ? 1ull << 24 : 1ull << 21);
+  const std::uint32_t threads = opt.threads.empty() ? 8 : opt.threads.front();
+
+  std::cout << "Figure 8: B+ tree sensitivity, " << threads << " threads ("
+            << keys << " keys)\n"
+            << "normalized operation throughput (host-only 100-0-0 = 1.0)\n\n";
+
+  auto points = hb::run_btree_sensitivity(opt, keys, threads);
+  const double baseline = points.front().host_only.mops;
+
+  hybrids::util::Table table({"mix", "host-only", "hybrid-blocking",
+                              "hybrid-nonblocking4"});
+  hybrids::util::Table raw({"mix", "host-only", "hybrid-blocking",
+                            "hybrid-nonblocking4"});
+  for (const auto& p : points) {
+    table.new_row()
+        .add_cell(p.mix)
+        .add_num(p.host_only.mops / baseline, 2)
+        .add_num(p.hybrid_blocking.mops / baseline, 2)
+        .add_num(p.hybrid_nonblocking.mops / baseline, 2);
+    raw.new_row()
+        .add_cell(p.mix)
+        .add_num(p.host_only.mops, 3)
+        .add_num(p.hybrid_blocking.mops, 3)
+        .add_num(p.hybrid_nonblocking.mops, 3);
+  }
+  if (opt.csv) table.print_csv(std::cout); else table.print(std::cout);
+  std::cout << "\nraw throughput [Mops/s]\n";
+  if (opt.csv) raw.print_csv(std::cout); else raw.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Google-benchmark microbenchmarks of the *real* (threaded) concurrent
+// library. These measure wall-clock costs of the software structures on the
+// build machine — useful for regression tracking of the implementations
+// themselves. (Architecture claims are evaluated on the simulator benches;
+// on a single-CPU CI box, thread scaling here is not meaningful.)
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "hybrids/ds/hybrid_btree.hpp"
+#include "hybrids/ds/hybrid_skiplist.hpp"
+#include "hybrids/ds/lockfree_skiplist.hpp"
+#include "hybrids/ds/seqlock_btree.hpp"
+#include "hybrids/util/rng.hpp"
+#include "hybrids/workload/workload.hpp"
+
+namespace hd = hybrids::ds;
+namespace hu = hybrids::util;
+using hybrids::Key;
+using hybrids::Value;
+
+namespace {
+
+constexpr std::uint64_t kKeys = 1 << 16;
+
+void BM_LockFreeSkipList_Get(benchmark::State& state) {
+  hd::LfSkipList list(17);
+  hu::Xoshiro256 rng(1);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    list.insert(static_cast<Key>(i * 2), 1, hd::random_height(rng, 17));
+  }
+  Value v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.get(static_cast<Key>(rng.next_below(kKeys)) * 2, v));
+  }
+}
+BENCHMARK(BM_LockFreeSkipList_Get);
+
+void BM_LockFreeSkipList_InsertRemove(benchmark::State& state) {
+  hd::LfSkipList list(17);
+  hu::Xoshiro256 rng(2);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    list.insert(static_cast<Key>(i * 2), 1, hd::random_height(rng, 17));
+  }
+  for (auto _ : state) {
+    Key k = static_cast<Key>(rng.next_below(kKeys)) * 2 + 1;
+    benchmark::DoNotOptimize(list.insert(k, 1, hd::random_height(rng, 17)));
+    benchmark::DoNotOptimize(list.remove(k));
+  }
+}
+BENCHMARK(BM_LockFreeSkipList_InsertRemove);
+
+void BM_HybridSkipList_Read(benchmark::State& state) {
+  hd::HybridSkipList::Config cfg;
+  cfg.total_height = 17;
+  cfg.nmp_height = 8;
+  cfg.partitions = 4;
+  cfg.partition_width = static_cast<Key>((2 * kKeys) / 4);
+  cfg.max_threads = 2;
+  auto list = std::make_unique<hd::HybridSkipList>(cfg);
+  hu::Xoshiro256 rng(3);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    list->insert(static_cast<Key>(i * 2), 1, 0);
+  }
+  Value v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        list->read(static_cast<Key>(rng.next_below(kKeys)) * 2, v, 0));
+  }
+}
+BENCHMARK(BM_HybridSkipList_Read);
+
+void BM_SeqLockBTree_Read(benchmark::State& state) {
+  hd::SeqLockBTree tree;
+  std::vector<Key> keys;
+  std::vector<Value> vals;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    keys.push_back(static_cast<Key>(i * 2));
+    vals.push_back(1);
+  }
+  tree.build_from_sorted(keys, vals);
+  hu::Xoshiro256 rng(4);
+  Value v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.read(static_cast<Key>(rng.next_below(kKeys)) * 2, v));
+  }
+}
+BENCHMARK(BM_SeqLockBTree_Read);
+
+void BM_SeqLockBTree_InsertRemove(benchmark::State& state) {
+  hd::SeqLockBTree tree;
+  for (std::uint64_t i = 0; i < kKeys; ++i) tree.insert(static_cast<Key>(i * 2), 1);
+  hu::Xoshiro256 rng(5);
+  for (auto _ : state) {
+    Key k = static_cast<Key>(rng.next_below(kKeys)) * 2 + 1;
+    benchmark::DoNotOptimize(tree.insert(k, 1));
+    benchmark::DoNotOptimize(tree.remove(k));
+  }
+}
+BENCHMARK(BM_SeqLockBTree_InsertRemove);
+
+void BM_HybridBTree_Read(benchmark::State& state) {
+  std::vector<Key> keys;
+  std::vector<Value> vals;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    keys.push_back(static_cast<Key>(i * 2));
+    vals.push_back(1);
+  }
+  hd::HybridBTree::Config cfg;
+  cfg.nmp_levels = 3;
+  cfg.partitions = 4;
+  cfg.max_threads = 2;
+  auto tree = std::make_unique<hd::HybridBTree>(cfg, keys, vals);
+  hu::Xoshiro256 rng(6);
+  Value v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree->read(static_cast<Key>(rng.next_below(kKeys)) * 2, v, 0));
+  }
+}
+BENCHMARK(BM_HybridBTree_Read);
+
+}  // namespace
+
+BENCHMARK_MAIN();

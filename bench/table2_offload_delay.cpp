@@ -1,0 +1,40 @@
+// Table 2 — delay components of offloading one operation to an NMP core,
+// measured on an otherwise idle simulated machine (same setting as the
+// paper's B+ tree baseline). The paper's observation: the communication
+// delays alone sum to roughly 1-2 LLC miss delays, which is why blocking
+// hybrid structures gain little when an operation touches only a few
+// DRAM blocks — and why non-blocking NMP calls matter (§3.5).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hybrids/sim/exp/experiment.hpp"
+#include "hybrids/util/table.hpp"
+
+namespace hs = hybrids::sim;
+namespace hb = hybrids::bench;
+
+int main(int argc, char** argv) {
+  hb::Options opt = hb::parse_options(argc, argv);
+  hs::MachineConfig machine;
+  hs::OffloadDelays d = hs::measure_offload_delays(machine);
+
+  std::cout << "Table 2: NMP operation offload delay components\n\n";
+  hybrids::util::Table table({"component", "delay [ns]", "[cycles @2GHz]"});
+  auto row = [&](const char* name, hs::Tick t) {
+    table.new_row().add_cell(name).add_num(hs::ticks_to_ns(t), 2).add_num(
+        hs::ticks_to_ns(t) * 2.0, 1);
+  };
+  row("host posts request (MMIO write)", d.post);
+  row("NMP core notices request", d.nmp_notice);
+  row("NMP core processes (no-op)", d.nmp_process);
+  row("host notices completion (poll)", d.host_notice);
+  row("host reads response (MMIO read)", d.response);
+  row("total offload round trip", d.total);
+  row("one LLC miss (for comparison)", d.llc_miss);
+  if (opt.csv) table.print_csv(std::cout); else table.print(std::cout);
+
+  std::cout << "\nround trip = "
+            << static_cast<double>(d.total) / static_cast<double>(d.llc_miss)
+            << "x one LLC miss delay (paper: comparable to 1-2 LLC misses)\n";
+  return 0;
+}

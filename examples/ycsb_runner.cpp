@@ -1,0 +1,86 @@
+// YCSB runner: drive any of the simulated data-structure designs with a
+// YCSB core workload or a custom read-insert-remove mix on the simulated
+// NMP machine, and print throughput + memory statistics.
+//
+//   $ ./examples/ycsb_runner                      # defaults
+//   $ ./examples/ycsb_runner skiplist hybrid-nonblocking ycsb-a
+//   $ ./examples/ycsb_runner btree host-only 50-25-25
+//
+// Arguments: [skiplist|btree] [design] [workload]
+//   skiplist designs: lock-free | nmp | hybrid-blocking | hybrid-nonblocking
+//   btree designs:    host-only | hybrid-blocking | hybrid-nonblocking
+//   workloads:        ycsb-a | ycsb-b | ycsb-c | X-Y-Z (read-insert-remove %)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "hybrids/sim/exp/experiment.hpp"
+#include "hybrids/workload/ycsb.hpp"
+
+namespace hs = hybrids::sim;
+namespace hw = hybrids::workload;
+
+namespace {
+
+hw::WorkloadSpec parse_workload(const std::string& name, std::uint64_t keys) {
+  if (name == "ycsb-a") return hw::ycsb_a(keys);
+  if (name == "ycsb-b") return hw::ycsb_b(keys);
+  if (name == "ycsb-c") return hw::ycsb_c(keys);
+  // "X-Y-Z" mix.
+  int r = 100, i = 0, d = 0;
+  if (std::sscanf(name.c_str(), "%d-%d-%d", &r, &i, &d) == 3) {
+    return hw::sensitivity(keys, r, i, d);
+  }
+  std::fprintf(stderr, "unknown workload '%s', using ycsb-c\n", name.c_str());
+  return hw::ycsb_c(keys);
+}
+
+void print_result(const char* structure, const char* design,
+                  const std::string& workload, const hs::ExperimentResult& r) {
+  std::printf("%s / %s / %s\n", structure, design, workload.c_str());
+  std::printf("  throughput:        %.3f Mops/s (simulated)\n", r.mops);
+  std::printf("  DRAM reads/op:     %.2f (host %.2f + NMP %.2f)\n",
+              r.dram_reads_per_op, r.host_dram_reads_per_op,
+              r.nmp_dram_reads_per_op);
+  std::printf("  L1 hit rate:       %.1f%%\n",
+              100.0 * static_cast<double>(r.mem.l1_hits) /
+                  static_cast<double>(r.mem.l1_hits + r.mem.l1_misses + 1));
+  std::printf("  MMIO traffic:      %llu writes, %llu reads\n",
+              static_cast<unsigned long long>(r.mem.mmio_writes),
+              static_cast<unsigned long long>(r.mem.mmio_reads));
+  std::printf("  simulated time:    %.2f us for %llu ops\n",
+              hs::ticks_to_ns(r.duration) / 1000.0,
+              static_cast<unsigned long long>(r.ops));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string structure = argc > 1 ? argv[1] : "skiplist";
+  const std::string design = argc > 2 ? argv[2] : "hybrid-nonblocking";
+  const std::string workload = argc > 3 ? argv[3] : "ycsb-c";
+
+  hs::ExperimentConfig cfg;
+  cfg.threads = 8;
+  cfg.ops_per_thread = 3000;
+  cfg.warmup_per_thread = 1500;
+
+  if (structure == "btree") {
+    cfg.workload = parse_workload(workload, 1ull << 20);
+    hs::BTreeKind kind = hs::BTreeKind::kHybridNonBlocking;
+    if (design == "host-only") kind = hs::BTreeKind::kHostOnly;
+    else if (design == "hybrid-blocking") kind = hs::BTreeKind::kHybridBlocking;
+    print_result("btree", hs::to_string(kind), workload,
+                 hs::run_btree_experiment(kind, cfg));
+  } else {
+    cfg.workload = parse_workload(workload, 1ull << 19);
+    hs::SkiplistKind kind = hs::SkiplistKind::kHybridNonBlocking;
+    if (design == "lock-free") kind = hs::SkiplistKind::kLockFree;
+    else if (design == "nmp") kind = hs::SkiplistKind::kNmp;
+    else if (design == "hybrid-blocking") kind = hs::SkiplistKind::kHybridBlocking;
+    print_result("skiplist", hs::to_string(kind), workload,
+                 hs::run_skiplist_experiment(kind, cfg));
+  }
+  return 0;
+}

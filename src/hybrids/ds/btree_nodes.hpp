@@ -1,0 +1,144 @@
+// B+ tree node definitions shared by the host-only seqlock B+ tree and the
+// host-managed portion of the hybrid B+ tree (Listing 3 of the paper).
+//
+// Geometry follows the paper's 128-byte OLTP node: leaves hold up to 14
+// key-value pairs; non-leaf nodes hold up to 14 dividing keys and 15
+// children. (On a 64-bit host the struct is physically larger than 128B;
+// the simulator charges the architectural 128B per node access, which is
+// what the paper's DRAM-read counts measure.)
+//
+// Concurrency: every host node carries a sequence lock. Writers make the
+// seqnum odd with a CAS, mutate, and release by bumping it to the next even
+// value. Readers are optimistic: record an even seqnum, read fields through
+// relaxed atomic_refs (no torn reads, no UB), then validate that the seqnum
+// is unchanged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "hybrids/types.hpp"
+#include "hybrids/util/backoff.hpp"
+
+namespace hybrids::ds {
+
+inline constexpr int kBTreeLeafSlots = 14;   // key-value pairs per leaf
+inline constexpr int kBTreeInnerSlots = 14;  // dividing keys; children = +1
+inline constexpr int kBTreeMaxLevels = 24;
+
+/// Host-side B+ tree node (root / inner / leaf). `level` is 0 for leaves.
+/// In the hybrid B+ tree's host portion, nodes at the last host level store
+/// tagged pointers to NMP-side nodes in `children` (partition id in the low
+/// bits); the node layout is identical.
+struct alignas(64) HostBNode {
+  std::atomic<std::uint32_t> seqnum{0};  // even = unlocked
+  std::uint16_t level = 0;
+  std::uint16_t slotuse = 0;  // #keys (leaf) or #dividing keys (inner)
+  Key keys[kBTreeInnerSlots] = {};
+  union {
+    HostBNode* children[kBTreeInnerSlots + 1];
+    Value values[kBTreeLeafSlots];
+  };
+
+  HostBNode() { for (auto& c : children) c = nullptr; }
+  HostBNode(const HostBNode&) = delete;
+  HostBNode& operator=(const HostBNode&) = delete;
+
+  bool is_leaf() const { return level == 0; }
+
+  // --- racy-read accessors (validated by the caller via seqnum) -----------
+  std::uint16_t load_slotuse() const {
+    return std::atomic_ref<const std::uint16_t>(slotuse).load(std::memory_order_relaxed);
+  }
+  Key load_key(int i) const {
+    return std::atomic_ref<const Key>(keys[i]).load(std::memory_order_relaxed);
+  }
+  HostBNode* load_child(int i) const {
+    return std::atomic_ref<HostBNode* const>(children[i]).load(std::memory_order_relaxed);
+  }
+  std::uintptr_t load_child_bits(int i) const {
+    return reinterpret_cast<std::uintptr_t>(load_child(i));
+  }
+  Value load_value(int i) const {
+    return std::atomic_ref<const Value>(values[i]).load(std::memory_order_relaxed);
+  }
+
+  // --- writer-side accessors (must hold the node's seqlock) ----------------
+  void store_slotuse(std::uint16_t v) {
+    std::atomic_ref<std::uint16_t>(slotuse).store(v, std::memory_order_relaxed);
+  }
+  void store_key(int i, Key k) {
+    std::atomic_ref<Key>(keys[i]).store(k, std::memory_order_relaxed);
+  }
+  void store_child(int i, HostBNode* c) {
+    std::atomic_ref<HostBNode*>(children[i]).store(c, std::memory_order_relaxed);
+  }
+  void store_child_bits(int i, std::uintptr_t bits) {
+    store_child(i, reinterpret_cast<HostBNode*>(bits));
+  }
+  void store_value(int i, Value v) {
+    std::atomic_ref<Value>(values[i]).store(v, std::memory_order_relaxed);
+  }
+
+  // --- sequence lock --------------------------------------------------------
+  std::uint32_t seq() const { return seqnum.load(std::memory_order_acquire); }
+
+  /// Attempts to lock the node, succeeding only if its seqnum still equals
+  /// the (even) value the caller recorded during traversal.
+  bool try_lock_at(std::uint32_t recorded) {
+    std::uint32_t expected = recorded;
+    return (recorded % 2 == 0) &&
+           seqnum.compare_exchange_strong(expected, recorded + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+
+  /// Locks unconditionally (spins until the CAS from an even value wins).
+  std::uint32_t lock() {
+    util::Backoff backoff;
+    while (true) {
+      std::uint32_t s = seqnum.load(std::memory_order_acquire);
+      if (s % 2 == 0 && seqnum.compare_exchange_weak(s, s + 1,
+                                                     std::memory_order_acq_rel,
+                                                     std::memory_order_acquire)) {
+        return s + 1;
+      }
+      backoff.spin();
+    }
+  }
+
+  void unlock() {
+    const std::uint32_t s = seqnum.load(std::memory_order_relaxed);
+    seqnum.store(s + 1, std::memory_order_release);
+  }
+
+  /// Spin until the seqnum is even (no writer in the critical section) and
+  /// return it.
+  std::uint32_t wait_even_seq() const {
+    util::Backoff backoff;
+    while (true) {
+      std::uint32_t s = seqnum.load(std::memory_order_acquire);
+      if (s % 2 == 0) return s;
+      backoff.spin();
+    }
+  }
+
+  /// Reader validation: true if the node has not been written since the
+  /// caller recorded `s` (issues the acquire fence of the seqlock protocol).
+  bool seq_unchanged(std::uint32_t s) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seqnum.load(std::memory_order_relaxed) == s;
+  }
+
+  /// Child index for `key` in an inner node under racy reads: the first slot
+  /// whose dividing key is >= key (subtrees left of a divider hold keys <=
+  /// divider). Caller validates via seqnum.
+  int find_child_index(Key key) const {
+    const int n = load_slotuse();
+    int i = 0;
+    while (i < n && load_key(i) < key) ++i;
+    return i;
+  }
+};
+
+}  // namespace hybrids::ds

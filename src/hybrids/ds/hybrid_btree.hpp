@@ -1,0 +1,734 @@
+// Hybrid B+ tree (§3.4) — the paper's primary B+ tree contribution.
+//
+// The top levels (sized to the last-level cache) form the host-managed
+// portion: a seqlock B+ tree whose bottom-level children are tagged pointers
+// into NMP partitions (partition id in the low bits of the 64-byte-aligned
+// NMP node address). The lower levels are pushed down at construction into
+// per-partition B+ subtree forests (NmpBTree), each owned by one NMP core.
+//
+// Synchronization across the boundary uses the host parent's sequence
+// number: offloads carry the seqnum observed during traversal; the NMP side
+// compares it with the begin node's recorded parent_seqnum to detect splits
+// by earlier-queued operations (retry), or sibling-split staleness (adopt).
+// Inserts that would split a partition's top-level node escalate: the NMP
+// core keeps the path locked and replies LOCK_PATH; the host seqnum-CAS-locks
+// its own path bottom-up and either resumes (RESUME_INSERT completes the NMP
+// split chain and hands the new top node + divider back for host linking) or
+// rolls back (UNLOCK_PATH) and retries from the root.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hybrids/ds/btree_nodes.hpp"
+#include "hybrids/ds/nmp_btree.hpp"
+#include "hybrids/nmp/partition_set.hpp"
+#include "hybrids/types.hpp"
+#include "hybrids/util/marked_ptr.hpp"
+
+namespace hybrids::ds {
+
+class HybridBTree {
+ public:
+  using NmpRef = util::TaggedPtr<NmpBNode, 4>;  // partition id in low bits
+
+  struct Config {
+    int nmp_levels = 3;  // levels 0..nmp_levels-1 are NMP-managed
+    std::uint32_t partitions = 8;
+    std::uint32_t max_threads = 8;
+    std::uint32_t slots_per_thread = 4;
+    double fill = 0.5;  // initial node occupancy (sorted-load default)
+  };
+
+  /// Split-point rule (§3.4): the largest host portion whose cumulative top
+  /// levels fit in `llc_bytes`. Returns the number of NMP-managed levels.
+  static int nmp_levels_for_cache(std::uint64_t initial_keys,
+                                  std::size_t llc_bytes, double fill = 0.5,
+                                  std::size_t node_bytes = 128) {
+    const auto leaf_fill = static_cast<std::uint64_t>(kBTreeLeafSlots * fill);
+    const auto inner_fill =
+        static_cast<std::uint64_t>((kBTreeInnerSlots + 1) * fill);
+    std::vector<std::uint64_t> counts;  // nodes per level, leaves first
+    std::uint64_t c = (initial_keys + leaf_fill - 1) / (leaf_fill ? leaf_fill : 1);
+    if (c == 0) c = 1;
+    counts.push_back(c);
+    while (c > 1) {
+      c = (c + inner_fill - 1) / (inner_fill ? inner_fill : 2);
+      counts.push_back(c);
+    }
+    const int height = static_cast<int>(counts.size());
+    // Take levels from the top while they fit in the cache budget.
+    std::uint64_t bytes = 0;
+    int host_levels = 0;
+    for (int lvl = height - 1; lvl >= 1; --lvl) {  // leaves never host-side
+      bytes += counts[static_cast<std::size_t>(lvl)] * node_bytes;
+      if (bytes > llc_bytes && host_levels >= 1) break;
+      ++host_levels;
+    }
+    int nmp = height - host_levels;
+    if (nmp < 1) nmp = 1;
+    if (nmp > height - 1) nmp = height - 1;
+    return nmp < 1 ? 1 : nmp;
+  }
+
+  /// Constructs the hybrid B+ tree over an existing sorted table (the paper
+  /// assumes index construction over an existing database table, §3.4).
+  HybridBTree(const Config& config, const std::vector<Key>& keys,
+              const std::vector<Value>& values)
+      : config_(config),
+        last_host_level_(config.nmp_levels),
+        set_(nmp::PartitionConfig{config.partitions, config.max_threads,
+                                  config.slots_per_thread, /*width=*/1}) {
+    assert(config.nmp_levels >= 1);
+    assert(config.partitions >= 1 && config.partitions <= 16);
+    partitions_.reserve(config.partitions);
+    for (std::uint32_t p = 0; p < config.partitions; ++p) {
+      partitions_.push_back(std::make_unique<NmpBTree>(config.nmp_levels - 1));
+      NmpBTree* bt = partitions_.back().get();
+      set_.set_handler(p, [bt](const nmp::Request& req, nmp::Response& resp) {
+        apply(*bt, req, resp);
+      });
+    }
+    build(keys, values);
+    set_.start();
+  }
+
+  ~HybridBTree() {
+    set_.stop();
+    destroy_host(root_.load(std::memory_order_acquire));
+  }
+
+  HybridBTree(const HybridBTree&) = delete;
+  HybridBTree& operator=(const HybridBTree&) = delete;
+
+  /// Traversal snapshot: the recorded host path and sequence numbers
+  /// (Listing 4's path[] / local_seqnum[]), plus the selected begin node.
+  /// Public because non-blocking Tickets carry one.
+  struct Frame {
+    HostBNode* path[kBTreeMaxLevels] = {};
+    std::uint32_t seqs[kBTreeMaxLevels] = {};
+    int root_level = 0;
+    NmpRef begin{};                // begin-NMP-traversal node + partition tag
+    std::uint32_t partition = 0;
+  };
+
+  // ----- blocking operations ------------------------------------------------
+
+  bool read(Key key, Value& out, std::uint32_t tid) {
+    while (true) {
+      Frame frame;
+      if (!traverse(key, frame)) continue;
+      nmp::Response r = offload(nmp::OpCode::kRead, key, 0, frame, tid);
+      if (r.retry) continue;
+      out = r.value;
+      return r.ok;
+    }
+  }
+
+  bool update(Key key, Value value, std::uint32_t tid) {
+    while (true) {
+      Frame frame;
+      if (!traverse(key, frame)) continue;
+      nmp::Response r = offload(nmp::OpCode::kUpdate, key, value, frame, tid);
+      if (r.retry) continue;
+      return r.ok;
+    }
+  }
+
+  bool remove(Key key, std::uint32_t tid) {
+    while (true) {
+      Frame frame;
+      if (!traverse(key, frame)) continue;
+      nmp::Response r = offload(nmp::OpCode::kRemove, key, 0, frame, tid);
+      if (r.retry) continue;
+      return r.ok;
+    }
+  }
+
+  bool insert(Key key, Value value, std::uint32_t tid) {
+    while (true) {
+      Frame frame;
+      if (!traverse(key, frame)) continue;
+      nmp::Response r = offload(nmp::OpCode::kInsert, key, value, frame, tid);
+      if (r.retry) continue;
+      if (!r.lock_path) return r.ok;
+      // LOCK_PATH escalation (Listing 4 lines 26-43).
+      bool done = false;
+      if (complete_escalated_insert(frame, r.node, frame.partition, tid, done)) {
+        return done;
+      }
+      // Host-side locking failed; the NMP path was unlocked on our behalf.
+    }
+  }
+
+  // ----- non-blocking operations (§3.5) --------------------------------------
+
+  struct Ticket {
+    enum class State : std::uint8_t { kPending, kRejected };
+    State state = State::kRejected;
+    nmp::OpCode op = nmp::OpCode::kNop;
+    Key key = 0;
+    Value new_value = 0;
+    nmp::OpHandle handle{};
+    Frame frame{};
+    std::uint32_t tid = 0;
+  };
+
+  Ticket op_async(nmp::OpCode op, Key key, Value value, std::uint32_t tid) {
+    Ticket t;
+    t.op = op;
+    t.key = key;
+    t.new_value = value;
+    t.tid = tid;
+    while (true) {
+      if (!traverse(key, t.frame)) continue;
+      t.handle = offload_async(op, key, value, t.frame, tid);
+      t.state = t.handle.valid ? Ticket::State::kPending : Ticket::State::kRejected;
+      return t;
+    }
+  }
+
+  Ticket read_async(Key key, std::uint32_t tid) {
+    return op_async(nmp::OpCode::kRead, key, 0, tid);
+  }
+  Ticket update_async(Key key, Value value, std::uint32_t tid) {
+    return op_async(nmp::OpCode::kUpdate, key, value, tid);
+  }
+  Ticket insert_async(Key key, Value value, std::uint32_t tid) {
+    return op_async(nmp::OpCode::kInsert, key, value, tid);
+  }
+  Ticket remove_async(Key key, std::uint32_t tid) {
+    return op_async(nmp::OpCode::kRemove, key, 0, tid);
+  }
+
+  bool poll(const Ticket& t) {
+    return t.state != Ticket::State::kPending || set_.poll(t.handle);
+  }
+
+  /// Completes a non-blocking operation; falls back to the blocking path on
+  /// NMP-requested retries, and runs the host half of LOCK_PATH escalations.
+  bool finish(Ticket& t, Value* out = nullptr) {
+    assert(t.state == Ticket::State::kPending);
+    nmp::Response r = set_.retrieve(t.handle);
+    if (r.retry) {
+      switch (t.op) {
+        case nmp::OpCode::kRead: {
+          Value v = 0;
+          const bool ok = read(t.key, v, t.tid);
+          if (out != nullptr) *out = v;
+          return ok;
+        }
+        case nmp::OpCode::kUpdate:
+          return update(t.key, t.new_value, t.tid);
+        case nmp::OpCode::kInsert:
+          return insert(t.key, t.new_value, t.tid);
+        default:
+          return remove(t.key, t.tid);
+      }
+    }
+    if (r.lock_path) {
+      bool done = false;
+      if (complete_escalated_insert(t.frame, r.node, t.frame.partition, t.tid, done)) {
+        return done;
+      }
+      return insert(t.key, t.new_value, t.tid);  // locking failed: redo
+    }
+    if (out != nullptr) *out = r.value;
+    return r.ok;
+  }
+
+  // ----- introspection (quiescent-only) --------------------------------------
+
+  const Config& config() const { return config_; }
+  int last_host_level() const { return last_host_level_; }
+
+  int height() const {
+    return root_.load(std::memory_order_acquire)->level + 1;
+  }
+
+  std::size_t size() const {
+    return count_keys(root_.load(std::memory_order_acquire));
+  }
+
+  /// Number of host-side nodes (for split-sizing tests).
+  std::size_t host_node_count() const {
+    return count_host_nodes(root_.load(std::memory_order_acquire));
+  }
+
+  bool validate() const {
+    const HostBNode* root = root_.load(std::memory_order_acquire);
+    bool ok = true;
+    validate_host(root, 0, false, ~Key{0}, false, ok);
+    return ok;
+  }
+
+ private:
+  // --- traversal -------------------------------------------------------------
+
+  /// Optimistic descent to the last host level, then child-ref selection.
+  /// On success, frame.begin / frame.partition identify the offload target
+  /// and frame.seqs[last_host_level_] is the offloaded parent seqnum.
+  bool traverse(Key key, Frame& frame) const {
+    HostBNode* root = root_.load(std::memory_order_acquire);
+    const std::uint32_t root_seq = root->wait_even_seq();
+    if (root_.load(std::memory_order_acquire) != root) return false;
+    frame.root_level = root->level;
+    frame.path[root->level] = root;
+    frame.seqs[root->level] = root_seq;
+
+    int lvl = root->level;
+    HostBNode* curr = root;
+    while (lvl > last_host_level_) {
+      const int idx = curr->find_child_index(key);
+      HostBNode* child = curr->load_child(idx);
+      if (!curr->seq_unchanged(frame.seqs[lvl])) {
+        if (!climb(frame, lvl, curr)) return false;
+        continue;
+      }
+      const std::uint32_t child_seq = child->wait_even_seq();
+      frame.path[lvl - 1] = child;
+      frame.seqs[lvl - 1] = child_seq;
+      if (curr->seq_unchanged(frame.seqs[lvl])) {
+        --lvl;
+        curr = child;
+      } else {
+        if (!climb(frame, lvl, curr)) return false;
+      }
+    }
+    // Select the NMP child reference under the last host node's seqlock.
+    const int idx = curr->find_child_index(key);
+    const std::uintptr_t bits = curr->load_child_bits(idx);
+    if (!curr->seq_unchanged(frame.seqs[lvl])) return false;
+    frame.begin = NmpRef{};
+    frame.begin = ref_from_bits(bits);
+    frame.partition = frame.begin.tag();
+    return true;
+  }
+
+  static NmpRef ref_from_bits(std::uintptr_t bits) {
+    NmpRef r;
+    // TaggedPtr has no public bit constructor taking uintptr_t; rebuild.
+    r = NmpRef(reinterpret_cast<NmpBNode*>(bits & ~std::uintptr_t{0xF}),
+               static_cast<unsigned>(bits & 0xF));
+    return r;
+  }
+
+  static bool climb(Frame& frame, int& lvl, HostBNode*& curr) {
+    while (lvl <= frame.root_level &&
+           !frame.path[lvl]->seq_unchanged(frame.seqs[lvl])) {
+      ++lvl;
+    }
+    if (lvl > frame.root_level) return false;
+    curr = frame.path[lvl];
+    return true;
+  }
+
+  // --- offload ----------------------------------------------------------------
+
+  nmp::Request make_request(nmp::OpCode op, Key key, Value value,
+                            const Frame& frame) const {
+    nmp::Request r;
+    r.op = op;
+    r.key = key;
+    r.value = value;
+    r.node = frame.begin.ptr();
+    r.aux = frame.seqs[last_host_level_];  // offloaded parent seqnum
+    return r;
+  }
+
+  nmp::Response offload(nmp::OpCode op, Key key, Value value, const Frame& frame,
+                        std::uint32_t tid) {
+    return set_.call(frame.partition, tid, make_request(op, key, value, frame));
+  }
+
+  nmp::OpHandle offload_async(nmp::OpCode op, Key key, Value value,
+                              const Frame& frame, std::uint32_t tid) {
+    return set_.call_async(frame.partition, tid,
+                           make_request(op, key, value, frame));
+  }
+
+  /// Host half of the LOCK_PATH protocol. Returns true if the insert ran to
+  /// completion (sets `done` to the operation result); false if host-side
+  /// locking failed and the caller must retry from the root.
+  bool complete_escalated_insert(Frame& frame, void* pending_handle,
+                                 std::uint32_t partition, std::uint32_t tid,
+                                 bool& done) {
+    // Lock the host path bottom-up until the first non-full node.
+    int locked_top = -1;
+    bool locked_all = false;
+    for (int lvl = last_host_level_; lvl <= frame.root_level; ++lvl) {
+      HostBNode* node = frame.path[lvl];
+      if (!node->try_lock_at(frame.seqs[lvl])) break;
+      locked_top = lvl;
+      if (node->slotuse < kBTreeInnerSlots) {
+        locked_all = true;
+        break;
+      }
+    }
+    if (!locked_all && locked_top == frame.root_level) {
+      locked_all = true;  // whole path incl. root locked: root will split
+    }
+    if (!locked_all) {
+      for (int lvl = last_host_level_; lvl <= locked_top; ++lvl) {
+        frame.path[lvl]->unlock();
+      }
+      nmp::Request r;
+      r.op = nmp::OpCode::kUnlockPath;
+      r.node = pending_handle;
+      (void)set_.call(partition, tid, r);
+      return false;
+    }
+    // All affected host nodes locked: resume. RESUME_INSERT is guaranteed to
+    // succeed (Listing 4 line 39). We pass the final (post-unlock) seqnum of
+    // the last host node so the NMP side can stamp parent_seqnum (footnote 3).
+    nmp::Request rr;
+    rr.op = nmp::OpCode::kResumeInsert;
+    rr.node = pending_handle;
+    rr.aux = frame.seqs[last_host_level_] + 2;
+    nmp::Response resp = set_.call(partition, tid, rr);
+    assert(resp.ok);
+    auto* new_top = static_cast<NmpBNode*>(resp.node);
+    const Key up_key = static_cast<Key>(resp.value);
+    std::vector<HostBNode*> created;
+    link_child_into_locked_path(frame, locked_top, up_key,
+                                NmpRef(new_top, partition).bits(), created);
+    for (int lvl = last_host_level_; lvl <= locked_top; ++lvl) {
+      frame.path[lvl]->unlock();
+    }
+    for (HostBNode* n : created) n->unlock();
+    done = true;
+    return true;
+  }
+
+  /// Inserts (divider, child-bits) into the locked host path starting at the
+  /// last host level, splitting full nodes upward; grows the root if even it
+  /// splits. Split-off siblings replicate the (locked) seqnum (footnote 3)
+  /// and are returned for unlocking.
+  void link_child_into_locked_path(Frame& frame, int locked_top, Key up_key,
+                                   std::uintptr_t up_child_bits,
+                                   std::vector<HostBNode*>& created) {
+    int lvl = last_host_level_;
+    while (true) {
+      if (lvl > locked_top) {
+        grow_root(frame.path[frame.root_level], up_key, up_child_bits);
+        return;
+      }
+      HostBNode* node = frame.path[lvl];
+      int pos = 0;
+      while (pos < node->slotuse && node->keys[pos] < up_key) ++pos;
+      if (node->slotuse < kBTreeInnerSlots) {
+        for (int j = node->slotuse; j > pos; --j) {
+          node->store_key(j, node->keys[j - 1]);
+          node->store_child(j + 1, node->children[j]);
+        }
+        node->store_key(pos, up_key);
+        node->store_child_bits(pos + 1, up_child_bits);
+        node->store_slotuse(static_cast<std::uint16_t>(node->slotuse + 1));
+        return;
+      }
+      // Split this inner node.
+      Key all_keys[kBTreeInnerSlots + 1];
+      std::uintptr_t all_children[kBTreeInnerSlots + 2];
+      int n = 0;
+      all_children[0] = reinterpret_cast<std::uintptr_t>(node->children[0]);
+      for (int i = 0; i < node->slotuse; ++i) {
+        if (i == pos) {
+          all_keys[n] = up_key;
+          all_children[n + 1] = up_child_bits;
+          ++n;
+        }
+        all_keys[n] = node->keys[i];
+        all_children[n + 1] = reinterpret_cast<std::uintptr_t>(node->children[i + 1]);
+        ++n;
+      }
+      if (pos == node->slotuse) {
+        all_keys[n] = up_key;
+        all_children[n + 1] = up_child_bits;
+        ++n;
+      }
+      const int mid = n / 2;
+      auto* right = new HostBNode();
+      right->level = node->level;
+      right->seqnum.store(node->seqnum.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      for (int i = 0; i < mid; ++i) {
+        node->store_key(i, all_keys[i]);
+        node->store_child_bits(i, all_children[i]);
+      }
+      node->store_child_bits(mid, all_children[mid]);
+      node->store_slotuse(static_cast<std::uint16_t>(mid));
+      int rn = 0;
+      for (int i = mid + 1; i < n; ++i) {
+        right->keys[rn] = all_keys[i];
+        right->children[rn] = reinterpret_cast<HostBNode*>(all_children[i]);
+        ++rn;
+      }
+      right->children[rn] = reinterpret_cast<HostBNode*>(all_children[n]);
+      right->slotuse = static_cast<std::uint16_t>(rn);
+      created.push_back(right);
+      up_key = all_keys[mid];
+      up_child_bits = reinterpret_cast<std::uintptr_t>(right);
+      ++lvl;
+    }
+  }
+
+  void grow_root(HostBNode* old_root, Key up_key, std::uintptr_t right_bits) {
+    auto* new_root = new HostBNode();
+    new_root->level = static_cast<std::uint16_t>(old_root->level + 1);
+    new_root->slotuse = 1;
+    new_root->keys[0] = up_key;
+    new_root->children[0] = old_root;
+    new_root->children[1] = reinterpret_cast<HostBNode*>(right_bits);
+    root_.store(new_root, std::memory_order_release);
+  }
+
+  // --- NMP-side dispatch (combiner thread) ------------------------------------
+
+  static void apply(NmpBTree& bt, const nmp::Request& req, nmp::Response& resp) {
+    NmpBTree::OpResult res;
+    auto* begin = static_cast<NmpBNode*>(req.node);
+    const auto pseq = static_cast<std::uint32_t>(req.aux);
+    switch (req.op) {
+      case nmp::OpCode::kRead:
+        res = bt.read(begin, pseq, req.key);
+        break;
+      case nmp::OpCode::kUpdate:
+        res = bt.update(begin, pseq, req.key, req.value);
+        break;
+      case nmp::OpCode::kInsert:
+        res = bt.insert(begin, pseq, req.key, req.value);
+        break;
+      case nmp::OpCode::kRemove:
+        res = bt.remove(begin, pseq, req.key);
+        break;
+      case nmp::OpCode::kResumeInsert:
+        res = bt.resume_insert(req.node, pseq);
+        break;
+      case nmp::OpCode::kUnlockPath:
+        res = bt.unlock_path(req.node);
+        break;
+      default:
+        break;
+    }
+    resp.ok = res.ok;
+    resp.retry = res.retry;
+    resp.lock_path = res.lock_path;
+    if (res.lock_path) {
+      resp.node = res.handle;
+    } else if (res.new_top != nullptr) {
+      resp.node = res.new_top;
+      resp.value = res.up_key;
+    } else {
+      resp.value = res.value;
+    }
+  }
+
+  // --- construction ------------------------------------------------------------
+
+  /// Builds NMP subtrees (levels 0..nmp_levels-1) partition by partition and
+  /// host levels on top. Capacity per subtree: leaf_fill * inner_fill^(S).
+  void build(const std::vector<Key>& keys, const std::vector<Value>& values) {
+    assert(keys.size() == values.size());
+    int leaf_fill = static_cast<int>(kBTreeLeafSlots * config_.fill);
+    if (leaf_fill < 1) leaf_fill = 1;
+    int inner_fill = static_cast<int>((kBTreeInnerSlots + 1) * config_.fill);
+    if (inner_fill < 2) inner_fill = 2;
+
+    const int top = config_.nmp_levels - 1;
+    std::uint64_t subtree_cap = static_cast<std::uint64_t>(leaf_fill);
+    for (int l = 0; l < top; ++l) subtree_cap *= static_cast<std::uint64_t>(inner_fill);
+
+    const std::uint64_t n = keys.size();
+    const std::uint64_t subtrees =
+        n == 0 ? 1 : (n + subtree_cap - 1) / subtree_cap;
+    const std::uint64_t per_part =
+        (subtrees + config_.partitions - 1) / config_.partitions;
+
+    struct TopRef {
+      std::uintptr_t bits;
+      Key max_key;
+    };
+    std::vector<TopRef> tops;
+    std::uint64_t i = 0;
+    std::uint64_t built = 0;
+    while (built < subtrees) {
+      const auto part = static_cast<std::uint32_t>(
+          built / (per_part ? per_part : 1));
+      const std::uint32_t p = part >= config_.partitions ? config_.partitions - 1 : part;
+      const std::uint64_t take =
+          n - i < subtree_cap ? n - i : subtree_cap;
+      NmpBNode* root = build_nmp_subtree(*partitions_[p], top, keys, values, i,
+                                         take, leaf_fill, inner_fill);
+      const Key maxk = take > 0 ? keys[i + take - 1] : 0;
+      tops.push_back({NmpRef(root, p).bits(), maxk});
+      i += take;
+      ++built;
+    }
+
+    // Host levels over the pushed-down subtrees.
+    struct HostRef {
+      std::uintptr_t bits;
+      Key max_key;
+    };
+    std::vector<HostRef> level_refs;
+    level_refs.reserve(tops.size());
+    for (const auto& t : tops) level_refs.push_back({t.bits, t.max_key});
+    std::uint16_t level = static_cast<std::uint16_t>(last_host_level_);
+    while (true) {
+      std::vector<HostRef> upper;
+      std::size_t j = 0;
+      while (j < level_refs.size()) {
+        auto* node = new HostBNode();
+        node->level = level;
+        int c = 0;
+        while (c < inner_fill && j < level_refs.size()) {
+          node->children[c] = reinterpret_cast<HostBNode*>(level_refs[j].bits);
+          if (c > 0) node->keys[c - 1] = level_refs[j - 1].max_key;
+          ++c;
+          ++j;
+        }
+        if (j == level_refs.size() - 1 && c <= kBTreeInnerSlots) {
+          node->children[c] = reinterpret_cast<HostBNode*>(level_refs[j].bits);
+          node->keys[c - 1] = level_refs[j - 1].max_key;
+          ++c;
+          ++j;
+        }
+        node->slotuse = static_cast<std::uint16_t>(c - 1);
+        upper.push_back({reinterpret_cast<std::uintptr_t>(node),
+                         level_refs[j - 1].max_key});
+      }
+      if (upper.size() == 1) {
+        root_.store(reinterpret_cast<HostBNode*>(upper.front().bits),
+                    std::memory_order_release);
+        return;
+      }
+      level_refs = std::move(upper);
+      ++level;
+    }
+  }
+
+  NmpBNode* build_nmp_subtree(NmpBTree& bt, int level,
+                              const std::vector<Key>& keys,
+                              const std::vector<Value>& values,
+                              std::uint64_t offset, std::uint64_t count,
+                              int leaf_fill, int inner_fill) {
+    NmpBNode* node = bt.make_node(level);
+    if (level == 0) {
+      const int take = static_cast<int>(
+          count < static_cast<std::uint64_t>(leaf_fill) ? count : leaf_fill);
+      for (int k = 0; k < take; ++k) {
+        node->keys[k] = keys[offset + k];
+        node->values[k] = values[offset + k];
+      }
+      node->slotuse = static_cast<std::uint16_t>(take);
+      return node;
+    }
+    std::uint64_t child_cap = static_cast<std::uint64_t>(leaf_fill);
+    for (int l = 1; l < level; ++l) child_cap *= static_cast<std::uint64_t>(inner_fill);
+    int c = 0;
+    std::uint64_t consumed = 0;
+    while (consumed < count || c == 0) {
+      const std::uint64_t take =
+          count - consumed < child_cap ? count - consumed : child_cap;
+      NmpBNode* child = build_nmp_subtree(bt, level - 1, keys, values,
+                                          offset + consumed, take, leaf_fill,
+                                          inner_fill);
+      node->children[c] = child;
+      if (c > 0) node->keys[c - 1] = keys[offset + consumed - 1];
+      consumed += take;
+      ++c;
+      if (c == kBTreeInnerSlots + 1) break;
+    }
+    node->slotuse = static_cast<std::uint16_t>(c - 1);
+    return node;
+  }
+
+  // --- introspection helpers ----------------------------------------------------
+
+  std::size_t count_keys(const HostBNode* node) const {
+    if (node->level == last_host_level_) {
+      std::size_t n = 0;
+      for (int i = 0; i <= node->slotuse; ++i) {
+        NmpRef ref = ref_from_bits(node->load_child_bits(i));
+        n += partitions_[ref.tag()]->count_keys(ref.ptr());
+      }
+      return n;
+    }
+    std::size_t n = 0;
+    for (int i = 0; i <= node->slotuse; ++i) n += count_keys(node->children[i]);
+    return n;
+  }
+
+  std::size_t count_host_nodes(const HostBNode* node) const {
+    if (node->level == last_host_level_) return 1;
+    std::size_t n = 1;
+    for (int i = 0; i <= node->slotuse; ++i) {
+      n += count_host_nodes(node->children[i]);
+    }
+    return n;
+  }
+
+  void validate_host(const HostBNode* node, Key lower, bool has_lower,
+                     Key upper, bool upper_inclusive, bool& ok) const {
+    if (!ok) return;
+    if (static_cast<int>(node->level) < last_host_level_) { ok = false; return; }
+    for (int i = 1; i < node->slotuse; ++i) {
+      if (node->keys[i - 1] >= node->keys[i]) {  // dividers strictly ascend
+        ok = false;
+        return;
+      }
+    }
+    Key lo = lower;
+    bool has_lo = has_lower;
+    for (int i = 0; i <= node->slotuse; ++i) {
+      const Key child_upper = i < node->slotuse ? node->keys[i] : upper;
+      const bool child_incl = i < node->slotuse ? true : upper_inclusive;
+      if (static_cast<int>(node->level) == last_host_level_) {
+        NmpRef ref = ref_from_bits(node->load_child_bits(i));
+        if (ref.ptr() == nullptr || ref.tag() >= partitions_.size()) {
+          ok = false;
+          return;
+        }
+        const NmpBTree& bt = *partitions_[ref.tag()];
+        if (ref.ptr()->level != bt.top_level()) { ok = false; return; }
+        // parent_seqnum can lag the host parent's seqnum (it is refreshed
+        // lazily) but must never exceed it.
+        if (ref.ptr()->parent_seqnum > node->seqnum.load()) { ok = false; return; }
+        if (!bt.validate_subtree(ref.ptr(), has_lo ? lo : 0, child_upper,
+                                 child_incl)) {
+          ok = false;
+          return;
+        }
+      } else {
+        const HostBNode* child = node->children[i];
+        if (child == nullptr || child->level != node->level - 1) {
+          ok = false;
+          return;
+        }
+        validate_host(child, lo, has_lo, child_upper, child_incl, ok);
+        if (!ok) return;
+      }
+      lo = child_upper;
+      has_lo = true;
+    }
+  }
+
+  void destroy_host(HostBNode* node) {
+    if (node == nullptr) return;
+    if (static_cast<int>(node->level) > last_host_level_) {
+      for (int i = 0; i <= node->slotuse; ++i) destroy_host(node->children[i]);
+    }
+    delete node;
+  }
+
+  Config config_;
+  int last_host_level_;
+  nmp::PartitionSet set_;
+  std::vector<std::unique_ptr<NmpBTree>> partitions_;
+  std::atomic<HostBNode*> root_{nullptr};
+};
+
+}  // namespace hybrids::ds

@@ -1,0 +1,550 @@
+// Hybrid skiplist (§3.3) — the paper's primary skiplist contribution.
+//
+// The structure is split at a level boundary: the top (total_height -
+// nmp_height) levels form the host-managed portion, a lock-free skiplist
+// whose working set is sized to fit the last-level cache; the bottom
+// nmp_height levels are range-partitioned across NMP partitions, each a
+// sequential skiplist owned by one NMP core. A node of tower height h >
+// nmp_height exists in both portions (host part + NMP part linked by
+// payload/host_ptr cross-references); shorter nodes exist only NMP-side.
+//
+// Host traversals act as shortcuts: the predecessor at the bottom host level
+// supplies the begin-NMP-traversal node for the offloaded remainder of the
+// operation. Correctness around concurrently removed begin nodes follows the
+// paper: the NMP core logically marks remove targets before unlinking and
+// never reuses their memory, so a stale begin node is detected and the host
+// retries (Listing 2 lines 7-10).
+//
+// Ordering invariants (§3.3): insertions apply NMP-portion first, then host
+// portion; removals apply host portion first, then NMP portion — preserving
+// the skiplist property (level i is a subset of level i-1) across the split.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hybrids/ds/lockfree_skiplist.hpp"
+#include "hybrids/ds/seq_skiplist.hpp"
+#include "hybrids/nmp/partition_set.hpp"
+#include "hybrids/types.hpp"
+#include "hybrids/util/cache_aligned.hpp"
+#include "hybrids/util/rng.hpp"
+
+namespace hybrids::ds {
+
+class HybridSkipList {
+ public:
+  struct Config {
+    int total_height = 22;  // paper: log2(initial item count)
+    int nmp_height = 9;     // lower levels in NMP memory (NMP_HEIGHT)
+    std::uint32_t partitions = 8;
+    Key partition_width = 0;  // key-range width per partition (required)
+    std::uint32_t max_threads = 8;
+    std::uint32_t slots_per_thread = 4;
+    std::uint64_t seed = 1;
+
+    // Adaptive promotion (§7 extension): when a short (NMP-only) key is
+    // accessed `promote_threshold` times, it is raised into the host-managed
+    // portion, up to `promote_budget` promotions. 0 disables.
+    std::uint32_t promote_threshold = 0;
+    std::uint32_t promote_budget = 0;
+
+    int host_height() const { return total_height - nmp_height; }
+  };
+
+  /// Chooses the host/NMP split so the host-managed portion (the top levels,
+  /// expected node count 2^host_levels) fits in `llc_bytes` of cache, per
+  /// the paper's sizing rule: 2^x * sizeof(Node) ~ LLC size.
+  static int nmp_height_for_cache(std::uint64_t initial_keys,
+                                  std::size_t llc_bytes,
+                                  std::size_t node_bytes = 128) {
+    int total = 1;
+    while ((1ull << total) < initial_keys) ++total;
+    int host_levels = 1;
+    while ((1ull << (host_levels + 1)) * node_bytes <= llc_bytes &&
+           host_levels < total - 1) {
+      ++host_levels;
+    }
+    int nmp = total - host_levels;
+    return nmp < 1 ? 1 : nmp;
+  }
+
+  explicit HybridSkipList(const Config& config)
+      : config_(config),
+        host_(config.host_height()),
+        set_(nmp::PartitionConfig{config.partitions, config.max_threads,
+                                  config.slots_per_thread,
+                                  config.partition_width}) {
+    assert(config.total_height > config.nmp_height);
+    assert(config.nmp_height >= 1);
+    lists_.reserve(config.partitions);
+    for (std::uint32_t p = 0; p < config.partitions; ++p) {
+      lists_.push_back(std::make_unique<SeqSkipList>(config.nmp_height));
+      SeqSkipList* list = lists_.back().get();
+      const int nmp_height = config.nmp_height;
+      const std::uint32_t threshold = config.promote_threshold;
+      set_.set_handler(p, [list, nmp_height, threshold](const nmp::Request& req,
+                                                        nmp::Response& resp) {
+        apply(*list, nmp_height, threshold, req, resp);
+      });
+    }
+    rngs_ = std::vector<util::CacheAligned<util::Xoshiro256>>(config.max_threads);
+    for (std::uint32_t t = 0; t < config.max_threads; ++t) {
+      *rngs_[t] = util::Xoshiro256(config.seed * 0x9E3779B97F4A7C15ULL + t);
+    }
+    set_.start();
+  }
+
+  ~HybridSkipList() { set_.stop(); }
+
+  // ----- blocking operations ------------------------------------------------
+
+  bool read(Key key, Value& out, std::uint32_t tid) {
+    while (true) {
+      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+      if (host_.find(key, preds, succs)) {
+        // Tall node: the value is mirrored host-side; serve from cache.
+        out = succs[0]->value_now();
+        return true;
+      }
+      nmp::Response r = offload(nmp::OpCode::kRead, key, 0, 0, preds[0],
+                                nullptr, tid);
+      if (r.retry) continue;
+      if (r.promote_hint) try_promote(key, tid);
+      out = r.value;
+      return r.ok;
+    }
+  }
+
+  bool update(Key key, Value value, std::uint32_t tid) {
+    while (true) {
+      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+      (void)host_.find(key, preds, succs);
+      // Updates always go through the NMP portion (the authoritative copy);
+      // the response tells us which host mirror to refresh, and with which
+      // version, so racing updates converge (§3.3 insert/update interplay).
+      nmp::Response r = offload(nmp::OpCode::kUpdate, key, value, 0, preds[0],
+                                nullptr, tid);
+      if (r.retry) continue;
+      if (r.ok && r.node != nullptr) {
+        LfSkipList::update_versioned(static_cast<LfSkipList::Node*>(r.node),
+                                     static_cast<std::uint32_t>(r.aux), value);
+      }
+      if (r.promote_hint) try_promote(key, tid);
+      return r.ok;
+    }
+  }
+
+  bool insert(Key key, Value value, std::uint32_t tid) {
+    while (true) {
+      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+      if (host_.find(key, preds, succs)) return false;  // tall node present
+      const int height = random_height(*rngs_[tid], config_.total_height);
+      LfSkipList::Node* hnode = nullptr;
+      if (height > config_.nmp_height) {
+        hnode = host_.make_node(key, value, height - config_.nmp_height);
+      }
+      // NMP portion first (linearization point: bottom-level link, which
+      // lives in the NMP partition).
+      nmp::Response r = offload(nmp::OpCode::kInsert, key, value,
+                                static_cast<std::uint64_t>(height), preds[0],
+                                hnode, tid);
+      if (r.retry) {
+        if (hnode != nullptr) LfSkipList::free_unlinked(hnode);
+        continue;
+      }
+      if (!r.ok) {
+        if (hnode != nullptr) LfSkipList::free_unlinked(hnode);
+        return false;  // key already present
+      }
+      if (hnode != nullptr) {
+        hnode->payload = r.node;  // NMP counterpart (begin-node shortcut)
+        if (!host_.insert_node(hnode)) {
+          // Cannot happen while the NMP insert above owns the key; defensive.
+          LfSkipList::free_unlinked(hnode);
+        }
+      }
+      return true;
+    }
+  }
+
+  bool remove(Key key, std::uint32_t tid) {
+    while (true) {
+      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+      if (host_.find(key, preds, succs)) {
+        // Host portion first (removals proceed top-down across the split).
+        if (!host_.remove(key)) {
+          // A concurrent remover won the host race; it owns the NMP removal.
+          return false;
+        }
+        // Re-derive the begin node: the old pred may have been the victim's
+        // neighborhood; a fresh find gives a clean window.
+        continue;
+      }
+      nmp::Response r =
+          offload(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr, tid);
+      if (r.retry) continue;
+      return r.ok;
+    }
+  }
+
+  /// Adaptive promotion (§7 extension): raise `key` — reported hot by its
+  /// NMP core — into the host-managed portion. Replaces the short NMP node
+  /// with a full-height one and links a host counterpart, making future
+  /// reads of the key servable from the host cache. Bounded by
+  /// promote_budget; safe to call concurrently (at most one promotion per
+  /// key fires, because the hint is raised exactly when the counter crosses
+  /// the threshold on the serializing combiner).
+  void try_promote(Key key, std::uint32_t tid) {
+    if (config_.promote_threshold == 0 || config_.promote_budget == 0) return;
+    if (promoted_.fetch_add(1, std::memory_order_relaxed) >=
+        config_.promote_budget) {
+      promoted_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    const int host_h = random_height(*rngs_[tid], config_.host_height());
+    LfSkipList::Node* hnode = host_.make_node(key, 0, host_h);
+    LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+    LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+    (void)host_.find(key, preds, succs);
+    nmp::Response r =
+        offload(nmp::OpCode::kPromote, key, 0, 0, preds[0], hnode, tid);
+    if (!r.ok) {  // key vanished or was already promoted meanwhile
+      LfSkipList::free_unlinked(hnode);
+      promoted_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    // Seed the host mirror with the value captured at promotion time, then
+    // link it; later updates supersede it via versioning (the promote bumped
+    // the NMP-side version, so r.aux is strictly newer than any prior update).
+    LfSkipList::update_versioned(hnode, static_cast<std::uint32_t>(r.aux),
+                                 r.value);
+    hnode->payload = r.node;
+    if (!host_.insert_node(hnode)) {
+      LfSkipList::free_unlinked(hnode);
+      promoted_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Number of promotions performed so far (quiescent reads for tests).
+  std::uint32_t promoted() const {
+    return promoted_.load(std::memory_order_relaxed);
+  }
+
+  // ----- non-blocking operations (§3.5) --------------------------------------
+
+  /// A non-blocking operation in flight. Obtain via *_async, complete via
+  /// finish(). Operations that complete host-side (cache-hit reads) are
+  /// immediate. If the runtime rejects the call (all slots in flight),
+  /// state == kRejected and the caller should finish() older tickets first.
+  struct Ticket {
+    enum class State : std::uint8_t { kImmediate, kPending, kRejected };
+    State state = State::kRejected;
+    nmp::OpCode op = nmp::OpCode::kNop;
+    bool ok = false;            // immediate result
+    Value value = 0;            // immediate read result
+    Key key = 0;
+    Value new_value = 0;
+    nmp::OpHandle handle{};
+    LfSkipList::Node* hnode = nullptr;  // pre-built host node (insert)
+    std::uint32_t tid = 0;
+  };
+
+  Ticket read_async(Key key, std::uint32_t tid) {
+    LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+    LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+    Ticket t;
+    t.op = nmp::OpCode::kRead;
+    t.key = key;
+    t.tid = tid;
+    if (host_.find(key, preds, succs)) {
+      t.state = Ticket::State::kImmediate;
+      t.ok = true;
+      t.value = succs[0]->value_now();
+      return t;
+    }
+    t.handle = offload_async(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr, tid);
+    t.state = t.handle.valid ? Ticket::State::kPending : Ticket::State::kRejected;
+    return t;
+  }
+
+  Ticket insert_async(Key key, Value value, std::uint32_t tid) {
+    LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+    LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+    Ticket t;
+    t.op = nmp::OpCode::kInsert;
+    t.key = key;
+    t.new_value = value;
+    t.tid = tid;
+    if (host_.find(key, preds, succs)) {
+      t.state = Ticket::State::kImmediate;
+      t.ok = false;
+      return t;
+    }
+    const int height = random_height(*rngs_[tid], config_.total_height);
+    if (height > config_.nmp_height) {
+      t.hnode = host_.make_node(key, value, height - config_.nmp_height);
+    }
+    t.handle = offload_async(nmp::OpCode::kInsert, key, value,
+                             static_cast<std::uint64_t>(height), preds[0],
+                             t.hnode, tid);
+    if (!t.handle.valid) {
+      if (t.hnode != nullptr) LfSkipList::free_unlinked(t.hnode);
+      t.hnode = nullptr;
+      t.state = Ticket::State::kRejected;
+    } else {
+      t.state = Ticket::State::kPending;
+    }
+    return t;
+  }
+
+  Ticket remove_async(Key key, std::uint32_t tid) {
+    LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+    LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+    Ticket t;
+    t.op = nmp::OpCode::kRemove;
+    t.key = key;
+    t.tid = tid;
+    if (host_.find(key, preds, succs)) {
+      if (!host_.remove(key)) {
+        t.state = Ticket::State::kImmediate;
+        t.ok = false;
+        return t;
+      }
+      (void)host_.find(key, preds, succs);  // refresh window post-removal
+    }
+    t.handle = offload_async(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr, tid);
+    t.state = t.handle.valid ? Ticket::State::kPending : Ticket::State::kRejected;
+    return t;
+  }
+
+  Ticket update_async(Key key, Value value, std::uint32_t tid) {
+    LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+    LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+    Ticket t;
+    t.op = nmp::OpCode::kUpdate;
+    t.key = key;
+    t.new_value = value;
+    t.tid = tid;
+    (void)host_.find(key, preds, succs);
+    t.handle = offload_async(nmp::OpCode::kUpdate, key, value, 0, preds[0],
+                             nullptr, tid);
+    t.state = t.handle.valid ? Ticket::State::kPending : Ticket::State::kRejected;
+    return t;
+  }
+
+  /// True once finish() would not block.
+  bool poll(const Ticket& t) {
+    return t.state != Ticket::State::kPending || set_.poll(t.handle);
+  }
+
+  /// Completes a ticket: waits for the NMP response, applies any host-side
+  /// completion work (linking an inserted host node, refreshing a host value
+  /// mirror), and transparently re-executes the operation in blocking mode
+  /// if the NMP core requested a retry. Returns the operation result;
+  /// `out` receives the value for reads (may be null).
+  bool finish(Ticket& t, Value* out = nullptr) {
+    if (t.state == Ticket::State::kImmediate) {
+      if (out != nullptr) *out = t.value;
+      return t.ok;
+    }
+    assert(t.state == Ticket::State::kPending);
+    nmp::Response r = set_.retrieve(t.handle);
+    switch (t.op) {
+      case nmp::OpCode::kRead:
+        if (r.retry) {
+          Value v = 0;
+          bool ok = read(t.key, v, t.tid);
+          if (out != nullptr) *out = v;
+          return ok;
+        }
+        if (r.promote_hint) try_promote(t.key, t.tid);
+        if (out != nullptr) *out = r.value;
+        return r.ok;
+      case nmp::OpCode::kUpdate:
+        if (r.retry) return update(t.key, t.new_value, t.tid);
+        if (r.ok && r.node != nullptr) {
+          LfSkipList::update_versioned(static_cast<LfSkipList::Node*>(r.node),
+                                       static_cast<std::uint32_t>(r.aux),
+                                       t.new_value);
+        }
+        if (r.promote_hint) try_promote(t.key, t.tid);
+        return r.ok;
+      case nmp::OpCode::kInsert:
+        if (r.retry) {
+          if (t.hnode != nullptr) LfSkipList::free_unlinked(t.hnode);
+          t.hnode = nullptr;
+          return insert(t.key, t.new_value, t.tid);
+        }
+        if (!r.ok) {
+          if (t.hnode != nullptr) LfSkipList::free_unlinked(t.hnode);
+          t.hnode = nullptr;
+          return false;
+        }
+        if (t.hnode != nullptr) {
+          t.hnode->payload = r.node;
+          if (!host_.insert_node(t.hnode)) LfSkipList::free_unlinked(t.hnode);
+          t.hnode = nullptr;
+        }
+        return true;
+      case nmp::OpCode::kRemove:
+        if (r.retry) return remove(t.key, t.tid);
+        return r.ok;
+      default:
+        return false;
+    }
+  }
+
+  // ----- introspection (quiescent-only) --------------------------------------
+
+  const Config& config() const { return config_; }
+
+  /// Item count = bottom-level (NMP) count; host nodes are a strict subset.
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& l : lists_) n += l->size();
+    return n;
+  }
+
+  /// Validates both portions and their cross-references.
+  bool validate() const {
+    for (const auto& l : lists_) {
+      if (!l->validate()) return false;
+    }
+    if (!host_.validate()) return false;
+    // Every host node must reference a live NMP counterpart with equal key.
+    for (LfSkipList::Node* n = host_.head()->next_ptr(0); n != nullptr;
+         n = n->next_ptr(0)) {
+      if (n->marked_at(0)) continue;
+      auto* counterpart = static_cast<SeqSkipList::Node*>(n->payload);
+      if (counterpart == nullptr) return false;
+      if (counterpart->key != n->key) return false;
+      if (counterpart->marked) return false;
+      if (counterpart->host_ptr != n) return false;
+    }
+    return true;
+  }
+
+  /// Number of nodes in the host-managed portion (for split-sizing tests).
+  std::size_t host_size() const { return host_.size(); }
+
+ private:
+  nmp::Request make_request(nmp::OpCode op, Key key, Value value,
+                            std::uint64_t aux, LfSkipList::Node* pred0,
+                            LfSkipList::Node* hnode, std::uint32_t part) const {
+    nmp::Request r;
+    r.op = op;
+    r.key = key;
+    r.value = value;
+    r.aux = aux;
+    r.host_node = hnode;
+    // Begin-NMP-traversal node (Listing 1 lines 14-15): only usable if the
+    // host-side predecessor lives in the same partition as the lookup key.
+    if (pred0 != host_.head() && set_.partition_of(pred0->key) == part) {
+      r.node = pred0->payload;
+    }
+    return r;
+  }
+
+  nmp::Response offload(nmp::OpCode op, Key key, Value value, std::uint64_t aux,
+                        LfSkipList::Node* pred0, LfSkipList::Node* hnode,
+                        std::uint32_t tid) {
+    const std::uint32_t part = set_.partition_of(key);
+    return set_.call(part, tid, make_request(op, key, value, aux, pred0, hnode, part));
+  }
+
+  nmp::OpHandle offload_async(nmp::OpCode op, Key key, Value value,
+                              std::uint64_t aux, LfSkipList::Node* pred0,
+                              LfSkipList::Node* hnode, std::uint32_t tid) {
+    const std::uint32_t part = set_.partition_of(key);
+    return set_.call_async(part, tid,
+                           make_request(op, key, value, aux, pred0, hnode, part));
+  }
+
+  /// NMP-side of every operation (runs on the partition's combiner thread;
+  /// mirrors Listing 2, plus the §7 adaptive-promotion extension).
+  static void apply(SeqSkipList& list, int nmp_height, std::uint32_t threshold,
+                    const nmp::Request& req, nmp::Response& resp) {
+    SeqSkipList::Node* begin = list.head();
+    if (req.node != nullptr) {
+      auto* candidate = static_cast<SeqSkipList::Node*>(req.node);
+      if (SeqSkipList::is_stale(candidate)) {
+        // Begin node removed by an operation queued earlier: host must retry.
+        resp.retry = true;
+        return;
+      }
+      begin = candidate;
+    }
+    // Exactly one access observes the counter crossing the threshold, so at
+    // most one promotion fires per key (the combiner serializes accesses).
+    auto note_access = [&](SeqSkipList::Node* n) {
+      if (threshold == 0 || n == nullptr) return;
+      ++n->hits;
+      if (n->hits == threshold && n->host_ptr == nullptr) {
+        resp.promote_hint = true;
+      }
+    };
+    switch (req.op) {
+      case nmp::OpCode::kRead: {
+        SeqSkipList::Node* n = list.read(req.key, begin);
+        resp.ok = n != nullptr;
+        if (n != nullptr) resp.value = n->value;
+        note_access(n);
+        break;
+      }
+      case nmp::OpCode::kUpdate: {
+        SeqSkipList::Node* n = list.read(req.key, begin);
+        resp.ok = n != nullptr;
+        if (n != nullptr) {
+          n->value = req.value;
+          ++n->version;
+          resp.node = n->host_ptr;  // host refreshes its mirror (if tall)
+          resp.aux = n->version;
+        }
+        note_access(n);
+        break;
+      }
+      case nmp::OpCode::kPromote: {
+        SeqSkipList::Node* n = list.promote(req.key, req.host_node);
+        resp.ok = n != nullptr;
+        if (n != nullptr) {
+          resp.node = n;
+          resp.value = n->value;
+          resp.aux = n->version;
+        }
+        break;
+      }
+      case nmp::OpCode::kInsert: {
+        int height = static_cast<int>(req.aux);
+        if (height > nmp_height) height = nmp_height;
+        auto [node, existed] =
+            list.insert(req.key, req.value, height, req.host_node, begin);
+        resp.ok = !existed;
+        resp.node = node;
+        break;
+      }
+      case nmp::OpCode::kRemove:
+        resp.ok = list.remove(req.key, begin);
+        break;
+      default:
+        resp.ok = false;
+        break;
+    }
+  }
+
+  Config config_;
+  LfSkipList host_;
+  nmp::PartitionSet set_;
+  std::vector<std::unique_ptr<SeqSkipList>> lists_;
+  std::vector<util::CacheAligned<util::Xoshiro256>> rngs_;
+  std::atomic<std::uint32_t> promoted_{0};
+};
+
+}  // namespace hybrids::ds

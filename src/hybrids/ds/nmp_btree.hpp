@@ -1,0 +1,425 @@
+// Partition-local NMP-managed portion of the hybrid B+ tree (§3.4).
+//
+// Each NMP partition holds a forest of B+ subtrees: the subtrees rooted at
+// the paper's split level, pushed down from the initially host-built tree.
+// Exactly one NMP core (combiner) ever touches a partition, so nodes use
+// plain fields; the `locked` flag and `parent_seqnum` exist to coordinate
+// *across queued operations* and across the host-NMP boundary:
+//
+//  * parent_seqnum mirrors the host-side parent's sequence number. An
+//    offloaded operation carries the seqnum the host observed; if the
+//    recorded value is newer, the begin node was split by an operation that
+//    was queued earlier, and the host must retry (Listing 5 lines 2-8).
+//  * When an insert would split even the partition's top-level node, the
+//    affected path is left locked and the host is told to lock its own path
+//    (LOCK_PATH); the insert completes on RESUME_INSERT, or the locks are
+//    dropped on UNLOCK_PATH if host-side locking failed.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "hybrids/ds/btree_nodes.hpp"
+#include "hybrids/types.hpp"
+
+namespace hybrids::ds {
+
+/// NMP-side B+ tree node (Listing 3, NMP-managed portion).
+struct alignas(64) NmpBNode {
+  std::uint32_t parent_seqnum = 0;  // host parent's seqnum (top-level nodes)
+  std::uint16_t level = 0;
+  bool locked = false;
+  std::uint16_t slotuse = 0;
+  Key keys[kBTreeInnerSlots] = {};
+  union {
+    NmpBNode* children[kBTreeInnerSlots + 1];
+    Value values[kBTreeLeafSlots];
+  };
+
+  NmpBNode() { for (auto& c : children) c = nullptr; }
+  NmpBNode(const NmpBNode&) = delete;
+  NmpBNode& operator=(const NmpBNode&) = delete;
+
+  bool is_leaf() const { return level == 0; }
+
+  int find_child_index(Key key) const {
+    int i = 0;
+    while (i < slotuse && keys[i] < key) ++i;
+    return i;
+  }
+};
+
+class NmpBTree {
+ public:
+  /// `top_level` is the level of the pushed-down subtree roots (the paper's
+  /// TOP_NMP_LEVEL); leaves are level 0.
+  explicit NmpBTree(int top_level) : top_level_(top_level) {}
+
+  int top_level() const { return top_level_; }
+
+  /// Allocates a node owned by this partition. Node memory is stable for
+  /// the lifetime of the partition (host threads hold references).
+  NmpBNode* make_node(int level) {
+    nodes_.emplace_back();
+    NmpBNode* n = &nodes_.back();
+    n->level = static_cast<std::uint16_t>(level);
+    return n;
+  }
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Result of applying one offloaded operation.
+  struct OpResult {
+    bool ok = false;
+    bool retry = false;
+    bool lock_path = false;
+    Value value = 0;
+    void* handle = nullptr;  // pending-insert record (LOCK_PATH escalation)
+    NmpBNode* new_top = nullptr;  // RESUME_INSERT: split-off top-level node
+    Key up_key = 0;               // RESUME_INSERT: divider for the host
+  };
+
+  /// Host-NMP boundary synchronization (Listing 5 lines 2-8). Returns true
+  /// if the caller must retry.
+  bool boundary_check(NmpBNode* begin, std::uint32_t offloaded_parent_seq) {
+    assert(begin->level == top_level_);
+    if (begin->parent_seqnum > offloaded_parent_seq) return true;
+    if (begin->parent_seqnum < offloaded_parent_seq) {
+      // The host parent changed because a *sibling* split; adopt the newer
+      // sequence number for consistency.
+      begin->parent_seqnum = offloaded_parent_seq;
+    }
+    return false;
+  }
+
+  OpResult read(NmpBNode* begin, std::uint32_t parent_seq, Key key) {
+    OpResult r;
+    if (boundary_check(begin, parent_seq)) { r.retry = true; return r; }
+    NmpBNode* leaf = descend(begin, key);
+    for (int i = 0; i < leaf->slotuse; ++i) {
+      if (leaf->keys[i] == key) {
+        r.ok = true;
+        r.value = leaf->values[i];
+        return r;
+      }
+    }
+    return r;
+  }
+
+  OpResult update(NmpBNode* begin, std::uint32_t parent_seq, Key key, Value value) {
+    OpResult r;
+    if (boundary_check(begin, parent_seq)) { r.retry = true; return r; }
+    NmpBNode* leaf = descend(begin, key);
+    for (int i = 0; i < leaf->slotuse; ++i) {
+      if (leaf->keys[i] == key) {
+        leaf->values[i] = value;
+        r.ok = true;
+        return r;
+      }
+    }
+    return r;
+  }
+
+  OpResult remove(NmpBNode* begin, std::uint32_t parent_seq, Key key) {
+    OpResult r;
+    if (boundary_check(begin, parent_seq)) { r.retry = true; return r; }
+    NmpBNode* leaf = descend(begin, key);
+    if (leaf->locked) {
+      // A pending escalated insert prepared a split around this leaf; the
+      // removal would change slotuse under it (§3.4). Abort and retry.
+      r.retry = true;
+      return r;
+    }
+    for (int i = 0; i < leaf->slotuse; ++i) {
+      if (leaf->keys[i] == key) {
+        for (int j = i; j + 1 < leaf->slotuse; ++j) {
+          leaf->keys[j] = leaf->keys[j + 1];
+          leaf->values[j] = leaf->values[j + 1];
+        }
+        --leaf->slotuse;  // free-at-empty relaxation: never merge
+        r.ok = true;
+        return r;
+      }
+    }
+    return r;
+  }
+
+  OpResult insert(NmpBNode* begin, std::uint32_t parent_seq, Key key, Value value) {
+    OpResult r;
+    if (boundary_check(begin, parent_seq)) { r.retry = true; return r; }
+    // Descend recording the path (Listing 5 lines 9-12).
+    NmpBNode* path[kBTreeMaxLevels];
+    NmpBNode* curr = begin;
+    while (curr->level > 0) {
+      path[curr->level] = curr;
+      curr = curr->children[curr->find_child_index(key)];
+    }
+    path[0] = curr;
+    // Duplicate check before acquiring anything.
+    for (int i = 0; i < curr->slotuse; ++i) {
+      if (curr->keys[i] == key) return r;  // ok = false
+    }
+    // Lock bottom-up while nodes are full (Listing 5 lines 13-24).
+    bool locked_all = false;
+    int locked_top = -1;
+    for (int lvl = 0; lvl <= top_level_; ++lvl) {
+      NmpBNode* node = path[lvl];
+      if (node->locked) {
+        // Conflict with a pending escalated insert: back off.
+        for (int u = 0; u < lvl; ++u) path[u]->locked = false;
+        r.retry = true;
+        return r;
+      }
+      node->locked = true;
+      locked_top = lvl;
+      const int cap = lvl == 0 ? kBTreeLeafSlots : kBTreeInnerSlots;
+      if (node->slotuse < cap) {
+        locked_all = true;
+        break;
+      }
+    }
+    if (locked_all) {
+      // Entire split chain is contained in this partition: do it now.
+      complete_insert(path, locked_top, key, value, /*split_top=*/false, nullptr, nullptr);
+      for (int u = 0; u <= locked_top; ++u) path[u]->locked = false;
+      r.ok = true;
+      return r;
+    }
+    // Even the top-level node must split: escalate to the host (keep the
+    // path locked so concurrent inserts/removes cannot disturb it).
+    auto pending = std::make_unique<PendingInsert>();
+    for (int lvl = 0; lvl <= top_level_; ++lvl) pending->path[lvl] = path[lvl];
+    pending->key = key;
+    pending->value = value;
+    pending->begin = begin;
+    r.lock_path = true;
+    r.handle = pending.get();
+    pending_.push_back(std::move(pending));
+    return r;
+  }
+
+  /// RESUME_INSERT: the host holds its side of the path locked; complete the
+  /// split chain (the top node *will* split), unlock, and stamp the
+  /// parent_seqnum both top-level nodes will have once the host unlocks
+  /// (`host_final_seq`, footnote 3).
+  OpResult resume_insert(void* handle, std::uint32_t host_final_seq) {
+    OpResult r;
+    PendingInsert* p = take_pending(handle);
+    assert(p != nullptr);
+    NmpBNode* new_top = nullptr;
+    Key up_key = 0;
+    complete_insert(p->path, top_level_, p->key, p->value, /*split_top=*/true,
+                    &new_top, &up_key);
+    for (int u = 0; u <= top_level_; ++u) p->path[u]->locked = false;
+    p->path[top_level_]->parent_seqnum = host_final_seq;
+    new_top->parent_seqnum = host_final_seq;
+    r.ok = true;
+    r.new_top = new_top;
+    r.up_key = up_key;
+    release_pending(p);
+    return r;
+  }
+
+  /// UNLOCK_PATH: host-side locking failed; roll back our locks.
+  OpResult unlock_path(void* handle) {
+    OpResult r;
+    PendingInsert* p = take_pending(handle);
+    assert(p != nullptr);
+    for (int u = 0; u <= top_level_; ++u) p->path[u]->locked = false;
+    release_pending(p);
+    r.ok = true;
+    return r;
+  }
+
+  /// Quiescent-only structural check of one pushed-down subtree.
+  bool validate_subtree(const NmpBNode* root, Key lower, Key upper,
+                        bool upper_inclusive) const {
+    if (root->locked) return false;
+    if (root->is_leaf()) {
+      Key prev = lower;
+      bool first = lower == 0;
+      for (int i = 0; i < root->slotuse; ++i) {
+        const Key k = root->keys[i];
+        if (!first && k <= prev) return false;
+        if (upper_inclusive ? k > upper : k >= upper) return false;
+        prev = k;
+        first = false;
+      }
+      return true;
+    }
+    Key lo = lower;
+    for (int i = 0; i <= root->slotuse; ++i) {
+      const NmpBNode* child = root->children[i];
+      if (child == nullptr || child->level != root->level - 1) return false;
+      const Key child_upper = i < root->slotuse ? root->keys[i] : upper;
+      const bool child_incl = i < root->slotuse ? true : upper_inclusive;
+      if (!validate_subtree(child, lo, child_upper, child_incl)) return false;
+      lo = child_upper;
+    }
+    return true;
+  }
+
+  std::size_t count_keys(const NmpBNode* root) const {
+    if (root->is_leaf()) return root->slotuse;
+    std::size_t n = 0;
+    for (int i = 0; i <= root->slotuse; ++i) n += count_keys(root->children[i]);
+    return n;
+  }
+
+ private:
+  struct PendingInsert {
+    NmpBNode* path[kBTreeMaxLevels] = {};
+    Key key = 0;
+    Value value = 0;
+    NmpBNode* begin = nullptr;
+  };
+
+  NmpBNode* descend(NmpBNode* begin, Key key) const {
+    NmpBNode* curr = begin;
+    while (curr->level > 0) curr = curr->children[curr->find_child_index(key)];
+    return curr;
+  }
+
+  PendingInsert* take_pending(void* handle) {
+    for (auto& p : pending_) {
+      if (p.get() == handle) return p.get();
+    }
+    return nullptr;
+  }
+
+  void release_pending(PendingInsert* p) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->get() == p) {
+        pending_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Single-threaded insert along a locked path. If `split_top` is set, the
+  /// chain is known to split path[top_level_]; the new sibling and divider
+  /// are returned for the host to link. Otherwise path[locked_top] absorbs.
+  void complete_insert(NmpBNode* const* path, int locked_top, Key key,
+                       Value value, bool split_top, NmpBNode** new_top_out,
+                       Key* up_key_out) {
+    (void)split_top;   // referenced by assertions only in release builds
+    (void)locked_top;
+    NmpBNode* leaf = path[0];
+    Key up_key = 0;
+    NmpBNode* up_child = nullptr;
+    {
+      int pos = 0;
+      while (pos < leaf->slotuse && leaf->keys[pos] < key) ++pos;
+      if (leaf->slotuse < kBTreeLeafSlots) {
+        for (int j = leaf->slotuse; j > pos; --j) {
+          leaf->keys[j] = leaf->keys[j - 1];
+          leaf->values[j] = leaf->values[j - 1];
+        }
+        leaf->keys[pos] = key;
+        leaf->values[pos] = value;
+        ++leaf->slotuse;
+        assert(!split_top);
+        return;
+      }
+      Key all_keys[kBTreeLeafSlots + 1];
+      Value all_vals[kBTreeLeafSlots + 1];
+      int n = 0;
+      for (int i = 0; i < leaf->slotuse; ++i) {
+        if (i == pos) { all_keys[n] = key; all_vals[n] = value; ++n; }
+        all_keys[n] = leaf->keys[i];
+        all_vals[n] = leaf->values[i];
+        ++n;
+      }
+      if (pos == leaf->slotuse) { all_keys[n] = key; all_vals[n] = value; ++n; }
+      const int left_n = n / 2;
+      NmpBNode* right = make_node(0);
+      for (int i = 0; i < left_n; ++i) {
+        leaf->keys[i] = all_keys[i];
+        leaf->values[i] = all_vals[i];
+      }
+      leaf->slotuse = static_cast<std::uint16_t>(left_n);
+      for (int i = left_n; i < n; ++i) {
+        right->keys[i - left_n] = all_keys[i];
+        right->values[i - left_n] = all_vals[i];
+      }
+      right->slotuse = static_cast<std::uint16_t>(n - left_n);
+      up_key = all_keys[left_n - 1];
+      up_child = right;
+      if (top_level_ == 0) {
+        // The leaf *is* the top-level node; hand the new sibling up.
+        assert(split_top);
+        *new_top_out = right;
+        *up_key_out = up_key;
+        return;
+      }
+    }
+    int lvl = 1;
+    while (up_child != nullptr) {
+      NmpBNode* node = path[lvl];
+      int pos = 0;
+      while (pos < node->slotuse && node->keys[pos] < up_key) ++pos;
+      if (node->slotuse < kBTreeInnerSlots) {
+        for (int j = node->slotuse; j > pos; --j) {
+          node->keys[j] = node->keys[j - 1];
+          node->children[j + 1] = node->children[j];
+        }
+        node->keys[pos] = up_key;
+        node->children[pos + 1] = up_child;
+        ++node->slotuse;
+        assert(!split_top || lvl < top_level_ + 1);
+        assert(lvl <= locked_top);
+        (void)locked_top;
+        return;
+      }
+      Key all_keys[kBTreeInnerSlots + 1];
+      NmpBNode* all_children[kBTreeInnerSlots + 2];
+      int n = 0;
+      all_children[0] = node->children[0];
+      for (int i = 0; i < node->slotuse; ++i) {
+        if (i == pos) { all_keys[n] = up_key; all_children[n + 1] = up_child; ++n; }
+        all_keys[n] = node->keys[i];
+        all_children[n + 1] = node->children[i + 1];
+        ++n;
+      }
+      if (pos == node->slotuse) {
+        all_keys[n] = up_key;
+        all_children[n + 1] = up_child;
+        ++n;
+      }
+      const int mid = n / 2;
+      NmpBNode* right = make_node(node->level);
+      for (int i = 0; i < mid; ++i) {
+        node->keys[i] = all_keys[i];
+        node->children[i] = all_children[i];
+      }
+      node->children[mid] = all_children[mid];
+      node->slotuse = static_cast<std::uint16_t>(mid);
+      int rn = 0;
+      for (int i = mid + 1; i < n; ++i) {
+        right->keys[rn] = all_keys[i];
+        right->children[rn] = all_children[i];
+        ++rn;
+      }
+      right->children[rn] = all_children[n];
+      right->slotuse = static_cast<std::uint16_t>(rn);
+      up_key = all_keys[mid];
+      up_child = right;
+      if (lvl == top_level_) {
+        assert(split_top);
+        *new_top_out = right;
+        *up_key_out = up_key;
+        return;
+      }
+      ++lvl;
+    }
+  }
+
+  int top_level_;
+  std::deque<NmpBNode> nodes_;
+  std::vector<std::unique_ptr<PendingInsert>> pending_;
+};
+
+}  // namespace hybrids::ds

@@ -1,0 +1,166 @@
+// NMP-based flat-combining skiplist — the prior-work baseline (Liu et al.
+// SPAA'17 [44], Choe et al. SPAA'19 [16]) the paper compares against.
+//
+// The entire skiplist lives in NMP-capable memory, range-partitioned across
+// NMP cores; host threads never traverse nodes. Every operation is offloaded
+// through the publication list, and the owning NMP core executes the full
+// top-to-bottom traversal from its partition's head sentinel.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hybrids/ds/seq_skiplist.hpp"
+#include "hybrids/nmp/partition_set.hpp"
+#include "hybrids/types.hpp"
+#include "hybrids/util/cache_aligned.hpp"
+#include "hybrids/util/rng.hpp"
+
+namespace hybrids::ds {
+
+class NmpSkipList {
+ public:
+  struct Config {
+    int total_height = 22;        // skiplist levels (paper: log2 of item count)
+    std::uint32_t partitions = 8; // NMP vaults holding data
+    Key partition_width = 0;      // key-range width per partition (required)
+    std::uint32_t max_threads = 8;
+    std::uint32_t slots_per_thread = 4;  // non-blocking in-flight bound
+    std::uint64_t seed = 1;
+  };
+
+  explicit NmpSkipList(const Config& config)
+      : config_(config),
+        set_(nmp::PartitionConfig{config.partitions, config.max_threads,
+                                  config.slots_per_thread,
+                                  config.partition_width}) {
+    lists_.reserve(config.partitions);
+    for (std::uint32_t p = 0; p < config.partitions; ++p) {
+      lists_.push_back(std::make_unique<SeqSkipList>(config.total_height));
+      SeqSkipList* list = lists_.back().get();
+      set_.set_handler(p, [list](const nmp::Request& req, nmp::Response& resp) {
+        apply(*list, req, resp);
+      });
+    }
+    rngs_ = std::vector<util::CacheAligned<util::Xoshiro256>>(config.max_threads);
+    for (std::uint32_t t = 0; t < config.max_threads; ++t) {
+      *rngs_[t] = util::Xoshiro256(config.seed * 0x9E3779B97F4A7C15ULL + t);
+    }
+    set_.start();
+  }
+
+  ~NmpSkipList() { set_.stop(); }
+
+  bool read(Key key, Value& out, std::uint32_t tid) {
+    nmp::Response r = set_.call(set_.partition_of(key), tid,
+                                make_request(nmp::OpCode::kRead, key, 0, 0));
+    out = r.value;
+    return r.ok;
+  }
+
+  bool update(Key key, Value value, std::uint32_t tid) {
+    return set_
+        .call(set_.partition_of(key), tid,
+              make_request(nmp::OpCode::kUpdate, key, value, 0))
+        .ok;
+  }
+
+  bool insert(Key key, Value value, std::uint32_t tid) {
+    const int h = random_height(*rngs_[tid], config_.total_height);
+    return set_
+        .call(set_.partition_of(key), tid,
+              make_request(nmp::OpCode::kInsert, key, value, h))
+        .ok;
+  }
+
+  bool remove(Key key, std::uint32_t tid) {
+    return set_
+        .call(set_.partition_of(key), tid,
+              make_request(nmp::OpCode::kRemove, key, 0, 0))
+        .ok;
+  }
+
+  /// Non-blocking variants (§3.5): returns an invalid handle when `tid`
+  /// already has all of its slots in flight on the target partition.
+  nmp::OpHandle read_async(Key key, std::uint32_t tid) {
+    return set_.call_async(set_.partition_of(key), tid,
+                           make_request(nmp::OpCode::kRead, key, 0, 0));
+  }
+  nmp::OpHandle insert_async(Key key, Value value, std::uint32_t tid) {
+    const int h = random_height(*rngs_[tid], config_.total_height);
+    return set_.call_async(set_.partition_of(key), tid,
+                           make_request(nmp::OpCode::kInsert, key, value, h));
+  }
+  nmp::OpHandle remove_async(Key key, std::uint32_t tid) {
+    return set_.call_async(set_.partition_of(key), tid,
+                           make_request(nmp::OpCode::kRemove, key, 0, 0));
+  }
+  bool poll(const nmp::OpHandle& h) { return set_.poll(h); }
+  nmp::Response retrieve(const nmp::OpHandle& h) { return set_.retrieve(h); }
+
+  /// Quiescent-only helpers for tests.
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& l : lists_) n += l->size();
+    return n;
+  }
+  bool validate() const {
+    for (const auto& l : lists_) {
+      if (!l->validate()) return false;
+    }
+    return true;
+  }
+
+ private:
+  static nmp::Request make_request(nmp::OpCode op, Key key, Value value,
+                                   std::uint64_t height) {
+    nmp::Request r;
+    r.op = op;
+    r.key = key;
+    r.value = value;
+    r.aux = height;
+    return r;
+  }
+
+  static void apply(SeqSkipList& list, const nmp::Request& req,
+                    nmp::Response& resp) {
+    switch (req.op) {
+      case nmp::OpCode::kRead: {
+        SeqSkipList::Node* n = list.read(req.key, list.head());
+        resp.ok = n != nullptr;
+        if (n != nullptr) resp.value = n->value;
+        break;
+      }
+      case nmp::OpCode::kUpdate: {
+        SeqSkipList::Node* n = list.read(req.key, list.head());
+        resp.ok = n != nullptr;
+        if (n != nullptr) {
+          n->value = req.value;
+          ++n->version;
+        }
+        break;
+      }
+      case nmp::OpCode::kInsert: {
+        auto [node, existed] =
+            list.insert(req.key, req.value, static_cast<int>(req.aux), nullptr,
+                        list.head());
+        resp.ok = !existed;
+        resp.node = node;
+        break;
+      }
+      case nmp::OpCode::kRemove:
+        resp.ok = list.remove(req.key, list.head());
+        break;
+      default:
+        resp.ok = false;
+        break;
+    }
+  }
+
+  Config config_;
+  nmp::PartitionSet set_;
+  std::vector<std::unique_ptr<SeqSkipList>> lists_;
+  std::vector<util::CacheAligned<util::Xoshiro256>> rngs_;
+};
+
+}  // namespace hybrids::ds

@@ -1,0 +1,234 @@
+// Partition-local sequential skiplist — the NMP-managed portion of the
+// hybrid skiplist (§3.3) and the per-partition structure of the prior-work
+// NMP-based skiplist baseline.
+//
+// Exactly one NMP core (combiner thread) ever touches an instance, so no
+// internal synchronization is needed. What *is* needed is the paper's
+// stale-begin-node detection: a removed node is first marked logically
+// deleted and never has its memory reused while the structure lives, so an
+// offloaded operation whose begin-NMP-traversal node was removed by an
+// earlier-queued operation can detect the mark and request a host retry.
+#pragma once
+
+#include <cassert>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "hybrids/types.hpp"
+
+namespace hybrids::ds {
+
+class SeqSkipList {
+ public:
+  struct Node {
+    Key key;
+    Value value;
+    std::uint32_t version;  // bumped on every update (host mirror ordering)
+    std::uint32_t hits;     // accesses observed (adaptive promotion, §7)
+    std::uint16_t height;   // number of levels this node is linked at
+    bool marked;            // logically deleted (stale-begin detection)
+    void* host_ptr;         // host-side counterpart (null for short nodes)
+    Node* next[1];         // flexible array: height slots
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+  };
+
+  /// `max_height` is the number of NMP-managed levels (NMP_HEIGHT in the
+  /// paper's pseudocode); for the non-hybrid NMP baseline it is the full
+  /// skiplist height. The head sentinel spans all levels and compares below
+  /// every key.
+  explicit SeqSkipList(int max_height)
+      : max_height_(max_height), head_(alloc_node(0, 0, max_height, nullptr)) {
+    for (int i = 0; i < max_height; ++i) head_->next[i] = nullptr;
+  }
+
+  ~SeqSkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      free_node(n);
+      n = next;
+    }
+    for (Node* r : retired_) free_node(r);
+  }
+
+  SeqSkipList(const SeqSkipList&) = delete;
+  SeqSkipList& operator=(const SeqSkipList&) = delete;
+
+  int max_height() const { return max_height_; }
+  Node* head() const { return head_; }
+  std::size_t size() const { return size_; }
+
+  /// True if `node` (a begin-NMP-traversal candidate captured by a host
+  /// thread) has since been removed; the caller must then abort with a retry
+  /// per §3.3. Only meaningful for nodes owned by this structure.
+  static bool is_stale(const Node* node) { return node->marked; }
+
+  /// Finds the node with `key`, starting the traversal at `begin` (which
+  /// must span all max_height levels — the head sentinel or the counterpart
+  /// of a host-managed node — and satisfy begin->key <= key, begin unmarked).
+  /// Fills preds/succs (arrays of max_height entries) like the classic
+  /// sequential skiplist find.
+  Node* find(Key key, Node* begin, Node** preds, Node** succs) const {
+    assert(!begin->marked);
+    Node* pred = begin;
+    Node* found = nullptr;
+    for (int lvl = max_height_ - 1; lvl >= 0; --lvl) {
+      Node* curr = pred->next[lvl];
+      while (curr != nullptr && curr->key < key) {
+        pred = curr;
+        curr = curr->next[lvl];
+      }
+      preds[lvl] = pred;
+      succs[lvl] = curr;
+      if (found == nullptr && curr != nullptr && curr->key == key) found = curr;
+    }
+    return found;
+  }
+
+  /// Read: returns the node holding `key` (or null). The caller extracts
+  /// value/host_ptr as needed.
+  Node* read(Key key, Node* begin) const {
+    Node* pred = begin;
+    for (int lvl = max_height_ - 1; lvl >= 0; --lvl) {
+      Node* curr = pred->next[lvl];
+      while (curr != nullptr && curr->key < key) {
+        pred = curr;
+        curr = curr->next[lvl];
+      }
+      if (curr != nullptr && curr->key == key) return curr;
+    }
+    return nullptr;
+  }
+
+  /// Insert result: `node` is the newly created (or pre-existing) node;
+  /// `existed` tells which.
+  struct InsertResult {
+    Node* node;
+    bool existed;
+  };
+
+  /// Inserts (key, value) with `height` NMP-side levels (clamped to
+  /// max_height), linking bottom-up. `host_ptr` is the host counterpart for
+  /// tall nodes (null otherwise).
+  InsertResult insert(Key key, Value value, int height, void* host_ptr,
+                      Node* begin) {
+    Node* preds[kMaxLevels];
+    Node* succs[kMaxLevels];
+    if (Node* found = find(key, begin, preds, succs)) {
+      return {found, true};
+    }
+    if (height > max_height_) height = max_height_;
+    assert(height >= 1);
+    Node* node = alloc_node(key, value, height, host_ptr);
+    for (int lvl = 0; lvl < height; ++lvl) {
+      node->next[lvl] = succs[lvl];
+      preds[lvl]->next[lvl] = node;
+    }
+    ++size_;
+    return {node, false};
+  }
+
+  /// Removes `key` if present: marks the node logically deleted, unlinks it
+  /// from every level, and retires its memory (freed at destruction so that
+  /// stale host references remain valid to *inspect*).
+  bool remove(Key key, Node* begin) {
+    Node* preds[kMaxLevels];
+    Node* succs[kMaxLevels];
+    Node* found = find(key, begin, preds, succs);
+    if (found == nullptr) return false;
+    found->marked = true;  // logical deletion first (§3.3)
+    for (int lvl = found->height - 1; lvl >= 0; --lvl) {
+      if (preds[lvl]->next[lvl] == found) preds[lvl]->next[lvl] = found->next[lvl];
+    }
+    retired_.push_back(found);
+    --size_;
+    return true;
+  }
+
+  /// Adaptive promotion (§7 extension): replaces the short node holding
+  /// `key` with a full-height node carrying the same value/version/hits, so
+  /// that it can gain a host-side counterpart and serve as a valid
+  /// begin-NMP-traversal target. The old node is marked (stale-begin
+  /// detection) and retired. Returns the new node, or null if the key is
+  /// absent or already full height.
+  Node* promote(Key key, void* host_ptr) {
+    Node* preds[kMaxLevels];
+    Node* succs[kMaxLevels];
+    Node* found = find(key, head_, preds, succs);
+    if (found == nullptr || found->height == max_height_) return nullptr;
+    Node* nn = alloc_node(key, found->value, max_height_, host_ptr);
+    // Bump the version so the host can seed its mirror at a version strictly
+    // above any pre-promotion update, and future updates strictly above that.
+    nn->version = found->version + 1;
+    nn->hits = found->hits;
+    found->marked = true;
+    for (int l = found->height - 1; l >= 0; --l) {
+      if (preds[l]->next[l] == found) preds[l]->next[l] = found->next[l];
+    }
+    retired_.push_back(found);
+    for (int l = 0; l < max_height_; ++l) {
+      nn->next[l] = l < found->height ? found->next[l] : succs[l];
+      preds[l]->next[l] = nn;
+    }
+    return nn;  // size unchanged: one node replaced another
+  }
+
+  /// Checks the skiplist property: nodes at level i are a subset of nodes at
+  /// level i-1, keys strictly ascend at every level, and no reachable node
+  /// is marked. For tests.
+  bool validate() const {
+    for (int lvl = 0; lvl < max_height_; ++lvl) {
+      Key prev = 0;
+      bool first = true;
+      for (Node* n = head_->next[lvl]; n != nullptr; n = n->next[lvl]) {
+        if (n->marked) return false;
+        if (n->height <= lvl) return false;
+        if (!first && n->key <= prev) return false;
+        first = false;
+        prev = n->key;
+        if (lvl > 0) {
+          // Subset property: n must be reachable at lvl-1.
+          bool seen = false;
+          for (Node* m = head_->next[lvl - 1]; m != nullptr; m = m->next[lvl - 1]) {
+            if (m == n) {
+              seen = true;
+              break;
+            }
+          }
+          if (!seen) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  static constexpr int kMaxLevels = 32;
+
+ private:
+  static Node* alloc_node(Key key, Value value, int height, void* host_ptr) {
+    const std::size_t bytes =
+        sizeof(Node) + static_cast<std::size_t>(height - 1) * sizeof(Node*);
+    void* mem = ::operator new(bytes < sizeof(Node) ? sizeof(Node) : bytes);
+    Node* n = static_cast<Node*>(mem);
+    n->key = key;
+    n->value = value;
+    n->version = 0;
+    n->hits = 0;
+    n->height = static_cast<std::uint16_t>(height);
+    n->marked = false;
+    n->host_ptr = host_ptr;
+    return n;
+  }
+
+  static void free_node(Node* n) { ::operator delete(n); }
+
+  int max_height_;
+  Node* head_;
+  std::size_t size_ = 0;
+  std::vector<Node*> retired_;
+};
+
+}  // namespace hybrids::ds

@@ -1,0 +1,471 @@
+// Host-only concurrent B+ tree with sequence locks — the paper's non-NMP
+// B+ tree baseline ("the host-only B+ tree uses sequence locks for
+// concurrency", §5.1).
+//
+// Readers traverse optimistically (Listing 4 lines 4-22): they record each
+// node's seqnum on the way down, wait out in-progress writes on the child,
+// and validate the parent before descending; on validation failure they
+// climb back to the lowest unmodified ancestor (or restart from the root).
+// Inserts lock the affected suffix of the path bottom-up with seqnum CASes,
+// perform the single-threaded split chain, and release; removes and updates
+// lock only the leaf. The minimum-occupancy invariant is relaxed for
+// removals (free-at-empty, never merge), as in the paper (§3.4).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "hybrids/ds/btree_nodes.hpp"
+#include "hybrids/types.hpp"
+
+namespace hybrids::ds {
+
+class SeqLockBTree {
+ public:
+  SeqLockBTree() {
+    auto* leaf = new HostBNode();
+    leaf->level = 0;
+    root_.store(leaf, std::memory_order_release);
+  }
+
+  ~SeqLockBTree() { destroy(root_.load(std::memory_order_acquire)); }
+
+  SeqLockBTree(const SeqLockBTree&) = delete;
+  SeqLockBTree& operator=(const SeqLockBTree&) = delete;
+
+  /// Builds the tree from strictly ascending (key, value) pairs with
+  /// `fill` fraction of slots used per node — 0.5 matches the occupancy the
+  /// paper obtains by inserting ~30M items in sorted order. Quiescent only.
+  void build_from_sorted(const std::vector<Key>& keys,
+                         const std::vector<Value>& values, double fill = 0.5) {
+    assert(keys.size() == values.size());
+    destroy(root_.exchange(nullptr, std::memory_order_acq_rel));
+    int leaf_fill = static_cast<int>(kBTreeLeafSlots * fill);
+    if (leaf_fill < 1) leaf_fill = 1;
+    int inner_fill = static_cast<int>((kBTreeInnerSlots + 1) * fill);
+    if (inner_fill < 2) inner_fill = 2;
+
+    // Build the leaf level.
+    std::vector<HostBNode*> level_nodes;
+    std::vector<Key> level_maxkeys;
+    std::size_t i = 0;
+    while (i < keys.size()) {
+      auto* leaf = new HostBNode();
+      leaf->level = 0;
+      int n = 0;
+      while (n < leaf_fill && i < keys.size()) {
+        leaf->keys[n] = keys[i];
+        leaf->values[n] = values[i];
+        ++n;
+        ++i;
+      }
+      leaf->slotuse = static_cast<std::uint16_t>(n);
+      level_nodes.push_back(leaf);
+      level_maxkeys.push_back(leaf->keys[n - 1]);
+    }
+    if (level_nodes.empty()) {
+      auto* leaf = new HostBNode();
+      leaf->level = 0;
+      level_nodes.push_back(leaf);
+      level_maxkeys.push_back(0);
+    }
+    // Build inner levels until a single root remains.
+    std::uint16_t level = 1;
+    while (level_nodes.size() > 1) {
+      std::vector<HostBNode*> upper;
+      std::vector<Key> upper_max;
+      std::size_t j = 0;
+      while (j < level_nodes.size()) {
+        auto* inner = new HostBNode();
+        inner->level = level;
+        int c = 0;
+        while (c < inner_fill && j < level_nodes.size()) {
+          inner->children[c] = level_nodes[j];
+          if (c > 0) inner->keys[c - 1] = level_maxkeys[j - 1];
+          ++c;
+          ++j;
+        }
+        // Avoid a trailing 1-child inner node: absorb it here if possible.
+        if (j == level_nodes.size() - 1 && c <= kBTreeInnerSlots) {
+          inner->children[c] = level_nodes[j];
+          inner->keys[c - 1] = level_maxkeys[j - 1];
+          ++c;
+          ++j;
+        }
+        inner->slotuse = static_cast<std::uint16_t>(c - 1);
+        upper.push_back(inner);
+        upper_max.push_back(level_maxkeys[j - 1]);
+      }
+      level_nodes = std::move(upper);
+      level_maxkeys = std::move(upper_max);
+      ++level;
+    }
+    root_.store(level_nodes.front(), std::memory_order_release);
+  }
+
+  bool read(Key key, Value& out) const {
+    while (true) {
+      TraversalFrame frame;
+      if (!traverse_to_leaf(key, frame)) continue;
+      HostBNode* leaf = frame.path[0];
+      const std::uint32_t s = frame.seqs[0];
+      const int n = leaf->load_slotuse();
+      bool found = false;
+      Value v = 0;
+      for (int i = 0; i < n; ++i) {
+        if (leaf->load_key(i) == key) {
+          v = leaf->load_value(i);
+          found = true;
+          break;
+        }
+      }
+      if (!leaf->seq_unchanged(s)) continue;  // leaf was written meanwhile
+      out = v;
+      return found;
+    }
+  }
+
+  bool update(Key key, Value value) {
+    while (true) {
+      TraversalFrame frame;
+      if (!traverse_to_leaf(key, frame)) continue;
+      HostBNode* leaf = frame.path[0];
+      if (!leaf->try_lock_at(frame.seqs[0])) continue;
+      bool found = false;
+      const int n = leaf->slotuse;
+      for (int i = 0; i < n; ++i) {
+        if (leaf->keys[i] == key) {
+          leaf->store_value(i, value);
+          found = true;
+          break;
+        }
+      }
+      leaf->unlock();
+      return found;
+    }
+  }
+
+  bool remove(Key key) {
+    while (true) {
+      TraversalFrame frame;
+      if (!traverse_to_leaf(key, frame)) continue;
+      HostBNode* leaf = frame.path[0];
+      if (!leaf->try_lock_at(frame.seqs[0])) continue;
+      bool found = false;
+      const int n = leaf->slotuse;
+      for (int i = 0; i < n; ++i) {
+        if (leaf->keys[i] == key) {
+          for (int j = i; j + 1 < n; ++j) {
+            leaf->store_key(j, leaf->keys[j + 1]);
+            leaf->store_value(j, leaf->values[j + 1]);
+          }
+          leaf->store_slotuse(static_cast<std::uint16_t>(n - 1));
+          found = true;
+          break;
+        }
+      }
+      leaf->unlock();
+      return found;  // free-at-empty relaxation: empty leaves stay linked
+    }
+  }
+
+  bool insert(Key key, Value value) {
+    while (true) {
+      TraversalFrame frame;
+      if (!traverse_to_leaf(key, frame)) continue;
+      // Lock the path suffix bottom-up: every node that will split, plus the
+      // first non-full ancestor that absorbs the propagated divider.
+      int locked_top = -1;
+      bool lock_failed = false;
+      for (int lvl = 0; lvl <= frame.root_level; ++lvl) {
+        HostBNode* node = frame.path[lvl];
+        if (!node->try_lock_at(frame.seqs[lvl])) {
+          lock_failed = true;
+          break;
+        }
+        locked_top = lvl;
+        const int cap = lvl == 0 ? kBTreeLeafSlots : kBTreeInnerSlots;
+        if (node->slotuse < cap) break;  // absorbs without splitting
+      }
+      if (lock_failed) {
+        for (int lvl = 0; lvl <= locked_top; ++lvl) frame.path[lvl]->unlock();
+        continue;  // retry from root
+      }
+      // Duplicate check under the leaf lock.
+      HostBNode* leaf = frame.path[0];
+      bool dup = false;
+      for (int i = 0; i < leaf->slotuse; ++i) {
+        if (leaf->keys[i] == key) {
+          dup = true;
+          break;
+        }
+      }
+      std::vector<HostBNode*> created;
+      if (!dup) {
+        insert_into_locked_path(frame, locked_top, key, value, created);
+      }
+      for (int lvl = 0; lvl <= locked_top; ++lvl) frame.path[lvl]->unlock();
+      for (HostBNode* n : created) n->unlock();  // split-off siblings
+      return !dup;
+    }
+  }
+
+  /// Number of keys (quiescent only).
+  std::size_t size() const {
+    return count_keys(root_.load(std::memory_order_acquire));
+  }
+
+  int height() const {
+    return root_.load(std::memory_order_acquire)->level + 1;
+  }
+
+  /// Structural invariants (quiescent only): key order within nodes, subtree
+  /// key ranges respect dividers, uniform leaf depth, child levels correct.
+  bool validate() const {
+    HostBNode* root = root_.load(std::memory_order_acquire);
+    bool ok = true;
+    Key lo = 0;
+    bool has_lo = false;
+    validate_node(root, lo, has_lo, ~Key{0}, true, ok);
+    return ok;
+  }
+
+ private:
+  struct TraversalFrame {
+    HostBNode* path[kBTreeMaxLevels] = {};
+    std::uint32_t seqs[kBTreeMaxLevels] = {};
+    int root_level = 0;
+  };
+
+  /// Optimistic descent recording path + seqnums (Listing 4 lines 4-22).
+  /// Returns false to signal "restart from root" (root switched mid-way).
+  bool traverse_to_leaf(Key key, TraversalFrame& frame) const {
+    HostBNode* root = root_.load(std::memory_order_acquire);
+    const std::uint32_t root_seq = root->wait_even_seq();
+    // Root may have been superseded while we waited; the stale root is
+    // still a valid subtree, but it no longer covers all keys — detect via
+    // pointer re-check.
+    if (root_.load(std::memory_order_acquire) != root) return false;
+    const int root_level = root->level;
+    frame.root_level = root_level;
+    frame.path[root_level] = root;
+    frame.seqs[root_level] = root_seq;
+
+    int lvl = root_level;
+    HostBNode* curr = root;
+    while (lvl > 0) {
+      const int idx = curr->find_child_index(key);
+      HostBNode* child = curr->load_child(idx);
+      // Validate before dereferencing child (torn child reads are unusable).
+      if (!curr->seq_unchanged(frame.seqs[lvl])) {
+        if (!climb(frame, lvl, curr)) return false;
+        continue;
+      }
+      const std::uint32_t child_seq = child->wait_even_seq();
+      frame.path[lvl - 1] = child;
+      frame.seqs[lvl - 1] = child_seq;
+      // Listing 4 line 16: descend only if curr is still unchanged.
+      if (curr->seq_unchanged(frame.seqs[lvl])) {
+        --lvl;
+        curr = child;
+      } else {
+        if (!climb(frame, lvl, curr)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Moves back up to the lowest ancestor whose seqnum is unchanged
+  /// (Listing 4 lines 19-22). Returns false if even the root changed.
+  static bool climb(TraversalFrame& frame, int& lvl, HostBNode*& curr) {
+    while (lvl <= frame.root_level &&
+           !frame.path[lvl]->seq_unchanged(frame.seqs[lvl])) {
+      ++lvl;
+    }
+    if (lvl > frame.root_level) return false;
+    curr = frame.path[lvl];
+    return true;
+  }
+
+  /// Single-threaded insert along a locked path (leaf at path[0] .. absorber
+  /// at path[locked_top]); all nodes in that range are seqlocked by the
+  /// caller. Split-off siblings are created locked (footnote 3) and appended
+  /// to `created` for the caller to unlock.
+  void insert_into_locked_path(TraversalFrame& frame, int locked_top, Key key,
+                               Value value, std::vector<HostBNode*>& created) {
+    HostBNode* leaf = frame.path[0];
+    // Insert into leaf, splitting if full.
+    Key up_key = 0;
+    HostBNode* up_child = nullptr;
+    {
+      int pos = 0;
+      while (pos < leaf->slotuse && leaf->keys[pos] < key) ++pos;
+      if (leaf->slotuse < kBTreeLeafSlots) {
+        for (int j = leaf->slotuse; j > pos; --j) {
+          leaf->store_key(j, leaf->keys[j - 1]);
+          leaf->store_value(j, leaf->values[j - 1]);
+        }
+        leaf->store_key(pos, key);
+        leaf->store_value(pos, value);
+        leaf->store_slotuse(static_cast<std::uint16_t>(leaf->slotuse + 1));
+        return;
+      }
+      // Split the leaf: distribute the 15 (existing + new) entries.
+      Key all_keys[kBTreeLeafSlots + 1];
+      Value all_vals[kBTreeLeafSlots + 1];
+      int n = 0;
+      for (int i = 0; i < leaf->slotuse; ++i) {
+        if (i == pos) {
+          all_keys[n] = key;
+          all_vals[n] = value;
+          ++n;
+        }
+        all_keys[n] = leaf->keys[i];
+        all_vals[n] = leaf->values[i];
+        ++n;
+      }
+      if (pos == leaf->slotuse) {
+        all_keys[n] = key;
+        all_vals[n] = value;
+        ++n;
+      }
+      const int left_n = n / 2;
+      auto* right = new HostBNode();
+      right->level = 0;
+      right->seqnum.store(leaf->seqnum.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);  // replicate (locked)
+      for (int i = 0; i < left_n; ++i) {
+        leaf->store_key(i, all_keys[i]);
+        leaf->store_value(i, all_vals[i]);
+      }
+      leaf->store_slotuse(static_cast<std::uint16_t>(left_n));
+      for (int i = left_n; i < n; ++i) {
+        right->keys[i - left_n] = all_keys[i];
+        right->values[i - left_n] = all_vals[i];
+      }
+      right->slotuse = static_cast<std::uint16_t>(n - left_n);
+      created.push_back(right);
+      up_key = all_keys[left_n - 1];  // max key remaining in the left leaf
+      up_child = right;
+    }
+    // Propagate the new (divider, right-child) up locked inner nodes.
+    int lvl = 1;
+    while (up_child != nullptr) {
+      if (lvl > locked_top) {
+        // Even the old root split: grow the tree.
+        grow_root(frame.path[frame.root_level], up_key, up_child);
+        return;
+      }
+      HostBNode* node = frame.path[lvl];
+      int pos = 0;
+      while (pos < node->slotuse && node->keys[pos] < up_key) ++pos;
+      if (node->slotuse < kBTreeInnerSlots) {
+        for (int j = node->slotuse; j > pos; --j) {
+          node->store_key(j, node->keys[j - 1]);
+          node->store_child(j + 1, node->children[j]);
+        }
+        node->store_key(pos, up_key);
+        node->store_child(pos + 1, up_child);
+        node->store_slotuse(static_cast<std::uint16_t>(node->slotuse + 1));
+        return;
+      }
+      // Split the inner node: 15 keys + 16 children -> left, middle, right.
+      Key all_keys[kBTreeInnerSlots + 1];
+      HostBNode* all_children[kBTreeInnerSlots + 2];
+      int n = 0;
+      all_children[0] = node->children[0];
+      for (int i = 0; i < node->slotuse; ++i) {
+        if (i == pos) {
+          all_keys[n] = up_key;
+          all_children[n + 1] = up_child;
+          ++n;
+        }
+        all_keys[n] = node->keys[i];
+        all_children[n + 1] = node->children[i + 1];
+        ++n;
+      }
+      if (pos == node->slotuse) {
+        all_keys[n] = up_key;
+        all_children[n + 1] = up_child;
+        ++n;
+      }
+      const int mid = n / 2;  // all_keys[mid] moves up
+      auto* right = new HostBNode();
+      right->level = node->level;
+      right->seqnum.store(node->seqnum.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);  // replicate (locked)
+      for (int i = 0; i < mid; ++i) {
+        node->store_key(i, all_keys[i]);
+        node->store_child(i, all_children[i]);
+      }
+      node->store_child(mid, all_children[mid]);
+      node->store_slotuse(static_cast<std::uint16_t>(mid));
+      int rn = 0;
+      for (int i = mid + 1; i < n; ++i) {
+        right->keys[rn] = all_keys[i];
+        right->children[rn] = all_children[i];
+        ++rn;
+      }
+      right->children[rn] = all_children[n];
+      right->slotuse = static_cast<std::uint16_t>(rn);
+      created.push_back(right);
+      up_key = all_keys[mid];
+      up_child = right;
+      ++lvl;
+    }
+  }
+
+  void grow_root(HostBNode* old_root, Key up_key, HostBNode* right) {
+    auto* new_root = new HostBNode();
+    new_root->level = static_cast<std::uint16_t>(old_root->level + 1);
+    new_root->slotuse = 1;
+    new_root->keys[0] = up_key;
+    new_root->children[0] = old_root;
+    new_root->children[1] = right;
+    root_.store(new_root, std::memory_order_release);
+  }
+
+  static std::size_t count_keys(const HostBNode* node) {
+    if (node->is_leaf()) return node->slotuse;
+    std::size_t n = 0;
+    for (int i = 0; i <= node->slotuse; ++i) n += count_keys(node->children[i]);
+    return n;
+  }
+
+  void validate_node(const HostBNode* node, Key& last_key, bool& has_last,
+                     Key upper, bool upper_inclusive, bool& ok) const {
+    if (!ok) return;
+    if (node->is_leaf()) {
+      for (int i = 0; i < node->slotuse; ++i) {
+        const Key k = node->keys[i];
+        if (has_last && k <= last_key) { ok = false; return; }
+        if (upper_inclusive ? k > upper : k >= upper) { ok = false; return; }
+        last_key = k;
+        has_last = true;
+      }
+      return;
+    }
+    for (int i = 0; i <= node->slotuse; ++i) {
+      const HostBNode* child = node->children[i];
+      if (child == nullptr || child->level != node->level - 1) { ok = false; return; }
+      const Key child_upper = i < node->slotuse ? node->keys[i] : upper;
+      const bool child_incl = i < node->slotuse ? true : upper_inclusive;
+      validate_node(child, last_key, has_last, child_upper, child_incl, ok);
+      if (!ok) return;
+    }
+  }
+
+  void destroy(HostBNode* node) {
+    if (node == nullptr) return;
+    if (!node->is_leaf()) {
+      for (int i = 0; i <= node->slotuse; ++i) destroy(node->children[i]);
+    }
+    delete node;
+  }
+
+  std::atomic<HostBNode*> root_;
+};
+
+}  // namespace hybrids::ds

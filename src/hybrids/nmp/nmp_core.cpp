@@ -1,0 +1,84 @@
+#include "hybrids/nmp/nmp_core.hpp"
+
+#include <cassert>
+
+#include "hybrids/util/backoff.hpp"
+
+namespace hybrids::nmp {
+
+NmpCore::NmpCore(std::uint32_t id, std::uint32_t slot_count, Handler handler)
+    : id_(id), handler_(std::move(handler)) {
+  assert(slot_count > 0);
+  slots_ = std::vector<util::CacheAligned<PubSlot>>(slot_count);
+}
+
+NmpCore::~NmpCore() { stop(); }
+
+void NmpCore::start() {
+  if (started_) return;
+  started_ = true;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run(); });
+}
+
+void NmpCore::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  pending_.fetch_add(1, std::memory_order_release);
+  pending_.notify_one();
+  thread_.join();
+  started_ = false;
+}
+
+void NmpCore::post(std::uint32_t index, const Request& r) {
+  slots_[index]->post(r);
+  pending_.fetch_add(1, std::memory_order_release);
+  pending_.notify_one();
+}
+
+void NmpCore::wait_done(std::uint32_t index) {
+  PubSlot& s = *slots_[index];
+  util::Backoff backoff;
+  for (int i = 0; i < 128; ++i) {
+    if (s.done()) return;
+    backoff.spin();
+  }
+  // Fall back to futex parking; the combiner notifies on completion.
+  std::uint32_t observed = s.status.load(std::memory_order_acquire);
+  while (observed != PubSlot::kDone) {
+    s.status.wait(observed, std::memory_order_acquire);
+    observed = s.status.load(std::memory_order_acquire);
+  }
+}
+
+void NmpCore::run() {
+  // Flat-combining loop: repeatedly scan the publication list in slot order
+  // and serve pending requests. The NMP core is the *only* thread that runs
+  // handler_, so everything it touches in the partition is race-free.
+  while (true) {
+    const std::uint64_t seen = pending_.load(std::memory_order_acquire);
+    bool any = false;
+    for (auto& wrapped : slots_) {
+      PubSlot& s = *wrapped;
+      if (s.status.load(std::memory_order_acquire) == PubSlot::kPending) {
+        handler_(s.req, s.resp);
+        s.status.store(PubSlot::kDone, std::memory_order_release);
+        s.status.notify_all();
+        served_.fetch_add(1, std::memory_order_relaxed);
+        any = true;
+      }
+    }
+    if (any) continue;
+    if (stop_.load(std::memory_order_acquire)) {
+      // One final scan already found nothing; safe to exit only if no new
+      // posts arrived after we observed `seen`.
+      if (pending_.load(std::memory_order_acquire) == seen) return;
+      continue;
+    }
+    idle_passes_.fetch_add(1, std::memory_order_relaxed);
+    // Park until someone posts (or stop() bumps the counter).
+    pending_.wait(seen, std::memory_order_acquire);
+  }
+}
+
+}  // namespace hybrids::nmp

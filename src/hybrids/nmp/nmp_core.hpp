@@ -1,0 +1,75 @@
+// Software emulation of an NMP core: one combiner thread with exclusive
+// ownership of a memory partition, serving a publication list.
+//
+// This is the UPMEM-style software realization of the paper's NMP core
+// (in-order processor coupled to a memory vault): a dedicated thread is the
+// only one ever touching partition-local nodes, so partition-local code is
+// single-threaded by construction — exactly the property the hybrid
+// algorithms rely on (§3.2). The thread spins over the publication list and
+// parks on a futex when idle, so the runtime behaves on oversubscribed
+// machines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "hybrids/nmp/publication.hpp"
+
+namespace hybrids::nmp {
+
+/// A single emulated NMP core.
+///
+/// The `handler` is invoked on the combiner thread for every pending request,
+/// in slot order (flat combining). It must only touch partition-local state
+/// plus the request/response structs; it runs with no locks held.
+class NmpCore {
+ public:
+  using Handler = std::function<void(const Request&, Response&)>;
+
+  NmpCore(std::uint32_t id, std::uint32_t slot_count, Handler handler);
+  ~NmpCore();
+
+  NmpCore(const NmpCore&) = delete;
+  NmpCore& operator=(const NmpCore&) = delete;
+
+  /// Launches the combiner thread. Idempotent.
+  void start();
+  /// Drains outstanding requests and joins the combiner thread. Idempotent.
+  void stop();
+
+  std::uint32_t id() const { return id_; }
+  std::uint32_t slot_count() const { return static_cast<std::uint32_t>(slots_.size()); }
+
+  /// Direct slot access; slot ownership/assignment policy lives with the
+  /// caller (see PartitionSet / SlotPool).
+  PubSlot& slot(std::uint32_t index) { return *slots_[index]; }
+
+  /// Host side: publish `r` into slot `index` and wake the combiner.
+  void post(std::uint32_t index, const Request& r);
+
+  /// Host side: block until slot `index` holds a response.
+  void wait_done(std::uint32_t index);
+
+  /// Number of requests served so far (for tests / stats).
+  std::uint64_t served() const { return served_.load(std::memory_order_relaxed); }
+  /// Number of full scan passes that found no pending request.
+  std::uint64_t idle_passes() const { return idle_passes_.load(std::memory_order_relaxed); }
+
+ private:
+  void run();
+
+  std::uint32_t id_;
+  Handler handler_;
+  std::vector<util::CacheAligned<PubSlot>> slots_;
+  std::atomic<std::uint64_t> pending_{0};  // monotone post counter (futex word)
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> idle_passes_{0};
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace hybrids::nmp

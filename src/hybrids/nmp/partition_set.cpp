@@ -1,0 +1,77 @@
+#include "hybrids/nmp/partition_set.hpp"
+
+#include <cassert>
+
+namespace hybrids::nmp {
+
+PartitionSet::PartitionSet(const PartitionConfig& config) : config_(config) {
+  assert(config_.partitions > 0);
+  assert(config_.partition_width > 0);
+  const std::uint32_t slots =
+      config_.max_threads * (1 + config_.slots_per_thread);
+  cores_.reserve(config_.partitions);
+  for (std::uint32_t p = 0; p < config_.partitions; ++p) {
+    cores_.push_back(std::make_unique<NmpCore>(p, slots, NmpCore::Handler{}));
+  }
+  async_busy_.assign(config_.partitions, std::vector<std::uint8_t>(slots, 0));
+}
+
+PartitionSet::~PartitionSet() { stop(); }
+
+void PartitionSet::set_handler(std::uint32_t p, NmpCore::Handler handler) {
+  assert(!started_);
+  // Rebuild the core with the handler installed (cores are cheap pre-start).
+  const std::uint32_t slots = cores_[p]->slot_count();
+  cores_[p] = std::make_unique<NmpCore>(p, slots, std::move(handler));
+}
+
+void PartitionSet::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& c : cores_) c->start();
+}
+
+void PartitionSet::stop() {
+  if (!started_) return;
+  for (auto& c : cores_) c->stop();
+  started_ = false;
+}
+
+Response PartitionSet::call(std::uint32_t p, std::uint32_t thread_id,
+                            const Request& r) {
+  NmpCore& core = *cores_[p];
+  const std::uint32_t slot = thread_base(thread_id);
+  core.post(slot, r);
+  core.wait_done(slot);
+  return core.slot(slot).take();
+}
+
+OpHandle PartitionSet::call_async(std::uint32_t p, std::uint32_t thread_id,
+                                  const Request& r) {
+  auto& busy = async_busy_[p];
+  const std::uint32_t base = thread_base(thread_id);
+  for (std::uint32_t i = 1; i <= config_.slots_per_thread; ++i) {
+    if (!busy[base + i]) {
+      busy[base + i] = 1;
+      cores_[p]->post(base + i, r);
+      return OpHandle{p, base + i, true};
+    }
+  }
+  return OpHandle{};
+}
+
+bool PartitionSet::poll(const OpHandle& h) {
+  assert(h.valid);
+  return cores_[h.partition]->slot(h.slot).done();
+}
+
+Response PartitionSet::retrieve(const OpHandle& h) {
+  assert(h.valid);
+  NmpCore& core = *cores_[h.partition];
+  core.wait_done(h.slot);
+  Response r = core.slot(h.slot).take();
+  async_busy_[h.partition][h.slot] = 0;
+  return r;
+}
+
+}  // namespace hybrids::nmp

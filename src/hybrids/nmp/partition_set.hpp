@@ -1,0 +1,89 @@
+// A set of NMP partitions with equal-width key-range routing, plus the
+// per-thread slot bookkeeping used for blocking and non-blocking NMP calls.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hybrids/nmp/nmp_core.hpp"
+
+namespace hybrids::nmp {
+
+/// Configuration for a PartitionSet. `slots_per_thread` bounds the number of
+/// in-flight non-blocking calls a single host thread may have against one
+/// partition (the paper's hybrid-nonblocking4 uses 4).
+struct PartitionConfig {
+  std::uint32_t partitions = 8;
+  std::uint32_t max_threads = 8;
+  std::uint32_t slots_per_thread = 4;
+  Key partition_width = 0;  // keys in [p*width, (p+1)*width) -> partition p
+};
+
+/// Identifies one in-flight non-blocking NMP call.
+struct OpHandle {
+  std::uint32_t partition = 0;
+  std::uint32_t slot = 0;
+  bool valid = false;
+};
+
+/// Owns the NMP cores of a hybrid data structure and routes operations to
+/// them. Handlers are installed per partition before start().
+class PartitionSet {
+ public:
+  explicit PartitionSet(const PartitionConfig& config);
+  ~PartitionSet();
+
+  PartitionSet(const PartitionSet&) = delete;
+  PartitionSet& operator=(const PartitionSet&) = delete;
+
+  /// Installs the combiner handler for partition `p`. Must be called for all
+  /// partitions before start().
+  void set_handler(std::uint32_t p, NmpCore::Handler handler);
+
+  void start();
+  void stop();
+
+  std::uint32_t partitions() const { return static_cast<std::uint32_t>(cores_.size()); }
+  Key partition_width() const { return config_.partition_width; }
+
+  /// Equal-width range routing, clamped to the last partition.
+  std::uint32_t partition_of(Key key) const {
+    const auto p = static_cast<std::uint32_t>(key / config_.partition_width);
+    return p >= partitions() ? partitions() - 1 : p;
+  }
+
+  NmpCore& core(std::uint32_t p) { return *cores_[p]; }
+
+  /// Blocking call: posts `r` to partition `p` on behalf of `thread_id` and
+  /// waits for the response. Always uses the thread's slot 0, which is
+  /// reserved for blocking calls (so blocking and non-blocking calls from the
+  /// same thread cannot collide).
+  Response call(std::uint32_t p, std::uint32_t thread_id, const Request& r);
+
+  /// Non-blocking call: posts `r` and returns a handle, or an invalid handle
+  /// if the thread already has all of its slots for `p` in flight.
+  OpHandle call_async(std::uint32_t p, std::uint32_t thread_id, const Request& r);
+
+  /// True once the response for `h` is available.
+  bool poll(const OpHandle& h);
+  /// Blocks until `h` completes and returns its response, releasing the slot.
+  Response retrieve(const OpHandle& h);
+
+ private:
+  // Slot layout per partition: thread t owns slots
+  // [t * (1 + slots_per_thread), (t+1) * (1 + slots_per_thread)):
+  // slot 0 of the range is the blocking slot, the rest are async slots.
+  std::uint32_t thread_base(std::uint32_t thread_id) const {
+    return thread_id * (1 + config_.slots_per_thread);
+  }
+
+  PartitionConfig config_;
+  std::vector<std::unique_ptr<NmpCore>> cores_;
+  // In-flight flags for async slots, indexed [partition][slot]; only the
+  // owning host thread touches its entries.
+  std::vector<std::vector<std::uint8_t>> async_busy_;
+  bool started_ = false;
+};
+
+}  // namespace hybrids::nmp

@@ -1,0 +1,100 @@
+// Publication-list protocol between host threads and NMP cores (§3.2).
+//
+// A host thread offloads an operation by filling its assigned slot in the
+// target NMP core's publication list (in hardware: an 8kB region of the NMP
+// core's scratchpad memory-mapped into the host address space) and raising
+// the valid flag. The NMP core — the flat-combining combiner for its
+// partition — scans the list, applies requests one at a time against its
+// exclusively-owned partition, writes the response back into the slot, and
+// clears the valid flag.
+//
+// Request fields mirror the paper's slot layout: lookup key (4B), associated
+// value (4B), begin-NMP-traversal node pointer, operation type, valid flag —
+// plus an auxiliary word used by the hybrid structures (skiplist: tower
+// height & host node pointer; B+ tree: offloaded parent sequence number).
+// Response fields: retry flag, success flag, read value, created-node
+// pointer, plus the B+ tree's LOCK_PATH escalation flag.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "hybrids/types.hpp"
+#include "hybrids/util/cache_aligned.hpp"
+
+namespace hybrids::nmp {
+
+using hybrids::Key;
+using hybrids::Value;
+
+/// Operation codes carried in a publication slot. kRead..kRemove are the
+/// data structure operations; kResumeInsert / kUnlockPath are the hybrid
+/// B+ tree's second-phase control commands (§3.4); kNop lets tests exercise
+/// the transport alone.
+enum class OpCode : std::uint8_t {
+  kRead,
+  kUpdate,
+  kInsert,
+  kRemove,
+  kResumeInsert,
+  kUnlockPath,
+  kPromote,  // adaptive extension (§7): raise a hot key into the host portion
+  kNop,
+};
+
+struct Request {
+  OpCode op = OpCode::kNop;
+  Key key = 0;
+  Value value = 0;
+  void* node = nullptr;      // begin-NMP-traversal node (null: partition head)
+  void* host_node = nullptr; // host-side counterpart (skiplist insert/update)
+  std::uint64_t aux = 0;     // skiplist: tower height; B+ tree: parent seqnum
+};
+
+struct Response {
+  bool ok = false;         // operation return value (found/inserted/removed)
+  bool retry = false;      // begin-NMP-traversal node went stale: retry op
+  bool lock_path = false;  // B+ tree: host must lock its path, then resume
+  bool promote_hint = false;  // adaptive skiplist: key crossed the hotness
+                              // threshold; host should issue kPromote
+  Value value = 0;         // read result
+  void* node = nullptr;    // skiplist insert: node created in the partition;
+                           // skiplist update: host_ptr of the updated node
+  std::uint64_t aux = 0;   // skiplist update: value version for host mirror
+};
+
+/// One publication-list slot. Padded to a cache line so host threads never
+/// false-share; `status` carries the valid-flag handshake.
+struct alignas(util::kCacheLineSize) PubSlot {
+  enum Status : std::uint32_t {
+    kEmpty = 0,    // free for the owning host thread to fill
+    kPending = 1,  // request valid, waiting for the NMP core
+    kDone = 2,     // response valid, waiting for the host thread to consume
+  };
+
+  std::atomic<std::uint32_t> status{kEmpty};
+  Request req;
+  Response resp;
+
+  /// Host side: publish a request (slot must be kEmpty and owned by caller).
+  void post(const Request& r) noexcept {
+    req = r;
+    resp = Response{};
+    status.store(kPending, std::memory_order_release);
+  }
+
+  bool done() const noexcept {
+    return status.load(std::memory_order_acquire) == kDone;
+  }
+
+  /// Host side: consume the response and release the slot.
+  Response take() noexcept {
+    Response r = resp;
+    status.store(kEmpty, std::memory_order_release);
+    return r;
+  }
+};
+
+static_assert(sizeof(PubSlot) % util::kCacheLineSize == 0);
+
+}  // namespace hybrids::nmp

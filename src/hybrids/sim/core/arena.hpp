@@ -1,0 +1,60 @@
+// Aligned bump arena for simulated data-structure nodes.
+//
+// The cache/DRAM models map nodes to sets and banks by address, so node
+// placement must be reproducible: chunks are aligned to the largest
+// set-mapping period (L2: 1024 sets x 128B = 128KB), making every node's
+// set/bank assignment a pure function of its allocation order. This gives
+// bit-identical simulations across runs and processes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace hybrids::sim {
+
+class AlignedArena {
+ public:
+  static constexpr std::size_t kChunkBytes = 1 << 20;   // 1MB chunks
+  static constexpr std::size_t kChunkAlign = 128 * 1024;  // L2 set period
+
+  AlignedArena() = default;
+  ~AlignedArena() {
+    for (void* c : chunks_) std::free(c);
+  }
+  AlignedArena(const AlignedArena&) = delete;
+  AlignedArena& operator=(const AlignedArena&) = delete;
+
+  /// Allocates `bytes` with the given alignment. Objects are never freed
+  /// individually; the arena releases everything at destruction (simulated
+  /// structures keep removed-node memory alive anyway, mirroring the
+  /// libraries' deferred reclamation).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    offset_ = (offset_ + align - 1) & ~(align - 1);
+    if (chunks_.empty() || offset_ + bytes > kChunkBytes) {
+      void* chunk = std::aligned_alloc(kChunkAlign, kChunkBytes);
+      if (chunk == nullptr) throw std::bad_alloc();
+      chunks_.push_back(chunk);
+      offset_ = 0;
+    }
+    void* p = static_cast<std::byte*>(chunks_.back()) + offset_;
+    offset_ += bytes;
+    return p;
+  }
+
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    return new (p) T(static_cast<Args&&>(args)...);
+  }
+
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  std::vector<void*> chunks_;
+  std::size_t offset_ = kChunkBytes;
+};
+
+}  // namespace hybrids::sim

@@ -1,0 +1,78 @@
+// Discrete-event engine: a tick-ordered queue of coroutine resumptions.
+//
+// Single-threaded and deterministic: events at the same tick run in FIFO
+// order of scheduling, so a given seed always produces the same simulation.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "hybrids/sim/core/task.hpp"
+#include "hybrids/sim/core/time.hpp"
+
+namespace hybrids::sim {
+
+class Engine {
+ public:
+  Tick now() const { return now_; }
+
+  /// Schedules `h` to resume at absolute tick `at` (clamped to now).
+  void schedule(Tick at, std::coroutine_handle<> h) {
+    if (at < now_) at = now_;
+    queue_.push(Event{at, next_seq_++, h});
+  }
+
+  /// Awaitable: suspend the current coroutine for `d` ticks.
+  struct DelayAwaiter {
+    Engine& engine;
+    Tick d;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      engine.schedule(engine.now_ + d, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter delay(Tick d) { return DelayAwaiter{*this, d}; }
+
+  /// Spawns a root coroutine, starting it at the current tick. The engine
+  /// owns the task frame until the simulation is destroyed.
+  void spawn(Task<void> task) {
+    roots_.push_back(std::move(task));
+    schedule(now_, roots_.back().handle());
+  }
+
+  /// Runs until the event queue drains or `max_tick` passes. Returns the
+  /// final simulation time.
+  Tick run(Tick max_tick = ~Tick{0}) {
+    while (!queue_.empty()) {
+      Event e = queue_.top();
+      if (e.at > max_tick) break;
+      queue_.pop();
+      now_ = e.at;
+      e.handle.resume();
+    }
+    return now_;
+  }
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return next_seq_; }
+
+ private:
+  struct Event {
+    Tick at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& other) const {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Task<void>> roots_;
+};
+
+}  // namespace hybrids::sim

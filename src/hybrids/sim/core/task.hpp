@@ -1,0 +1,142 @@
+// Coroutine task type for the discrete-event simulator.
+//
+// Simulated hardware threads (host cores, NMP cores) are coroutines that
+// suspend whenever simulated time must pass (a memory access, a poll
+// interval). `Task<T>` supports structured nesting with symmetric transfer:
+// a parent `co_await`s a child, the child resumes the parent from its final
+// suspend point. The event queue only ever holds top-level resume handles.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace hybrids::sim {
+
+template <typename T>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+template <typename T>
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { std::terminate(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine returning T. Move-only; owns the frame.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase<T> {
+    T value{};
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  bool valid() const { return h_ != nullptr; }
+  bool done() const { return h_ == nullptr || h_.done(); }
+
+  /// Detaches the raw handle (caller takes ownership, e.g. the scheduler).
+  std::coroutine_handle<promise_type> release() { return std::exchange(h_, nullptr); }
+  std::coroutine_handle<promise_type> handle() const { return h_; }
+
+  // Awaiting a Task starts it (symmetric transfer) and yields its value.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  T await_resume() { return std::move(h_.promise().value); }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase<void> {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  bool valid() const { return h_ != nullptr; }
+  bool done() const { return h_ == nullptr || h_.done(); }
+  std::coroutine_handle<promise_type> release() { return std::exchange(h_, nullptr); }
+  std::coroutine_handle<promise_type> handle() const { return h_; }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  void await_resume() noexcept {}
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace hybrids::sim

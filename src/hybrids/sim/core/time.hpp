@@ -1,0 +1,24 @@
+// Simulation time base.
+//
+// The simulator tracks time in picoseconds so DRAM timings (13.75ns) and CPU
+// cycles (500ps at 2GHz) are both exact integers.
+#pragma once
+
+#include <cstdint>
+
+namespace hybrids::sim {
+
+using Tick = std::uint64_t;
+
+inline constexpr Tick kPicosecond = 1;
+inline constexpr Tick kNanosecond = 1000;
+
+/// Converts cycles at `ghz` to ticks.
+constexpr Tick cycles_to_ticks(double cycles, double ghz = 2.0) {
+  return static_cast<Tick>(cycles * 1000.0 / ghz);
+}
+
+constexpr double ticks_to_seconds(Tick t) { return static_cast<double>(t) * 1e-12; }
+constexpr double ticks_to_ns(Tick t) { return static_cast<double>(t) * 1e-3; }
+
+}  // namespace hybrids::sim

@@ -1,0 +1,913 @@
+// Simulator-side B+ trees: the host-only seqlock baseline and the hybrid
+// B+ tree (§3.4), as cooperative coroutines over the simulated machine.
+//
+// Mutations are applied instantaneously between co_await points (the same
+// atomicity a locked critical section provides); the protocols' costs —
+// traversal reads, lock/unlock and node writes, publication-list round
+// trips, LOCK_PATH escalations — are charged through the contexts. Sequence
+// numbers and lock flags are kept with the paper's semantics so concurrent
+// actors retry exactly where the real algorithms would.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "hybrids/nmp/publication.hpp"
+#include "hybrids/sim/core/arena.hpp"
+#include "hybrids/sim/machine/system.hpp"
+#include "hybrids/types.hpp"
+#include "hybrids/workload/workload.hpp"
+
+namespace hybrids::sim {
+
+inline constexpr int kSimLeafSlots = 14;
+inline constexpr int kSimInnerSlots = 14;
+inline constexpr int kSimBTreeLevels = 24;
+
+/// One B+ tree node (architecturally 128 bytes; Table 1 / §3.4). Used on
+/// both sides of the hybrid split. Aligned so no two nodes share a cache
+/// block (one node visit = one block access, as the paper counts).
+struct alignas(128) SimBNode {
+  std::uint32_t seq = 0;         // host side: bumped on every mutation
+  std::uint32_t parent_seq = 0;  // NMP side: host parent's seqnum mirror
+  std::uint16_t level = 0;
+  std::uint16_t slotuse = 0;
+  bool locked = false;
+  std::uint8_t partition = 0;  // NMP side: owning partition
+  Key keys[kSimInnerSlots] = {};
+  union {
+    SimBNode* children[kSimInnerSlots + 1];
+    Value values[kSimLeafSlots];
+  };
+
+  SimBNode() { for (auto& c : children) c = nullptr; }
+  SimBNode(const SimBNode&) = delete;
+  SimBNode& operator=(const SimBNode&) = delete;
+
+  bool is_leaf() const { return level == 0; }
+  int find_child_index(Key key) const {
+    int i = 0;
+    while (i < slotuse && keys[i] < key) ++i;
+    return i;
+  }
+  int find_key_index(Key key) const {
+    for (int i = 0; i < slotuse; ++i) {
+      if (keys[i] == key) return i;
+    }
+    return -1;
+  }
+};
+
+/// Node arena with stable, reproducibly-mapped addresses; one per partition
+/// plus one for the host portion.
+class SimBNodeArena {
+ public:
+  SimBNode* make(int level) {
+    SimBNode* n = arena_.make<SimBNode>();
+    n->level = static_cast<std::uint16_t>(level);
+    ++count_;
+    return n;
+  }
+  std::size_t size() const { return count_; }
+
+ private:
+  AlignedArena arena_;
+  std::size_t count_ = 0;
+};
+
+/// Shared single-threaded split chain: inserts (key,value) at the leaf of
+/// `path` (path[l] = node at level l, valid for levels 0..top). Splits
+/// propagate upward; if the node at `top` splits, the new sibling and
+/// divider are reported. All nodes that are modified get their seq bumped.
+/// Returns the number of nodes modified/created (for cost charging).
+struct SplitOutcome {
+  int touched = 0;
+  bool top_split = false;
+  SimBNode* new_top = nullptr;
+  Key up_key = 0;
+  bool absorbed = true;  // false if propagation passed `top`
+};
+
+inline SplitOutcome sim_btree_insert_chain(SimBNode* const* path, int top,
+                                           Key key, Value value,
+                                           SimBNodeArena& arena) {
+  SplitOutcome out;
+  SimBNode* leaf = path[0];
+  Key up_key = 0;
+  SimBNode* up_child = nullptr;
+  {
+    int pos = 0;
+    while (pos < leaf->slotuse && leaf->keys[pos] < key) ++pos;
+    if (leaf->slotuse < kSimLeafSlots) {
+      for (int j = leaf->slotuse; j > pos; --j) {
+        leaf->keys[j] = leaf->keys[j - 1];
+        leaf->values[j] = leaf->values[j - 1];
+      }
+      leaf->keys[pos] = key;
+      leaf->values[pos] = value;
+      ++leaf->slotuse;
+      ++leaf->seq;
+      out.touched = 1;
+      return out;
+    }
+    Key ak[kSimLeafSlots + 1];
+    Value av[kSimLeafSlots + 1];
+    int n = 0;
+    for (int i = 0; i < leaf->slotuse; ++i) {
+      if (i == pos) { ak[n] = key; av[n] = value; ++n; }
+      ak[n] = leaf->keys[i];
+      av[n] = leaf->values[i];
+      ++n;
+    }
+    if (pos == leaf->slotuse) { ak[n] = key; av[n] = value; ++n; }
+    const int left = n / 2;
+    SimBNode* right = arena.make(0);
+    right->partition = leaf->partition;
+    for (int i = 0; i < left; ++i) {
+      leaf->keys[i] = ak[i];
+      leaf->values[i] = av[i];
+    }
+    leaf->slotuse = static_cast<std::uint16_t>(left);
+    ++leaf->seq;
+    right->seq = leaf->seq;  // footnote 3: sibling replicates the seqnum
+    for (int i = left; i < n; ++i) {
+      right->keys[i - left] = ak[i];
+      right->values[i - left] = av[i];
+    }
+    right->slotuse = static_cast<std::uint16_t>(n - left);
+    out.touched = 2;
+    up_key = ak[left - 1];
+    up_child = right;
+    if (top == 0) {
+      out.top_split = true;
+      out.new_top = right;
+      out.up_key = up_key;
+      return out;
+    }
+  }
+  int lvl = 1;
+  while (true) {
+    SimBNode* node = path[lvl];
+    int pos = 0;
+    while (pos < node->slotuse && node->keys[pos] < up_key) ++pos;
+    if (node->slotuse < kSimInnerSlots) {
+      for (int j = node->slotuse; j > pos; --j) {
+        node->keys[j] = node->keys[j - 1];
+        node->children[j + 1] = node->children[j];
+      }
+      node->keys[pos] = up_key;
+      node->children[pos + 1] = up_child;
+      ++node->slotuse;
+      ++node->seq;
+      ++out.touched;
+      return out;
+    }
+    Key ak[kSimInnerSlots + 1];
+    SimBNode* ac[kSimInnerSlots + 2];
+    int n = 0;
+    ac[0] = node->children[0];
+    for (int i = 0; i < node->slotuse; ++i) {
+      if (i == pos) { ak[n] = up_key; ac[n + 1] = up_child; ++n; }
+      ak[n] = node->keys[i];
+      ac[n + 1] = node->children[i + 1];
+      ++n;
+    }
+    if (pos == node->slotuse) { ak[n] = up_key; ac[n + 1] = up_child; ++n; }
+    const int mid = n / 2;
+    SimBNode* right = arena.make(node->level);
+    right->partition = node->partition;
+    for (int i = 0; i < mid; ++i) {
+      node->keys[i] = ak[i];
+      node->children[i] = ac[i];
+    }
+    node->children[mid] = ac[mid];
+    node->slotuse = static_cast<std::uint16_t>(mid);
+    ++node->seq;
+    right->seq = node->seq;  // footnote 3
+    int rn = 0;
+    for (int i = mid + 1; i < n; ++i) {
+      right->keys[rn] = ak[i];
+      right->children[rn] = ac[i];
+      ++rn;
+    }
+    right->children[rn] = ac[n];
+    right->slotuse = static_cast<std::uint16_t>(rn);
+    out.touched += 2;
+    up_key = ak[mid];
+    up_child = right;
+    if (lvl == top) {
+      out.top_split = true;
+      out.new_top = right;
+      out.up_key = up_key;
+      return out;
+    }
+    ++lvl;
+  }
+}
+
+/// Builds a level of a tree bottom-up at the given fill; helper shared by
+/// both sim B+ trees.
+struct SimBuiltLevel {
+  std::vector<SimBNode*> nodes;
+  std::vector<Key> max_keys;
+};
+
+// ---------------------------------------------------------------------------
+// Host-only seqlock B+ tree baseline
+// ---------------------------------------------------------------------------
+
+class SimHostBTree {
+ public:
+  explicit SimHostBTree(double fill = 0.5) : fill_(fill) {}
+
+  void populate(const std::vector<Key>& keys) {
+    int leaf_fill = static_cast<int>(kSimLeafSlots * fill_);
+    if (leaf_fill < 1) leaf_fill = 1;
+    int inner_fill = static_cast<int>((kSimInnerSlots + 1) * fill_);
+    if (inner_fill < 2) inner_fill = 2;
+    SimBuiltLevel level;
+    std::size_t i = 0;
+    while (i < keys.size()) {
+      SimBNode* leaf = arena_.make(0);
+      int n = 0;
+      while (n < leaf_fill && i < keys.size()) {
+        leaf->keys[n] = keys[i];
+        leaf->values[n] = static_cast<Value>(keys[i] + 1);
+        ++n;
+        ++i;
+      }
+      leaf->slotuse = static_cast<std::uint16_t>(n);
+      level.nodes.push_back(leaf);
+      level.max_keys.push_back(leaf->keys[n - 1]);
+    }
+    if (level.nodes.empty()) level.nodes.push_back(arena_.make(0));
+    int lvl = 1;
+    while (level.nodes.size() > 1) {
+      SimBuiltLevel upper;
+      std::size_t j = 0;
+      while (j < level.nodes.size()) {
+        SimBNode* inner = arena_.make(lvl);
+        int c = 0;
+        while (c < inner_fill && j < level.nodes.size()) {
+          inner->children[c] = level.nodes[j];
+          if (c > 0) inner->keys[c - 1] = level.max_keys[j - 1];
+          ++c;
+          ++j;
+        }
+        if (j == level.nodes.size() - 1 && c <= kSimInnerSlots) {
+          inner->children[c] = level.nodes[j];
+          inner->keys[c - 1] = level.max_keys[j - 1];
+          ++c;
+          ++j;
+        }
+        inner->slotuse = static_cast<std::uint16_t>(c - 1);
+        upper.nodes.push_back(inner);
+        upper.max_keys.push_back(level.max_keys[j - 1]);
+      }
+      level = std::move(upper);
+      ++lvl;
+    }
+    root_ = level.nodes.front();
+  }
+
+  int height() const { return root_->level + 1; }
+
+  /// Charged optimistic traversal to the leaf for `key`; waits out writers
+  /// (locked nodes) and restarts if an ancestor changed underneath it.
+  /// `root_level_out` receives the root level observed by this traversal.
+  Task<bool> traverse(HostCtx& c, Key key, SimBNode** path, std::uint32_t* seqs,
+                      int& root_level_out) {
+    while (true) {
+      SimBNode* root = root_;
+      co_await c.node(root);
+      while (root->locked) co_await c.delay(c.sys->config().host_poll_gap);
+      if (root != root_) continue;  // root switched while waiting
+      int lvl = root->level;
+      root_level_out = root->level;
+      path[lvl] = root;
+      seqs[lvl] = root->seq;
+      SimBNode* curr = root;
+      bool restart = false;
+      while (lvl > 0) {
+        SimBNode* child = curr->children[curr->find_child_index(key)];
+        co_await c.node(child);
+        while (child->locked) co_await c.delay(c.sys->config().host_poll_gap);
+        if (curr->seq != seqs[lvl]) {
+          // Ancestor changed: climb to the lowest unchanged one.
+          while (lvl <= root->level && path[lvl]->seq != seqs[lvl]) ++lvl;
+          if (lvl > root->level) { restart = true; break; }
+          curr = path[lvl];
+          continue;
+        }
+        --lvl;
+        path[lvl] = child;
+        seqs[lvl] = child->seq;
+        curr = child;
+      }
+      if (!restart) co_return true;
+    }
+  }
+
+  Task<void> run_op(HostCtx& c, const workload::Op& op) {
+    SimBNode* path[kSimBTreeLevels];
+    std::uint32_t seqs[kSimBTreeLevels];
+    int root_level = 0;
+    while (true) {
+      (void)co_await traverse(c, op.key, path, seqs, root_level);
+      SimBNode* leaf = path[0];
+      switch (op.type) {
+        case workload::OpType::kRead: {
+          if (leaf->seq != seqs[0]) continue;  // leaf changed: retry
+          (void)leaf->find_key_index(op.key);
+          co_return;
+        }
+        case workload::OpType::kUpdate: {
+          if (leaf->locked || leaf->seq != seqs[0]) continue;
+          const int i = leaf->find_key_index(op.key);
+          if (i >= 0) {
+            leaf->values[i] = op.value;
+            ++leaf->seq;
+            co_await c.node(leaf, /*write=*/true);
+          }
+          co_return;
+        }
+        case workload::OpType::kRemove: {
+          if (leaf->locked || leaf->seq != seqs[0]) continue;
+          const int i = leaf->find_key_index(op.key);
+          if (i >= 0) {
+            for (int j = i; j + 1 < leaf->slotuse; ++j) {
+              leaf->keys[j] = leaf->keys[j + 1];
+              leaf->values[j] = leaf->values[j + 1];
+            }
+            --leaf->slotuse;
+            ++leaf->seq;
+            co_await c.node(leaf, /*write=*/true);
+          }
+          co_return;
+        }
+        case workload::OpType::kInsert: {
+          if (leaf->find_key_index(op.key) >= 0) {
+            if (leaf->seq != seqs[0]) continue;
+            co_return;  // duplicate
+          }
+          // Lock the suffix bottom-up while full (validating seqs).
+          int locked_top = -1;
+          bool ok = true;
+          for (int lvl = 0; lvl <= root_level; ++lvl) {
+            SimBNode* node = path[lvl];
+            if (node->locked || node->seq != seqs[lvl]) { ok = false; break; }
+            node->locked = true;
+            locked_top = lvl;
+            const int cap = lvl == 0 ? kSimLeafSlots : kSimInnerSlots;
+            if (node->slotuse < cap) break;
+          }
+          if (!ok) {
+            for (int lvl = 0; lvl <= locked_top; ++lvl) path[lvl]->locked = false;
+            continue;
+          }
+          // Charge lock + write traffic, then apply the split chain.
+          for (int lvl = 0; lvl <= locked_top; ++lvl) {
+            co_await c.node(path[lvl], /*write=*/true);
+          }
+          SplitOutcome outcome = sim_btree_insert_chain(
+              path, locked_top < 0 ? 0 : locked_top, op.key, op.value, arena_);
+          if (outcome.top_split) {
+            // Root split: grow the tree.
+            grow_root(path[locked_top], outcome.up_key, outcome.new_top);
+            co_await c.node(root_, /*write=*/true);
+          }
+          for (int lvl = 0; lvl <= locked_top; ++lvl) path[lvl]->locked = false;
+          co_return;
+        }
+      }
+    }
+  }
+
+  std::size_t count_keys() const { return count(root_); }
+
+ private:
+  void grow_root(SimBNode* old_root, Key up_key, SimBNode* right) {
+    SimBNode* nr = arena_.make(old_root->level + 1);
+    nr->slotuse = 1;
+    nr->keys[0] = up_key;
+    nr->children[0] = old_root;
+    nr->children[1] = right;
+    root_ = nr;
+  }
+
+  std::size_t count(const SimBNode* n) const {
+    if (n->is_leaf()) return n->slotuse;
+    std::size_t total = 0;
+    for (int i = 0; i <= n->slotuse; ++i) total += count(n->children[i]);
+    return total;
+  }
+
+  double fill_;
+  SimBNodeArena arena_;
+  SimBNode* root_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Hybrid B+ tree (§3.4)
+// ---------------------------------------------------------------------------
+
+class SimHybridBTree {
+ public:
+  SimHybridBTree(System& sys, int nmp_levels, std::uint32_t partitions,
+                 std::uint32_t slots_per_list, double fill = 0.5)
+      : sys_(sys), nmp_levels_(nmp_levels), fill_(fill) {
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+      arenas_.push_back(std::make_unique<SimBNodeArena>());
+      publists_.push_back(std::make_unique<SimPubList>(slots_per_list));
+    }
+  }
+
+  std::uint32_t partitions() const { return static_cast<std::uint32_t>(arenas_.size()); }
+  int last_host_level() const { return nmp_levels_; }
+
+  void populate(const std::vector<Key>& keys) {
+    int leaf_fill = static_cast<int>(kSimLeafSlots * fill_);
+    if (leaf_fill < 1) leaf_fill = 1;
+    int inner_fill = static_cast<int>((kSimInnerSlots + 1) * fill_);
+    if (inner_fill < 2) inner_fill = 2;
+    const int top = nmp_levels_ - 1;
+    std::uint64_t cap = static_cast<std::uint64_t>(leaf_fill);
+    for (int l = 0; l < top; ++l) cap *= static_cast<std::uint64_t>(inner_fill);
+    const std::uint64_t n = keys.size();
+    const std::uint64_t subtrees = n == 0 ? 1 : (n + cap - 1) / cap;
+    const std::uint64_t per_part = (subtrees + partitions() - 1) / partitions();
+
+    SimBuiltLevel level;
+    std::uint64_t i = 0;
+    for (std::uint64_t s = 0; s < subtrees; ++s) {
+      const auto raw_p = static_cast<std::uint32_t>(s / (per_part ? per_part : 1));
+      const std::uint32_t p = raw_p >= partitions() ? partitions() - 1 : raw_p;
+      const std::uint64_t take = n - i < cap ? n - i : cap;
+      SimBNode* root = build_subtree(*arenas_[p], p, top, keys, i, take,
+                                     leaf_fill, inner_fill);
+      level.nodes.push_back(root);
+      level.max_keys.push_back(take > 0 ? keys[i + take - 1] : 0);
+      i += take;
+    }
+    // Host levels on top.
+    int lvl = nmp_levels_;
+    while (level.nodes.size() > 1 || lvl == nmp_levels_) {
+      SimBuiltLevel upper;
+      std::size_t j = 0;
+      while (j < level.nodes.size()) {
+        SimBNode* inner = host_arena_.make(lvl);
+        int c = 0;
+        while (c < inner_fill && j < level.nodes.size()) {
+          inner->children[c] = level.nodes[j];
+          if (c > 0) inner->keys[c - 1] = level.max_keys[j - 1];
+          ++c;
+          ++j;
+        }
+        if (j == level.nodes.size() - 1 && c <= kSimInnerSlots) {
+          inner->children[c] = level.nodes[j];
+          inner->keys[c - 1] = level.max_keys[j - 1];
+          ++c;
+          ++j;
+        }
+        inner->slotuse = static_cast<std::uint16_t>(c - 1);
+        upper.nodes.push_back(inner);
+        upper.max_keys.push_back(level.max_keys[j - 1]);
+      }
+      level = std::move(upper);
+      if (level.nodes.size() == 1) break;
+      ++lvl;
+    }
+    root_ = level.nodes.front();
+  }
+
+  void start_combiners() {
+    for (std::uint32_t p = 0; p < partitions(); ++p) {
+      SimBNodeArena* arena = arenas_[p].get();
+      const int top = nmp_levels_ - 1;
+      sys_.engine().spawn(sim_combiner(
+          sys_, NmpCtx{&sys_, p}, *publists_[p],
+          [this, arena, top](NmpCtx& ctx, SimSlot& slot) {
+            return apply(*arena, top, ctx, slot);
+          }));
+    }
+  }
+
+  SimPubList& publist(std::uint32_t p) { return *publists_[p]; }
+
+  /// Host traversal to the last host level; fills path/seqs and the begin
+  /// node reference. Returns the partition id.
+  Task<std::uint32_t> traverse(HostCtx& c, Key key, SimBNode** path,
+                               std::uint32_t* seqs, SimBNode** begin,
+                               int& root_level_out) {
+    while (true) {
+      SimBNode* root = root_;
+      co_await c.node(root);
+      while (root->locked) co_await c.delay(c.sys->config().host_poll_gap);
+      if (root != root_) continue;
+      int lvl = root->level;
+      root_level_out = root->level;
+      path[lvl] = root;
+      seqs[lvl] = root->seq;
+      SimBNode* curr = root;
+      bool restart = false;
+      while (lvl > nmp_levels_) {
+        SimBNode* child = curr->children[curr->find_child_index(key)];
+        co_await c.node(child);
+        while (child->locked) co_await c.delay(c.sys->config().host_poll_gap);
+        if (curr->seq != seqs[lvl]) {
+          while (lvl <= root->level && path[lvl]->seq != seqs[lvl]) ++lvl;
+          if (lvl > root->level) { restart = true; break; }
+          curr = path[lvl];
+          continue;
+        }
+        --lvl;
+        path[lvl] = child;
+        seqs[lvl] = child->seq;
+        curr = child;
+      }
+      if (restart) continue;
+      *begin = curr->children[curr->find_child_index(key)];
+      if (curr->seq != seqs[lvl]) continue;
+      co_return (*begin)->partition;
+    }
+  }
+
+  struct Prepared {
+    std::uint32_t partition = 0;
+    nmp::Request req{};
+    workload::Op op{};
+    SimBNode* path[kSimBTreeLevels] = {};
+    std::uint32_t seqs[kSimBTreeLevels] = {};
+    int root_level = 0;
+  };
+
+  Task<Prepared> prepare(HostCtx& c, const workload::Op& op) {
+    Prepared prep;
+    prep.op = op;
+    SimBNode* begin = nullptr;
+    prep.partition =
+        co_await traverse(c, op.key, prep.path, prep.seqs, &begin, prep.root_level);
+    prep.req.key = op.key;
+    prep.req.value = op.value;
+    prep.req.node = begin;
+    prep.req.aux = prep.seqs[nmp_levels_];  // offloaded parent seqnum
+    switch (op.type) {
+      case workload::OpType::kRead: prep.req.op = nmp::OpCode::kRead; break;
+      case workload::OpType::kUpdate: prep.req.op = nmp::OpCode::kUpdate; break;
+      case workload::OpType::kInsert: prep.req.op = nmp::OpCode::kInsert; break;
+      case workload::OpType::kRemove: prep.req.op = nmp::OpCode::kRemove; break;
+    }
+    co_return prep;
+  }
+
+  /// Host-side completion; returns false if the whole operation must retry.
+  Task<bool> complete(HostCtx& c, Prepared& prep, const nmp::Response& resp,
+                      std::uint32_t slot) {
+    if (resp.retry) co_return false;
+    if (!resp.lock_path) co_return true;
+    // LOCK_PATH: lock the host path bottom-up (Listing 4 lines 26-43).
+    int locked_top = -1;
+    bool ok = true;
+    for (int lvl = nmp_levels_; lvl <= prep.root_level; ++lvl) {
+      SimBNode* node = prep.path[lvl];
+      if (node->locked || node->seq != prep.seqs[lvl]) { ok = false; break; }
+      node->locked = true;
+      locked_top = lvl;
+      if (node->slotuse < kSimInnerSlots) break;
+    }
+    if (!ok) {
+      for (int lvl = nmp_levels_; lvl <= locked_top; ++lvl) {
+        prep.path[lvl]->locked = false;
+      }
+      nmp::Request r;
+      r.op = nmp::OpCode::kUnlockPath;
+      r.node = resp.node;
+      (void)co_await sim_call(c, *publists_[prep.partition], slot, r);
+      co_return false;
+    }
+    for (int lvl = nmp_levels_; lvl <= locked_top; ++lvl) {
+      co_await c.node(prep.path[lvl], /*write=*/true);  // seqnum CAS traffic
+    }
+    nmp::Request rr;
+    rr.op = nmp::OpCode::kResumeInsert;
+    rr.node = resp.node;
+    // The seqnum the last host node will hold once we complete the link
+    // (sim seqnums advance by one per mutation; the real library's seqlocks
+    // advance by two, lock + unlock).
+    rr.aux = prep.seqs[nmp_levels_] + 1;
+    nmp::Response rresp = co_await sim_call(c, *publists_[prep.partition], slot, rr);
+    auto* new_top = static_cast<SimBNode*>(rresp.node);
+    const Key up_key = static_cast<Key>(rresp.value);
+    // Link the new NMP top node into the locked host path.
+    SimBNode* link_path[kSimBTreeLevels];
+    for (int lvl = nmp_levels_; lvl <= locked_top; ++lvl) {
+      link_path[lvl - nmp_levels_] = prep.path[lvl];
+    }
+    // Reuse the generic chain with the host arena; level offset is fine
+    // because the chain only uses relative positions.
+    SplitOutcome outcome;
+    {
+      // Temporarily treat the last-host-level node as an "inner holding
+      // children": insert (up_key, new_top) as a child reference.
+      outcome = sim_btree_inner_chain(link_path, locked_top - nmp_levels_,
+                                      up_key, new_top, host_arena_);
+    }
+    for (int lvl = nmp_levels_; lvl <= locked_top; ++lvl) {
+      co_await c.node(prep.path[lvl], /*write=*/true);
+    }
+    if (outcome.top_split) {
+      grow_root(prep.path[prep.root_level], outcome.up_key, outcome.new_top);
+      co_await c.node(root_, /*write=*/true);
+    }
+    for (int lvl = nmp_levels_; lvl <= locked_top; ++lvl) {
+      prep.path[lvl]->locked = false;
+    }
+    co_return true;
+  }
+
+  Task<void> run_op_blocking(HostCtx& c, std::uint32_t slot,
+                             const workload::Op& op) {
+    while (true) {
+      Prepared prep = co_await prepare(c, op);
+      nmp::Response resp =
+          co_await sim_call(c, *publists_[prep.partition], slot, prep.req);
+      if (co_await complete(c, prep, resp, slot)) co_return;
+    }
+  }
+
+  std::size_t count_keys() const { return count(root_); }
+  int height() const { return root_->level + 1; }
+
+ private:
+  /// Inner-node-only split chain used for host-side linking of escalated
+  /// inserts: inserts (up_key, child) at rel_path[0], propagating to
+  /// rel_path[top]. Mirrors sim_btree_insert_chain for inner nodes.
+  static SplitOutcome sim_btree_inner_chain(SimBNode* const* rel_path, int top,
+                                            Key up_key, SimBNode* up_child,
+                                            SimBNodeArena& arena) {
+    SplitOutcome out;
+    int lvl = 0;
+    while (true) {
+      SimBNode* node = rel_path[lvl];
+      int pos = 0;
+      while (pos < node->slotuse && node->keys[pos] < up_key) ++pos;
+      if (node->slotuse < kSimInnerSlots) {
+        for (int j = node->slotuse; j > pos; --j) {
+          node->keys[j] = node->keys[j - 1];
+          node->children[j + 1] = node->children[j];
+        }
+        node->keys[pos] = up_key;
+        node->children[pos + 1] = up_child;
+        ++node->slotuse;
+        ++node->seq;
+        ++out.touched;
+        return out;
+      }
+      Key ak[kSimInnerSlots + 1];
+      SimBNode* ac[kSimInnerSlots + 2];
+      int n = 0;
+      ac[0] = node->children[0];
+      for (int i = 0; i < node->slotuse; ++i) {
+        if (i == pos) { ak[n] = up_key; ac[n + 1] = up_child; ++n; }
+        ak[n] = node->keys[i];
+        ac[n + 1] = node->children[i + 1];
+        ++n;
+      }
+      if (pos == node->slotuse) { ak[n] = up_key; ac[n + 1] = up_child; ++n; }
+      const int mid = n / 2;
+      SimBNode* right = arena.make(node->level);
+      for (int i = 0; i < mid; ++i) {
+        node->keys[i] = ak[i];
+        node->children[i] = ac[i];
+      }
+      node->children[mid] = ac[mid];
+      node->slotuse = static_cast<std::uint16_t>(mid);
+      ++node->seq;
+      right->seq = node->seq;  // footnote 3
+      int rn = 0;
+      for (int i = mid + 1; i < n; ++i) {
+        right->keys[rn] = ak[i];
+        right->children[rn] = ac[i];
+        ++rn;
+      }
+      right->children[rn] = ac[n];
+      right->slotuse = static_cast<std::uint16_t>(rn);
+      out.touched += 2;
+      up_key = ak[mid];
+      up_child = right;
+      if (lvl == top) {
+        out.top_split = true;
+        out.new_top = right;
+        out.up_key = up_key;
+        return out;
+      }
+      ++lvl;
+    }
+  }
+
+  void grow_root(SimBNode* old_root, Key up_key, SimBNode* right) {
+    SimBNode* nr = host_arena_.make(old_root->level + 1);
+    nr->slotuse = 1;
+    nr->keys[0] = up_key;
+    nr->children[0] = old_root;
+    nr->children[1] = right;
+    root_ = nr;
+  }
+
+  SimBNode* build_subtree(SimBNodeArena& arena, std::uint32_t partition,
+                          int level, const std::vector<Key>& keys,
+                          std::uint64_t offset, std::uint64_t count,
+                          int leaf_fill, int inner_fill) {
+    SimBNode* node = arena.make(level);
+    node->partition = static_cast<std::uint8_t>(partition);
+    if (level == 0) {
+      const int take = static_cast<int>(
+          count < static_cast<std::uint64_t>(leaf_fill) ? count : leaf_fill);
+      for (int k = 0; k < take; ++k) {
+        node->keys[k] = keys[offset + k];
+        node->values[k] = static_cast<Value>(keys[offset + k] + 1);
+      }
+      node->slotuse = static_cast<std::uint16_t>(take);
+      return node;
+    }
+    std::uint64_t child_cap = static_cast<std::uint64_t>(leaf_fill);
+    for (int l = 1; l < level; ++l) child_cap *= static_cast<std::uint64_t>(inner_fill);
+    int c = 0;
+    std::uint64_t consumed = 0;
+    while (consumed < count || c == 0) {
+      const std::uint64_t take =
+          count - consumed < child_cap ? count - consumed : child_cap;
+      SimBNode* child = build_subtree(arena, partition, level - 1, keys,
+                                      offset + consumed, take, leaf_fill,
+                                      inner_fill);
+      node->children[c] = child;
+      if (c > 0) node->keys[c - 1] = keys[offset + consumed - 1];
+      consumed += take;
+      ++c;
+      if (c == kSimInnerSlots + 1) break;
+    }
+    node->slotuse = static_cast<std::uint16_t>(c - 1);
+    return node;
+  }
+
+  // --- NMP-side dispatch (Listing 5) ---------------------------------------
+
+  struct PendingInsert {
+    SimBNode* path[kSimBTreeLevels] = {};
+    Key key = 0;
+    Value value = 0;
+  };
+
+  Task<void> apply(SimBNodeArena& arena, int top, NmpCtx& ctx, SimSlot& slot) {
+    const nmp::Request req = slot.req;
+    if (req.op == nmp::OpCode::kResumeInsert) {
+      auto* p = static_cast<PendingInsert*>(req.node);
+      SplitOutcome out =
+          sim_btree_insert_chain(p->path, top, p->key, p->value, arena);
+      for (int lvl = 0; lvl <= top; ++lvl) {
+        co_await ctx.node(p->path[lvl], /*write=*/true);
+        p->path[lvl]->locked = false;
+      }
+      p->path[top]->parent_seq = static_cast<std::uint32_t>(req.aux);
+      out.new_top->parent_seq = static_cast<std::uint32_t>(req.aux);
+      slot.resp.ok = true;
+      slot.resp.node = out.new_top;
+      slot.resp.value = out.up_key;
+      delete p;
+      co_return;
+    }
+    if (req.op == nmp::OpCode::kUnlockPath) {
+      auto* p = static_cast<PendingInsert*>(req.node);
+      for (int lvl = 0; lvl <= top; ++lvl) p->path[lvl]->locked = false;
+      slot.resp.ok = true;
+      delete p;
+      co_return;
+    }
+
+    auto* begin = static_cast<SimBNode*>(req.node);
+    co_await ctx.node(begin);
+    // Boundary synchronization (Listing 5 lines 2-8).
+    const auto offloaded = static_cast<std::uint32_t>(req.aux);
+    if (begin->parent_seq > offloaded) {
+      slot.resp.retry = true;
+      co_return;
+    }
+    if (begin->parent_seq < offloaded) begin->parent_seq = offloaded;
+
+    // Descend, recording the path.
+    SimBNode* path[kSimBTreeLevels];
+    SimBNode* curr = begin;
+    path[curr->level] = curr;
+    while (curr->level > 0) {
+      curr = curr->children[curr->find_child_index(req.key)];
+      co_await ctx.node(curr);
+      path[curr->level] = curr;
+    }
+    SimBNode* leaf = curr;
+
+    switch (req.op) {
+      case nmp::OpCode::kRead: {
+        const int i = leaf->find_key_index(req.key);
+        slot.resp.ok = i >= 0;
+        if (i >= 0) slot.resp.value = leaf->values[i];
+        break;
+      }
+      case nmp::OpCode::kUpdate: {
+        const int i = leaf->find_key_index(req.key);
+        slot.resp.ok = i >= 0;
+        if (i >= 0) {
+          leaf->values[i] = req.value;
+          co_await ctx.node(leaf, /*write=*/true);
+        }
+        break;
+      }
+      case nmp::OpCode::kRemove: {
+        if (leaf->locked) {
+          slot.resp.retry = true;  // pending escalated insert owns this leaf
+          break;
+        }
+        const int i = leaf->find_key_index(req.key);
+        slot.resp.ok = i >= 0;
+        if (i >= 0) {
+          for (int j = i; j + 1 < leaf->slotuse; ++j) {
+            leaf->keys[j] = leaf->keys[j + 1];
+            leaf->values[j] = leaf->values[j + 1];
+          }
+          --leaf->slotuse;
+          ++leaf->seq;
+          co_await ctx.node(leaf, /*write=*/true);
+        }
+        break;
+      }
+      case nmp::OpCode::kInsert: {
+        if (leaf->find_key_index(req.key) >= 0) {
+          slot.resp.ok = false;
+          break;
+        }
+        // Lock bottom-up while full (Listing 5 lines 13-24).
+        bool locked_all = false;
+        int locked_top = -1;
+        bool conflict = false;
+        for (int lvl = 0; lvl <= top; ++lvl) {
+          SimBNode* node = path[lvl];
+          if (node->locked) {
+            for (int u = 0; u < lvl; ++u) path[u]->locked = false;
+            conflict = true;
+            break;
+          }
+          node->locked = true;
+          locked_top = lvl;
+          const int cap = lvl == 0 ? kSimLeafSlots : kSimInnerSlots;
+          if (node->slotuse < cap) {
+            locked_all = true;
+            break;
+          }
+        }
+        if (conflict) {
+          slot.resp.retry = true;
+          break;
+        }
+        if (locked_all) {
+          for (int lvl = 0; lvl <= locked_top; ++lvl) {
+            co_await ctx.node(path[lvl], /*write=*/true);
+          }
+          (void)sim_btree_insert_chain(path, locked_top, req.key, req.value,
+                                       arena);
+          for (int lvl = 0; lvl <= locked_top; ++lvl) path[lvl]->locked = false;
+          slot.resp.ok = true;
+          break;
+        }
+        // Escalate: leave the path locked and ask the host to lock its side.
+        auto* p = new PendingInsert();
+        for (int lvl = 0; lvl <= top; ++lvl) p->path[lvl] = path[lvl];
+        p->key = req.key;
+        p->value = req.value;
+        slot.resp.lock_path = true;
+        slot.resp.node = p;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  System& sys_;
+  int nmp_levels_;
+  double fill_;
+  SimBNodeArena host_arena_;
+  std::vector<std::unique_ptr<SimBNodeArena>> arenas_;
+  std::vector<std::unique_ptr<SimPubList>> publists_;
+  SimBNode* root_ = nullptr;
+
+  std::size_t count(const SimBNode* n) const {
+    if (n->is_leaf()) return n->slotuse;
+    std::size_t total = 0;
+    for (int i = 0; i <= n->slotuse; ++i) total += count(n->children[i]);
+    return total;
+  }
+};
+
+}  // namespace hybrids::sim

@@ -1,0 +1,53 @@
+// Energy accounting for simulated runs.
+//
+// The paper argues (§1) that reducing cache misses and data movement
+// improves not only performance but also energy; the companion dissertation
+// [15] evaluates energy in detail. We model energy as per-event costs over
+// the memory-system counters: DRAM array accesses, off-chip link transfers
+// (the dominant data-movement cost NMP avoids), cache accesses, and
+// scratchpad/MMIO traffic. Default coefficients follow common
+// HMC-generation estimates (~pJ/bit): DRAM ~13 pJ/bit, SerDes link
+// ~6 pJ/bit, SRAM accesses well below either.
+#pragma once
+
+#include "hybrids/sim/mem/memory_system.hpp"
+
+namespace hybrids::sim {
+
+struct EnergyModel {
+  // All values in picojoules per event (event granularity: one 128B block
+  // or one publication-list word for MMIO).
+  double dram_access_pj = 13.0 * 128 * 8;   // ~13 pJ/bit x 1024 bits
+  double link_transfer_pj = 6.0 * 128 * 8;  // SerDes traversal, per block
+  double l1_access_pj = 0.2 * 128 * 8;
+  double l2_access_pj = 1.0 * 128 * 8;
+  double mmio_word_pj = 6.0 * 16 * 8;       // 16B request/response words
+  double scratchpad_pj = 0.1 * 16 * 8;
+
+  /// Total energy in nanojoules for a run's memory activity.
+  double total_nj(const MemStats& stats) const {
+    const double dram_events = static_cast<double>(
+        stats.host_dram_reads + stats.host_dram_writes + stats.nmp_dram_reads +
+        stats.nmp_dram_writes);
+    // Host DRAM traffic crosses the serial link both ways; NMP traffic does
+    // not (that asymmetry is NMP's energy advantage).
+    const double link_events = static_cast<double>(
+        2 * (stats.host_dram_reads + stats.host_dram_writes));
+    const double l1_events = static_cast<double>(stats.l1_hits + stats.l1_misses);
+    const double l2_events = static_cast<double>(stats.l2_hits + stats.l2_misses);
+    const double mmio_events =
+        static_cast<double>(stats.mmio_reads + stats.mmio_writes);
+    const double pj = dram_events * dram_access_pj +
+                      link_events * link_transfer_pj +
+                      l1_events * l1_access_pj + l2_events * l2_access_pj +
+                      mmio_events * (mmio_word_pj + scratchpad_pj);
+    return pj / 1000.0;
+  }
+
+  /// Energy per operation in nanojoules.
+  double nj_per_op(const MemStats& stats, std::uint64_t ops) const {
+    return ops == 0 ? 0.0 : total_nj(stats) / static_cast<double>(ops);
+  }
+};
+
+}  // namespace hybrids::sim

@@ -1,0 +1,61 @@
+// Machine configuration (Table 1 of the paper, with scaling knobs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hybrids/sim/core/time.hpp"
+#include "hybrids/sim/mem/dram.hpp"
+
+namespace hybrids::sim {
+
+struct MachineConfig {
+  // Host cores: 8 x 2GHz (paper: ARMv7 out-of-order; the simulator charges a
+  // per-node-visit CPU cost instead of modeling the pipeline).
+  std::uint32_t host_cores = 8;
+  Tick host_cycle = 500;  // ps (2GHz)
+  /// CPU work per data-structure node visited on the host (key compares,
+  /// branch logic). Out-of-order cores overlap this with the memory access;
+  /// kept small accordingly.
+  Tick host_node_cpu = 2 * 500;
+
+  // L1 data cache: 64kB, 2-way, 128B blocks, 2-cycle.
+  std::size_t l1_bytes = 64 * 1024;
+  int l1_assoc = 2;
+  Tick l1_latency = 2 * 500;
+
+  // L2 (last-level) cache: 1MB shared, 8-way, 128B blocks, 20-cycle.
+  // The Cortex-A15 L2 (Table 1's host CPU) selects victims pseudo-randomly;
+  // set false to model an idealized true-LRU LLC instead.
+  std::size_t l2_bytes = 1024 * 1024;
+  int l2_assoc = 8;
+  Tick l2_latency = 20 * 500;
+  bool l2_random_replacement = true;
+
+  std::size_t block_bytes = 128;
+
+  // HMC: 16 vaults (8 host main-memory + 8 NMP), 8 banks per vault.
+  std::uint32_t main_vaults = 8;
+  std::uint32_t nmp_vaults = 8;
+  int banks_per_vault = 8;
+  int blocks_per_row = 16;  // 2KB row buffer per bank
+  DramTiming dram{};
+
+  // Off-chip serial link between the host chip and the HMC (per direction).
+  // Sized so an uncached MMIO round trip is comparable to 1-2 LLC misses,
+  // the relationship the paper's Table 2 reports.
+  Tick link_latency = 8 * kNanosecond;
+
+  // NMP cores: in-order single-cycle, 2GHz, no caches; a node-size (128B)
+  // buffer acts as a single-block cache. Scratchpad accesses take one cycle.
+  Tick nmp_cycle = 500;
+  Tick nmp_node_cpu = 4 * 500;  // in-order: key-scan work is exposed
+  Tick scratchpad_latency = 500;
+
+  /// Host poll gap while waiting for an NMP response (blocking calls) and
+  /// NMP publication-list re-scan gap when idle.
+  Tick host_poll_gap = 4 * 500;
+  Tick nmp_idle_gap = 4 * 500;
+};
+
+}  // namespace hybrids::sim

@@ -1,0 +1,186 @@
+// Simulated machine: the event engine, the memory system, and the execution
+// contexts (host hardware threads, NMP cores) that simulated data-structure
+// code runs on. Also provides the simulated publication-list transport
+// (§3.2) shared by all NMP-based structures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hybrids/nmp/publication.hpp"
+#include "hybrids/sim/core/event_queue.hpp"
+#include "hybrids/sim/core/task.hpp"
+#include "hybrids/sim/machine/config.hpp"
+#include "hybrids/sim/mem/memory_system.hpp"
+
+namespace hybrids::sim {
+
+class System {
+ public:
+  explicit System(const MachineConfig& config)
+      : config_(config), mem_(config) {}
+
+  const MachineConfig& config() const { return config_; }
+  Engine& engine() { return engine_; }
+  MemorySystem& mem() { return mem_; }
+
+  /// Set once all host workload actors finish; combiner actors then drain
+  /// and exit.
+  bool stop_requested() const { return stop_; }
+  void request_stop() { stop_ = true; }
+
+ private:
+  MachineConfig config_;
+  Engine engine_;
+  MemorySystem mem_;
+  bool stop_ = false;
+};
+
+/// Execution context of one host hardware thread.
+struct HostCtx {
+  System* sys;
+  std::uint32_t core;
+
+  Engine::DelayAwaiter delay(Tick d) { return sys->engine().delay(d); }
+
+  /// Visit one data-structure node (<= one 128B block): memory latency plus
+  /// the per-node CPU cost.
+  Engine::DelayAwaiter node(const void* p, bool write = false) {
+    const Tick lat = sys->mem().host_access(core,
+                                            reinterpret_cast<std::uint64_t>(p),
+                                            write, sys->engine().now()) +
+                     sys->config().host_node_cpu;
+    return delay(lat);
+  }
+
+  /// Application-interference access (tracked separately in the stats).
+  Engine::DelayAwaiter app_access(std::uint64_t addr) {
+    const Tick lat = sys->mem().host_access(core, addr, /*write=*/false,
+                                            sys->engine().now(), /*app=*/true);
+    return delay(lat);
+  }
+
+  Engine::DelayAwaiter mmio_write() {
+    return delay(sys->mem().host_mmio(true, sys->engine().now()));
+  }
+  Engine::DelayAwaiter mmio_read() {
+    return delay(sys->mem().host_mmio(false, sys->engine().now()));
+  }
+};
+
+/// Execution context of one NMP core: accesses its own vault directly and
+/// keeps a node-size single-block buffer (Choe et al. [16]).
+struct NmpCtx {
+  System* sys;
+  std::uint32_t vault;  // NMP vault index (0-based among NMP vaults)
+  std::uint64_t buffer_block = ~std::uint64_t{0};
+
+  Engine::DelayAwaiter delay(Tick d) { return sys->engine().delay(d); }
+
+  /// Visit one partition-local node through the node buffer.
+  Engine::DelayAwaiter node(const void* p, bool write = false) {
+    const auto addr = reinterpret_cast<std::uint64_t>(p);
+    const std::uint64_t block = addr / sys->config().block_bytes;
+    Tick lat = sys->config().nmp_node_cpu;
+    if (block == buffer_block && !write) {
+      lat += sys->config().nmp_cycle;
+      // Buffer hit: no DRAM access.
+      // (Writes go through to the vault and refresh the buffer.)
+    } else {
+      lat += sys->mem().nmp_access(vault, addr, write, sys->engine().now());
+      buffer_block = block;
+    }
+    return delay(lat);
+  }
+
+  Engine::DelayAwaiter spad() {
+    return delay(sys->mem().nmp_scratchpad(sys->engine().now()));
+  }
+};
+
+/// Simulated publication-list slot: plain fields (the event engine
+/// interleaves actors only at co_await points), latencies charged through
+/// HostCtx::mmio_* and NmpCtx::spad.
+struct SimSlot {
+  enum Status : std::uint8_t { kEmpty, kPending, kDone };
+  Status status = kEmpty;
+  nmp::Request req{};
+  nmp::Response resp{};
+};
+
+/// One NMP core's publication list plus the stop flag shared with its
+/// combiner actor.
+struct SimPubList {
+  explicit SimPubList(std::uint32_t slots) : slots(slots) {}
+  std::vector<SimSlot> slots;
+};
+
+/// Host side of a blocking NMP call: write the request (posted MMIO), poll
+/// the valid flag, read back the response (§3.2; Table 2 measures exactly
+/// this round trip).
+inline Task<nmp::Response> sim_call(HostCtx& c, SimPubList& pl,
+                                    std::uint32_t slot, nmp::Request req) {
+  co_await c.mmio_write();
+  pl.slots[slot].req = req;
+  pl.slots[slot].resp = nmp::Response{};
+  pl.slots[slot].status = SimSlot::kPending;
+  while (true) {
+    co_await c.mmio_read();  // poll the flag
+    if (pl.slots[slot].status == SimSlot::kDone) break;
+    co_await c.delay(c.sys->config().host_poll_gap);
+  }
+  co_await c.mmio_read();  // fetch response payload
+  nmp::Response resp = pl.slots[slot].resp;
+  pl.slots[slot].status = SimSlot::kEmpty;
+  co_return resp;
+}
+
+/// Host side of a non-blocking post (§3.5): returns immediately after the
+/// posted MMIO write; completion is collected with sim_collect.
+inline Task<void> sim_post(HostCtx& c, SimPubList& pl, std::uint32_t slot,
+                           nmp::Request req) {
+  co_await c.mmio_write();
+  pl.slots[slot].req = req;
+  pl.slots[slot].resp = nmp::Response{};
+  pl.slots[slot].status = SimSlot::kPending;
+}
+
+inline Task<nmp::Response> sim_collect(HostCtx& c, SimPubList& pl,
+                                       std::uint32_t slot) {
+  while (true) {
+    co_await c.mmio_read();
+    if (pl.slots[slot].status == SimSlot::kDone) break;
+    co_await c.delay(c.sys->config().host_poll_gap);
+  }
+  co_await c.mmio_read();
+  nmp::Response resp = pl.slots[slot].resp;
+  pl.slots[slot].status = SimSlot::kEmpty;
+  co_return resp;
+}
+
+/// NMP combiner actor: scans the publication list (one scratchpad read per
+/// slot), applies pending requests through `handler`, and writes responses.
+/// Runs until the system requests a stop and the list is drained.
+inline Task<void> sim_combiner(
+    System& sys, NmpCtx ctx, SimPubList& pl,
+    std::function<Task<void>(NmpCtx&, SimSlot&)> handler) {
+  while (true) {
+    bool any = false;
+    for (auto& slot : pl.slots) {
+      co_await ctx.spad();  // read the valid flag
+      if (slot.status == SimSlot::kPending) {
+        co_await handler(ctx, slot);
+        co_await ctx.spad();  // write response + clear flag
+        slot.status = SimSlot::kDone;
+        any = true;
+      }
+    }
+    if (!any) {
+      if (sys.stop_requested()) co_return;
+      co_await ctx.delay(sys.config().nmp_idle_gap);
+    }
+  }
+}
+
+}  // namespace hybrids::sim

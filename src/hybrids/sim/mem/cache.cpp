@@ -1,0 +1,99 @@
+#include "hybrids/sim/mem/cache.hpp"
+
+#include <cassert>
+
+namespace hybrids::sim {
+
+namespace {
+std::size_t round_down_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p * 2 <= x) p *= 2;
+  return p;
+}
+}  // namespace
+
+CacheModel::CacheModel(std::size_t bytes, int assoc, std::size_t block_bytes,
+                       Replacement replacement)
+    : assoc_(assoc), block_bytes_(block_bytes), replacement_(replacement) {
+  assert(bytes >= block_bytes * static_cast<std::size_t>(assoc));
+  sets_ = round_down_pow2(bytes / block_bytes / static_cast<std::size_t>(assoc));
+  ways_.assign(sets_ * static_cast<std::size_t>(assoc_), Way{});
+}
+
+CacheModel::Result CacheModel::access(std::uint64_t block, bool write) {
+  Result r;
+  const std::size_t base = set_of(block) * static_cast<std::size_t>(assoc_);
+  ++tick_;
+  // Hit path.
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.block == block) {
+      way.lru = tick_;
+      way.dirty = way.dirty || write;
+      ++hits_;
+      r.hit = true;
+      return r;
+    }
+  }
+  // Miss: allocate into an invalid way, else evict per the policy.
+  ++misses_;
+  int victim = -1;
+  std::uint64_t best = ~std::uint64_t{0};
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (!way.valid) {
+      victim = w;
+      break;
+    }
+    if (replacement_ == Replacement::kLru && way.lru < best) {
+      best = way.lru;
+      victim = w;
+    }
+  }
+  if (victim < 0 || (replacement_ == Replacement::kRandom &&
+                     ways_[base + static_cast<std::size_t>(victim)].valid)) {
+    if (victim < 0 || replacement_ == Replacement::kRandom) {
+      // xorshift64*: deterministic pseudo-random victim (A15-style L2).
+      prng_ ^= prng_ >> 12;
+      prng_ ^= prng_ << 25;
+      prng_ ^= prng_ >> 27;
+      victim = static_cast<int>((prng_ * 0x2545F4914F6CDD1Dull >> 33) %
+                                static_cast<std::uint64_t>(assoc_));
+    }
+  }
+  Way& way = ways_[base + static_cast<std::size_t>(victim)];
+  if (way.valid) {
+    r.evicted = way.block;
+    r.evicted_valid = true;
+    r.writeback = way.dirty;
+  }
+  way.valid = true;
+  way.block = block;
+  way.lru = tick_;
+  way.dirty = write;
+  return r;
+}
+
+bool CacheModel::invalidate(std::uint64_t block) {
+  const std::size_t base = set_of(block) * static_cast<std::size_t>(assoc_);
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.block == block) {
+      way.valid = false;
+      way.dirty = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CacheModel::contains(std::uint64_t block) const {
+  const std::size_t base = set_of(block) * static_cast<std::size_t>(assoc_);
+  for (int w = 0; w < assoc_; ++w) {
+    const Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.block == block) return true;
+  }
+  return false;
+}
+
+}  // namespace hybrids::sim

@@ -1,0 +1,67 @@
+// Set-associative LRU cache model (L1 data caches and the shared L2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hybrids::sim {
+
+class CacheModel {
+ public:
+  enum class Replacement {
+    kLru,
+    kRandom,  // Cortex-A15 L2 victim selection (Table 1's host CPU)
+  };
+
+  /// `bytes` capacity, `assoc` ways, `block_bytes` line size (Table 1:
+  /// 128-byte blocks; L1d 64kB 2-way; L2 1MB 8-way).
+  CacheModel(std::size_t bytes, int assoc, std::size_t block_bytes,
+             Replacement replacement = Replacement::kLru);
+
+  struct Result {
+    bool hit = false;
+    bool writeback = false;        // a dirty block was evicted
+    std::uint64_t evicted = 0;     // block id of the eviction (if any)
+    bool evicted_valid = false;
+  };
+
+  /// Looks up `block` (a block id, i.e. addr / block_bytes); allocates on
+  /// miss (write-allocate), updates LRU, marks dirty on writes.
+  Result access(std::uint64_t block, bool write);
+
+  /// Invalidates `block` if present; returns true if it was.
+  bool invalidate(std::uint64_t block);
+
+  bool contains(std::uint64_t block) const;
+
+  std::size_t sets() const { return sets_; }
+  int assoc() const { return assoc_; }
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  void reset_stats() { hits_ = misses_ = 0; }
+
+ private:
+  struct Way {
+    std::uint64_t block = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::size_t set_of(std::uint64_t block) const { return block & (sets_ - 1); }
+
+  std::size_t sets_;
+  int assoc_;
+  std::size_t block_bytes_;
+  Replacement replacement_;
+  std::uint64_t tick_ = 0;   // LRU clock
+  std::uint64_t prng_ = 0x9E3779B97F4A7C15ull;  // deterministic victim picks
+  std::vector<Way> ways_;   // sets_ * assoc_
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hybrids::sim

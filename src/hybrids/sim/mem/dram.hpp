@@ -1,0 +1,76 @@
+// DRAM vault timing model (Table 1): per-vault banks with open-row policy
+// and tRP / tRCD / tCL / tBURST timing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hybrids/sim/core/time.hpp"
+
+namespace hybrids::sim {
+
+struct DramTiming {
+  Tick tRP = 13750;    // precharge (ps)
+  Tick tRCD = 13750;   // activate-to-CAS
+  Tick tCL = 13750;    // CAS latency
+  Tick tBURST = 3200;  // 128B burst
+};
+
+/// One HMC memory vault: 8 banks, block-interleaved, open-row policy.
+/// `access` advances bank state and returns the latency from `now` until the
+/// data burst completes (requests to a busy bank queue behind it).
+class DramVault {
+ public:
+  DramVault(const DramTiming& timing, int banks, std::size_t block_bytes,
+            int blocks_per_row)
+      : timing_(timing),
+        banks_(static_cast<std::size_t>(banks)),
+        block_bytes_(block_bytes),
+        blocks_per_row_(static_cast<std::uint64_t>(blocks_per_row)) {}
+
+  Tick access(std::uint64_t addr, bool write, Tick now) {
+    const std::uint64_t block = addr / block_bytes_;
+    Bank& bank = banks_[block % banks_.size()];
+    const std::uint64_t row = block / banks_.size() / blocks_per_row_;
+    const Tick start = now > bank.ready ? now : bank.ready;
+    Tick lat;
+    if (bank.open && bank.row == row) {
+      lat = timing_.tCL + timing_.tBURST;  // row-buffer hit
+      ++row_hits_;
+    } else if (!bank.open) {
+      lat = timing_.tRCD + timing_.tCL + timing_.tBURST;
+      ++row_misses_;
+    } else {
+      lat = timing_.tRP + timing_.tRCD + timing_.tCL + timing_.tBURST;
+      ++row_misses_;
+    }
+    bank.open = true;
+    bank.row = row;
+    bank.ready = start + lat;
+    if (write) ++writes_; else ++reads_;
+    return bank.ready - now;
+  }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t row_hits() const { return row_hits_; }
+  std::uint64_t row_misses() const { return row_misses_; }
+
+ private:
+  struct Bank {
+    Tick ready = 0;
+    std::uint64_t row = 0;
+    bool open = false;
+  };
+
+  DramTiming timing_;
+  std::vector<Bank> banks_;
+  std::size_t block_bytes_;
+  std::uint64_t blocks_per_row_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_misses_ = 0;
+};
+
+}  // namespace hybrids::sim

@@ -1,0 +1,97 @@
+#include "hybrids/sim/mem/memory_system.hpp"
+
+#include <cassert>
+
+namespace hybrids::sim {
+
+MemorySystem::MemorySystem(const MachineConfig& config)
+    : config_(config),
+      l2_(config.l2_bytes, config.l2_assoc, config.block_bytes,
+          config.l2_random_replacement ? CacheModel::Replacement::kRandom
+                                       : CacheModel::Replacement::kLru) {
+  l1_.reserve(config.host_cores);
+  for (std::uint32_t c = 0; c < config.host_cores; ++c) {
+    l1_.emplace_back(config.l1_bytes, config.l1_assoc, config.block_bytes);
+  }
+  for (std::uint32_t v = 0; v < config.main_vaults; ++v) {
+    main_vaults_.emplace_back(config.dram, config.banks_per_vault,
+                              config.block_bytes, config.blocks_per_row);
+  }
+  for (std::uint32_t v = 0; v < config.nmp_vaults; ++v) {
+    nmp_vaults_.emplace_back(config.dram, config.banks_per_vault,
+                             config.block_bytes, config.blocks_per_row);
+  }
+}
+
+Tick MemorySystem::host_access(std::uint32_t core, std::uint64_t addr,
+                               bool write, Tick now, bool app) {
+  assert(core < l1_.size());
+  const std::uint64_t block = block_of(addr);
+  // Writes invalidate other cores' private copies (simple coherence: the
+  // writer gets the block exclusive; sharers re-fetch from L2).
+  if (write) {
+    for (std::uint32_t c = 0; c < l1_.size(); ++c) {
+      if (c != core) l1_[c].invalidate(block);
+    }
+  }
+  CacheModel::Result r1 = l1_[core].access(block, write);
+  if (r1.hit) {
+    ++stats_.l1_hits;
+    return config_.l1_latency;
+  }
+  ++stats_.l1_misses;
+  Tick lat = config_.l1_latency + config_.l2_latency;
+  CacheModel::Result r2 = l2_.access(block, write);
+  if (r2.hit) {
+    ++stats_.l2_hits;
+    return lat;
+  }
+  ++stats_.l2_misses;
+  // Off-chip: link out, vault access, link back.
+  lat += config_.link_latency;
+  DramVault& vault = main_vaults_[block % main_vaults_.size()];
+  lat += vault.access(addr, /*write=*/false, now + lat);  // fill is a read
+  lat += config_.link_latency;
+  ++stats_.host_dram_reads;
+  if (app) ++stats_.app_dram_reads;
+  if (r2.writeback) {
+    // Dirty eviction: writeback traffic is counted but performed off the
+    // critical path (posted).
+    DramVault& wb = main_vaults_[(r2.evicted % main_vaults_.size())];
+    (void)wb.access(r2.evicted * config_.block_bytes, /*write=*/true, now + lat);
+    ++stats_.host_dram_writes;
+  }
+  return lat;
+}
+
+Tick MemorySystem::nmp_access(std::uint32_t nmp_vault, std::uint64_t addr,
+                              bool write, Tick now) {
+  assert(nmp_vault < nmp_vaults_.size());
+  const Tick lat =
+      config_.nmp_cycle + nmp_vaults_[nmp_vault].access(addr, write, now);
+  if (write) {
+    ++stats_.nmp_dram_writes;
+  } else {
+    ++stats_.nmp_dram_reads;
+  }
+  return lat;
+}
+
+Tick MemorySystem::host_mmio(bool write, Tick now) {
+  (void)now;
+  if (write) {
+    ++stats_.mmio_writes;
+    // Posted write: traverse the link and deposit into the scratchpad.
+    return config_.link_latency + config_.scratchpad_latency;
+  }
+  ++stats_.mmio_reads;
+  // Uncached read: request out, scratchpad access, response back.
+  return 2 * config_.link_latency + config_.scratchpad_latency;
+}
+
+Tick MemorySystem::nmp_scratchpad(Tick now) {
+  (void)now;
+  return config_.scratchpad_latency;
+}
+
+}  // namespace hybrids::sim

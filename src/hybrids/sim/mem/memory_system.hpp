@@ -1,0 +1,79 @@
+// Memory system: routes simulated accesses through the Table 1 hierarchy.
+//
+//   host core -> private L1d -> shared L2 -> serial link -> main-memory vault
+//   NMP core  -> (node buffer, modeled by the core) -> its own NMP vault
+//   host MMIO -> serial link -> NMP scratchpad (publication list)
+//
+// Each call computes the access latency, advances bank/cache state, and
+// updates counters. Addresses are the host process's real pointers (stable,
+// unique); vault assignment for host memory interleaves blocks across the
+// main-memory vaults, while NMP accesses name their vault explicitly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hybrids/sim/core/time.hpp"
+#include "hybrids/sim/machine/config.hpp"
+#include "hybrids/sim/mem/cache.hpp"
+#include "hybrids/sim/mem/dram.hpp"
+
+namespace hybrids::sim {
+
+struct MemStats {
+  std::uint64_t host_dram_reads = 0;
+  std::uint64_t host_dram_writes = 0;
+  std::uint64_t nmp_dram_reads = 0;
+  std::uint64_t nmp_dram_writes = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t mmio_reads = 0;
+  std::uint64_t mmio_writes = 0;
+  std::uint64_t nmp_buffer_hits = 0;
+  std::uint64_t app_dram_reads = 0;  // subset of host_dram_reads from the
+                                     // application-interference region
+
+  std::uint64_t dram_reads_total() const { return host_dram_reads + nmp_dram_reads; }
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MachineConfig& config);
+
+  /// Host load/store of the block containing `addr`. Returns the latency.
+  /// `app` tags application-interference traffic so experiment metrics can
+  /// separate index reads from background reads.
+  Tick host_access(std::uint32_t core, std::uint64_t addr, bool write, Tick now,
+                   bool app = false);
+
+  /// NMP core access to its own vault (no caches, no link crossing).
+  Tick nmp_access(std::uint32_t nmp_vault, std::uint64_t addr, bool write, Tick now);
+
+  /// Host access to an NMP core's memory-mapped scratchpad (publication
+  /// list): uncached, crosses the link. Reads need the round trip; writes
+  /// are posted (one traversal + scratchpad write).
+  Tick host_mmio(bool write, Tick now);
+
+  /// NMP core access to its local scratchpad (single cycle).
+  Tick nmp_scratchpad(Tick now);
+
+  const MemStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MemStats{}; }
+
+  const MachineConfig& config() const { return config_; }
+
+ private:
+  std::uint64_t block_of(std::uint64_t addr) const { return addr / config_.block_bytes; }
+
+  MachineConfig config_;
+  std::vector<CacheModel> l1_;       // per host core
+  CacheModel l2_;
+  std::vector<DramVault> main_vaults_;
+  std::vector<DramVault> nmp_vaults_;
+  MemStats stats_;
+};
+
+}  // namespace hybrids::sim

@@ -1,0 +1,15 @@
+// Fundamental key/value types shared by the data structures, the NMP
+// runtime, the workload generators, and the simulator.
+//
+// The paper's publication-list layout (§3.2) fixes lookup keys and values at
+// 4 bytes each; we use the same widths throughout.
+#pragma once
+
+#include <cstdint>
+
+namespace hybrids {
+
+using Key = std::uint32_t;
+using Value = std::uint32_t;
+
+}  // namespace hybrids

@@ -1,0 +1,51 @@
+// Spin-wait primitives tuned for oversubscribed machines.
+//
+// The software NMP runtime runs one combiner thread per partition; on a
+// machine with fewer hardware threads than partitions + host threads, a pure
+// spin loop livelocks. Waiters therefore spin briefly with a pause hint and
+// then fall back to yielding the CPU.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace hybrids::util {
+
+/// CPU pause hint (no-op on architectures without one).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+/// Adaptive backoff: `spin()` pauses for the first `spin_limit` calls, then
+/// yields to the OS scheduler. Reset when the awaited condition makes
+/// progress.
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t spin_limit = 64) noexcept
+      : spin_limit_(spin_limit) {}
+
+  void spin() noexcept {
+    if (count_ < spin_limit_) {
+      ++count_;
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  std::uint32_t spin_limit_;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace hybrids::util

@@ -1,0 +1,26 @@
+// Cache-line alignment helpers for concurrency-sensitive data.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace hybrids::util {
+
+/// Destructive interference size. `std::hardware_destructive_interference_size`
+/// is 64 on the x86-64 toolchains we target; we hard-code 64 to keep struct
+/// layouts ABI-stable across compilers that disagree about the constant.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps T so that distinct instances never share a cache line (avoids false
+/// sharing between per-thread slots, e.g. publication-list entries).
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+}  // namespace hybrids::util

@@ -1,0 +1,65 @@
+#include "hybrids/util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hybrids::util {
+
+int Histogram::bucket_for(double value) {
+  if (value <= 0.0) return 0;
+  // Bucket i covers [2^(i-1), 2^i); bucket 0 covers [0, 1).
+  int b = static_cast<int>(std::ceil(std::log2(value))) + 1;
+  return std::clamp(b, 0, kBuckets - 1);
+}
+
+void Histogram::record(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[static_cast<std::size_t>(bucket_for(value))];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kBuckets; ++i) buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen > target) {
+      // Upper edge of bucket i, clamped to the observed range.
+      double upper = i == 0 ? 1.0 : std::pow(2.0, i);
+      return std::clamp(upper, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " min=" << min()
+     << " p50~" << quantile(0.5) << " p99~" << quantile(0.99) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace hybrids::util

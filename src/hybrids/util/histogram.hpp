@@ -1,0 +1,41 @@
+// Streaming histogram for latency / count distributions collected by the
+// simulator and benches (e.g. per-operation DRAM reads, offload round-trip
+// latencies for Table 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hybrids::util {
+
+/// Fixed set of power-of-two-ish buckets plus exact mean/min/max tracking.
+/// Single-writer; merge() combines per-thread instances.
+class Histogram {
+ public:
+  void record(double value);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Approximate quantile from the bucketed distribution (q in [0,1]).
+  double quantile(double q) const;
+
+  std::string summary() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  static int bucket_for(double value);
+
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBuckets, 0);
+};
+
+}  // namespace hybrids::util

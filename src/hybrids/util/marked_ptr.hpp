@@ -1,0 +1,68 @@
+// Tagged pointers for lock-free algorithms.
+//
+// Lock-free skiplists (Herlihy-Lev-Shavit / Fraser) steal the low bit of a
+// next-pointer to mark a node as logically deleted, so that the {pointer,
+// mark} pair can be updated with a single CAS. The hybrid B+ tree similarly
+// steals low bits of 64/128-byte-aligned node pointers to carry the NMP
+// partition id (§3.4 of the paper).
+#pragma once
+
+#include <cstdint>
+
+namespace hybrids::util {
+
+/// A raw pointer with a boolean mark packed into bit 0.
+/// T must have alignment >= 2 (all node types in this library do).
+template <typename T>
+class MarkedPtr {
+ public:
+  constexpr MarkedPtr() noexcept = default;
+  constexpr MarkedPtr(T* ptr, bool mark) noexcept
+      : bits_(reinterpret_cast<std::uintptr_t>(ptr) | (mark ? 1u : 0u)) {}
+
+  static constexpr MarkedPtr from_bits(std::uintptr_t bits) noexcept {
+    MarkedPtr p;
+    p.bits_ = bits;
+    return p;
+  }
+
+  constexpr T* ptr() const noexcept {
+    return reinterpret_cast<T*>(bits_ & ~std::uintptr_t{1});
+  }
+  constexpr bool marked() const noexcept { return (bits_ & 1u) != 0; }
+  constexpr std::uintptr_t bits() const noexcept { return bits_; }
+
+  friend constexpr bool operator==(MarkedPtr a, MarkedPtr b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::uintptr_t bits_ = 0;
+};
+
+/// Packs a small tag (e.g. an NMP partition id) into the low `Bits` bits of
+/// an aligned pointer. Used for host->NMP child references in the hybrid
+/// B+ tree, where 128-byte node alignment leaves 7 free bits.
+template <typename T, unsigned Bits>
+class TaggedPtr {
+  static constexpr std::uintptr_t kMask = (std::uintptr_t{1} << Bits) - 1;
+
+ public:
+  constexpr TaggedPtr() noexcept = default;
+  constexpr TaggedPtr(T* ptr, unsigned tag) noexcept
+      : bits_(reinterpret_cast<std::uintptr_t>(ptr) | (tag & kMask)) {}
+
+  constexpr T* ptr() const noexcept { return reinterpret_cast<T*>(bits_ & ~kMask); }
+  constexpr unsigned tag() const noexcept { return static_cast<unsigned>(bits_ & kMask); }
+  constexpr std::uintptr_t bits() const noexcept { return bits_; }
+  constexpr explicit operator bool() const noexcept { return ptr() != nullptr; }
+
+  friend constexpr bool operator==(TaggedPtr a, TaggedPtr b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::uintptr_t bits_ = 0;
+};
+
+}  // namespace hybrids::util

@@ -1,0 +1,91 @@
+// Deterministic, fast pseudo-random number generators.
+//
+// Everything in hybrids that needs randomness (workload generation, skiplist
+// tower heights, simulator jitter) uses these generators so that experiments
+// are exactly reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace hybrids::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into well-distributed
+/// initial states for other generators (Vigna, 2015).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — general-purpose generator; fast, high quality, and small
+/// enough to embed one per simulated thread / host thread.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// UniformRandomBitGenerator interface (usable with <random> distributions).
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift reduction
+  /// (slightly biased for astronomically large bounds; fine for workloads).
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p`.
+  constexpr bool next_bool(double p) noexcept { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+/// FNV-1a 64-bit hash — used by the YCSB "scrambled zipfian" key chooser.
+constexpr std::uint64_t fnv1a64(std::uint64_t value) noexcept {
+  constexpr std::uint64_t kOffset = 0xCBF29CE484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  std::uint64_t hash = kOffset;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+}  // namespace hybrids::util

@@ -1,0 +1,39 @@
+// Minimal ASCII table / CSV writer used by the benchmark harnesses to print
+// paper-style result tables (one row per series point).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hybrids::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// a fixed precision. Rendered with a header rule, suitable for terminals
+/// and for diffing bench outputs across runs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_cell/add_num calls fill it.
+  Table& new_row();
+  Table& add_cell(std::string value);
+  Table& add_num(double value, int precision = 2);
+  Table& add_int(long long value);
+
+  /// Number of completed or in-progress rows.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with padded columns and a header separator.
+  void print(std::ostream& os) const;
+  /// Renders as RFC-4180-ish CSV (no quoting of commas; our cells have none).
+  void print_csv(std::ostream& os) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hybrids::util

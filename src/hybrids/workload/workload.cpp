@@ -1,0 +1,114 @@
+#include "hybrids/workload/workload.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace hybrids::workload {
+
+KeyLayout::KeyLayout(std::uint64_t initial_keys, std::uint32_t partitions)
+    : initial_keys_(initial_keys), partitions_(partitions) {
+  assert(partitions_ > 0);
+  per_partition_ = (initial_keys_ + partitions_ - 1) / partitions_;
+  // Even offsets 0..2*per_partition hold loaded keys; another 2x headroom
+  // for tail inserts. Must fit in 32 bits.
+  const std::uint64_t width = 4 * per_partition_;
+  assert(width * partitions_ <= (1ull << 32));
+  width_ = static_cast<Key>(width);
+}
+
+Key KeyLayout::key_at(std::uint64_t i) const {
+  assert(i < initial_keys_);
+  const std::uint64_t p = i / per_partition_;
+  const std::uint64_t off = i % per_partition_;
+  return static_cast<Key>(p * width_ + 2 * off);
+}
+
+std::uint32_t KeyLayout::partition_of(Key key) const {
+  const auto p = static_cast<std::uint32_t>(key / width_);
+  return p >= partitions_ ? partitions_ - 1 : p;
+}
+
+Key KeyLayout::tail_base(std::uint32_t p) const {
+  // One past the highest loaded (even) offset in partition p.
+  return static_cast<Key>(static_cast<std::uint64_t>(p) * width_ + 2 * per_partition_);
+}
+
+std::vector<Key> KeyLayout::initial_key_set() const {
+  std::vector<Key> keys;
+  keys.reserve(initial_keys_);
+  for (std::uint64_t i = 0; i < initial_keys_; ++i) keys.push_back(key_at(i));
+  return keys;
+}
+
+std::string OpMix::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%d-%d-%d", static_cast<int>(read * 100 + 0.5),
+                static_cast<int>(insert * 100 + 0.5),
+                static_cast<int>(remove * 100 + 0.5));
+  return buf;
+}
+
+OpStream::OpStream(const WorkloadSpec& spec, std::uint32_t thread_id)
+    : layout_(spec.initial_keys, spec.partitions),
+      mix_(spec.mix),
+      dist_(spec.dist),
+      insert_pattern_(spec.insert_pattern),
+      rng_(spec.seed * 0x9E3779B97F4A7C15ULL + thread_id + 1),
+      zipf_(spec.initial_keys) {
+  tail_next_.reserve(spec.partitions);
+  for (std::uint32_t p = 0; p < spec.partitions; ++p) {
+    // Offset each thread's tail stream so threads do not collide on the
+    // exact same insert key; collisions would turn inserts into no-ops.
+    tail_next_.push_back(static_cast<Key>(layout_.tail_base(p) + thread_id));
+  }
+  tail_rr_ = thread_id % spec.partitions;
+}
+
+Key OpStream::choose_lookup_key() {
+  std::uint64_t index;
+  if (dist_ == KeyDist::kScrambledZipfian) {
+    index = zipf_.next(rng_);
+  } else {
+    index = rng_.next_below(layout_.initial_keys());
+  }
+  return layout_.key_at(index);
+}
+
+Key OpStream::choose_insert_key() {
+  if (insert_pattern_ == InsertPattern::kPartitionTail) {
+    // Round-robin across partitions (paper: insertions evenly distributed
+    // across NMP partitions, each targeting the partition's last leaf).
+    const std::uint32_t p = tail_rr_;
+    tail_rr_ = (tail_rr_ + 1) % layout_.partitions();
+    const Key k = tail_next_[p];
+    // Stride by a large-ish amount so concurrent threads interleave; 64 keeps
+    // keys within the partition's headroom for realistic run lengths.
+    tail_next_[p] = static_cast<Key>(k + 64);
+    // Wrap within the partition headroom to keep long runs in range.
+    const Key base = layout_.tail_base(p);
+    const Key limit = static_cast<Key>((static_cast<std::uint64_t>(p) + 1) * layout_.partition_width());
+    if (tail_next_[p] >= limit) tail_next_[p] = static_cast<Key>(base + (tail_next_[p] - limit) % 64 + 1);
+    return k < limit ? k : base;
+  }
+  // Uniform: odd keys inside the loaded region spread over all leaves.
+  const std::uint64_t index = rng_.next_below(layout_.initial_keys());
+  return static_cast<Key>(layout_.key_at(index) + 1);
+}
+
+Op OpStream::next() {
+  const double r = rng_.next_double();
+  if (r < mix_.read) {
+    return {OpType::kRead, choose_lookup_key(), 0};
+  }
+  if (r < mix_.read + mix_.update) {
+    return {OpType::kUpdate, choose_lookup_key(),
+            static_cast<Value>(rng_.next())};
+  }
+  if (r < mix_.read + mix_.update + mix_.insert) {
+    return {OpType::kInsert, choose_insert_key(),
+            static_cast<Value>(rng_.next())};
+  }
+  return {OpType::kRemove, choose_lookup_key(), 0};
+}
+
+}  // namespace hybrids::workload

@@ -1,0 +1,131 @@
+// Workload specification and per-thread operation streams.
+//
+// Reproduces the two workload families of the paper's evaluation:
+//   * YCSB core workload C: 100% reads, scrambled-zipfian key choice (§5.1).
+//   * Sensitivity mixes X-Y-Z (read-insert-remove percentages) with uniform
+//     key choice (§5.2), including the B+ tree variant where insert keys
+//     target the last leaf of each NMP partition to force node splits, and
+//     the "fully uniform" variant that avoids splits.
+//
+// Keys are 4 bytes, as in the paper (§3.2 publication-list layout).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hybrids/types.hpp"
+#include "hybrids/util/rng.hpp"
+#include "hybrids/workload/zipf.hpp"
+
+namespace hybrids::workload {
+
+using hybrids::Key;
+using hybrids::Value;
+
+enum class OpType : std::uint8_t { kRead, kUpdate, kInsert, kRemove };
+
+struct Op {
+  OpType type;
+  Key key;
+  Value value;
+};
+
+/// How keys for read/update/remove operations are chosen.
+enum class KeyDist : std::uint8_t {
+  kUniform,            // uniform over the initially loaded key set
+  kScrambledZipfian,   // YCSB-C: zipfian rank scattered by FNV hash
+};
+
+/// How keys for insert operations are chosen.
+enum class InsertPattern : std::uint8_t {
+  kUniform,        // uniform over unloaded (odd) keys: spreads inserts over
+                   // all leaves; in the B+ tree this incurs ~no node splits
+  kPartitionTail,  // ascending keys at the tail of each partition's loaded
+                   // range: forces the maximum possible number of node
+                   // splits while spreading load evenly over partitions
+};
+
+/// Maps logical item indices onto the concrete 4-byte key space.
+///
+/// The key space is divided into `partitions` equal-width ranges (matching
+/// the hybrid structures' range partitioning). Within each partition the
+/// initially loaded keys are the even offsets 0,2,4,...; odd offsets remain
+/// free for uniform inserts, and offsets beyond the loaded region remain
+/// free for tail inserts. Width is 4x the per-partition load so tail inserts
+/// never spill into the next partition.
+class KeyLayout {
+ public:
+  KeyLayout(std::uint64_t initial_keys, std::uint32_t partitions);
+
+  std::uint64_t initial_keys() const { return initial_keys_; }
+  std::uint32_t partitions() const { return partitions_; }
+  std::uint64_t per_partition() const { return per_partition_; }
+  /// Width of each partition's key range.
+  Key partition_width() const { return width_; }
+  /// Exclusive upper bound of the key space.
+  Key key_space() const { return static_cast<Key>(static_cast<std::uint64_t>(width_) * partitions_); }
+
+  /// The i-th initially loaded key (i in [0, initial_keys)), ascending in i.
+  Key key_at(std::uint64_t i) const;
+  /// Partition owning `key` under equal-width range partitioning.
+  std::uint32_t partition_of(Key key) const;
+  /// First free key above the loaded region of partition `p` (tail inserts).
+  Key tail_base(std::uint32_t p) const;
+
+  /// All initially loaded keys in ascending order (B+ tree sorted bulk load;
+  /// shuffle for skiplist loads if desired).
+  std::vector<Key> initial_key_set() const;
+
+ private:
+  std::uint64_t initial_keys_;
+  std::uint32_t partitions_;
+  std::uint64_t per_partition_;
+  Key width_;
+};
+
+/// Operation mix as fractions; read + update + insert + remove must be ~1.
+struct OpMix {
+  double read = 1.0;
+  double update = 0.0;
+  double insert = 0.0;
+  double remove = 0.0;
+
+  /// "X-Y-Z" naming used in the paper's figures (read-insert-remove %).
+  std::string name() const;
+};
+
+struct WorkloadSpec {
+  std::uint64_t initial_keys = 1u << 20;
+  std::uint32_t partitions = 8;
+  OpMix mix{};
+  KeyDist dist = KeyDist::kScrambledZipfian;
+  InsertPattern insert_pattern = InsertPattern::kUniform;
+  std::uint64_t seed = 42;
+};
+
+/// Per-thread deterministic stream of operations drawn from a WorkloadSpec.
+/// Threads with distinct ids produce independent streams; the same (spec,
+/// thread_id) pair always produces the same stream.
+class OpStream {
+ public:
+  OpStream(const WorkloadSpec& spec, std::uint32_t thread_id);
+
+  Op next();
+  const KeyLayout& layout() const { return layout_; }
+
+ private:
+  Key choose_lookup_key();
+  Key choose_insert_key();
+
+  KeyLayout layout_;
+  OpMix mix_;
+  KeyDist dist_;
+  InsertPattern insert_pattern_;
+  util::Xoshiro256 rng_;
+  ScrambledZipfianGenerator zipf_;
+  std::vector<Key> tail_next_;  // per-partition next tail-insert key
+  std::uint32_t tail_rr_ = 0;   // round-robin partition cursor for tail inserts
+};
+
+}  // namespace hybrids::workload

@@ -1,0 +1,48 @@
+#include "hybrids/workload/ycsb.hpp"
+
+namespace hybrids::workload {
+
+namespace {
+WorkloadSpec zipfian_preset(std::uint64_t initial_keys, double read,
+                            double update, std::uint32_t partitions,
+                            std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.initial_keys = initial_keys;
+  spec.partitions = partitions;
+  spec.mix = OpMix{read, update, 0.0, 0.0};
+  spec.dist = KeyDist::kScrambledZipfian;
+  spec.seed = seed;
+  return spec;
+}
+}  // namespace
+
+WorkloadSpec ycsb_c(std::uint64_t initial_keys, std::uint32_t partitions,
+                    std::uint64_t seed) {
+  return zipfian_preset(initial_keys, 1.0, 0.0, partitions, seed);
+}
+
+WorkloadSpec ycsb_b(std::uint64_t initial_keys, std::uint32_t partitions,
+                    std::uint64_t seed) {
+  return zipfian_preset(initial_keys, 0.95, 0.05, partitions, seed);
+}
+
+WorkloadSpec ycsb_a(std::uint64_t initial_keys, std::uint32_t partitions,
+                    std::uint64_t seed) {
+  return zipfian_preset(initial_keys, 0.5, 0.5, partitions, seed);
+}
+
+WorkloadSpec sensitivity(std::uint64_t initial_keys, int read_pct,
+                         int insert_pct, int remove_pct, bool split_heavy,
+                         std::uint32_t partitions, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.initial_keys = initial_keys;
+  spec.partitions = partitions;
+  spec.mix = OpMix{read_pct / 100.0, 0.0, insert_pct / 100.0, remove_pct / 100.0};
+  spec.dist = KeyDist::kUniform;
+  spec.insert_pattern =
+      split_heavy ? InsertPattern::kPartitionTail : InsertPattern::kUniform;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace hybrids::workload

@@ -1,0 +1,31 @@
+// Preset workload specifications used across the paper's evaluation.
+#pragma once
+
+#include "hybrids/workload/workload.hpp"
+
+namespace hybrids::workload {
+
+/// YCSB core workload C: 100% reads, zipfian request distribution. This is
+/// the baseline workload of §5.1 (Figures 5 and 6).
+WorkloadSpec ycsb_c(std::uint64_t initial_keys, std::uint32_t partitions = 8,
+                    std::uint64_t seed = 42);
+
+/// YCSB core workload B: 95% reads / 5% updates, zipfian.
+WorkloadSpec ycsb_b(std::uint64_t initial_keys, std::uint32_t partitions = 8,
+                    std::uint64_t seed = 42);
+
+/// YCSB core workload A: 50% reads / 50% updates, zipfian.
+WorkloadSpec ycsb_a(std::uint64_t initial_keys, std::uint32_t partitions = 8,
+                    std::uint64_t seed = 42);
+
+/// Sensitivity mix "X-Y-Z" of §5.2: X% reads, Y% inserts, Z% removes with
+/// uniformly distributed keys. `split_heavy` selects the B+ tree insert
+/// pattern that targets the last leaf of each NMP partition (maximum node
+/// splits, Figure 8); false gives the "fully uniform" variant (no splits).
+WorkloadSpec sensitivity(std::uint64_t initial_keys, int read_pct,
+                         int insert_pct, int remove_pct,
+                         bool split_heavy = false,
+                         std::uint32_t partitions = 8,
+                         std::uint64_t seed = 42);
+
+}  // namespace hybrids::workload

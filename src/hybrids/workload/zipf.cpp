@@ -1,0 +1,43 @@
+#include "hybrids/workload/zipf.hpp"
+
+#include <cmath>
+
+namespace hybrids::workload {
+
+double ZipfianGenerator::zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  zeta2theta_ = zeta(2, theta_);
+  zetan_ = zeta(n_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+std::uint64_t ZipfianGenerator::next(util::Xoshiro256& rng) {
+  // YCSB's nextLong(): inverse-CDF approximation from Gray et al.
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(std::uint64_t n)
+    : n_(n), zipf_(n, ZipfianGenerator::kDefaultTheta) {}
+
+std::uint64_t ScrambledZipfianGenerator::next(util::Xoshiro256& rng) {
+  const std::uint64_t rank = zipf_.next(rng);
+  return util::fnv1a64(rank) % n_;
+}
+
+}  // namespace hybrids::workload

@@ -1,0 +1,57 @@
+// YCSB-compatible key-distribution generators.
+//
+// The paper's baseline evaluation uses YCSB core workload C (zipfian request
+// distribution, theta = 0.99); the sensitivity study uses uniform keys. We
+// implement the generators exactly as in the YCSB reference implementation
+// (Cooper et al., SoCC'10; zeta computed incrementally per Gray et al.,
+// "Quickly generating billion-record synthetic databases", SIGMOD'94).
+#pragma once
+
+#include <cstdint>
+
+#include "hybrids/util/rng.hpp"
+
+namespace hybrids::workload {
+
+/// Zipfian-distributed integers in [0, n): item rank r is drawn with
+/// probability proportional to 1 / r^theta. Popular items are the *smallest*
+/// values; use ScrambledZipfianGenerator to spread the hot set over the
+/// whole key space (what YCSB workloads actually do).
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  ZipfianGenerator(std::uint64_t n, double theta = kDefaultTheta);
+
+  std::uint64_t next(util::Xoshiro256& rng);
+
+  std::uint64_t item_count() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// Zipfian over [0, n) with the hot items scattered by an FNV hash, matching
+/// YCSB's ScrambledZipfianGenerator (which fixes theta at 0.99).
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(std::uint64_t n);
+
+  std::uint64_t next(util::Xoshiro256& rng);
+
+  std::uint64_t item_count() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace hybrids::workload

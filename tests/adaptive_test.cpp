@@ -1,0 +1,149 @@
+// Tests for the adaptive-promotion extension (§7 future work): hot NMP-only
+// keys are raised into the host-managed portion.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "hybrids/ds/hybrid_skiplist.hpp"
+#include "hybrids/ds/seq_skiplist.hpp"
+#include "hybrids/util/rng.hpp"
+
+namespace hd = hybrids::ds;
+namespace hu = hybrids::util;
+using hybrids::Key;
+using hybrids::Value;
+
+namespace {
+hd::HybridSkipList::Config adaptive_config(std::uint32_t threshold,
+                                           std::uint32_t budget) {
+  hd::HybridSkipList::Config cfg;
+  cfg.total_height = 12;
+  cfg.nmp_height = 6;
+  cfg.partitions = 4;
+  cfg.partition_width = 1 << 16;
+  cfg.max_threads = 4;
+  cfg.promote_threshold = threshold;
+  cfg.promote_budget = budget;
+  return cfg;
+}
+}  // namespace
+
+TEST(SeqSkipListPromote, ReplacesShortNodeWithFullHeight) {
+  hd::SeqSkipList list(6);
+  for (Key k = 1; k <= 50; ++k) {
+    (void)list.insert(k, k * 10, /*height=*/1, nullptr, list.head());
+  }
+  hd::SeqSkipList::Node* old_node = list.read(25, list.head());
+  ASSERT_NE(old_node, nullptr);
+  ASSERT_EQ(old_node->height, 1);
+  int marker = 0;
+  hd::SeqSkipList::Node* nn = list.promote(25, &marker);
+  ASSERT_NE(nn, nullptr);
+  EXPECT_EQ(nn->height, 6);
+  EXPECT_EQ(nn->value, 250u);
+  EXPECT_EQ(nn->host_ptr, &marker);
+  EXPECT_GT(nn->version, old_node->version);
+  // Old node is stale (begin-node detection) but inspectable.
+  EXPECT_TRUE(hd::SeqSkipList::is_stale(old_node));
+  // Structure remains a valid skiplist and the key is still reachable.
+  EXPECT_TRUE(list.validate());
+  EXPECT_EQ(list.read(25, list.head()), nn);
+  EXPECT_EQ(list.size(), 50u);
+  // Promoting again (already full height) is a no-op failure.
+  EXPECT_EQ(list.promote(25, nullptr), nullptr);
+  // Promoting an absent key fails.
+  EXPECT_EQ(list.promote(1000, nullptr), nullptr);
+}
+
+TEST(AdaptiveHybridSkipList, HotKeyGetsPromoted) {
+  hd::HybridSkipList list(adaptive_config(/*threshold=*/5, /*budget=*/16));
+  // A key that lands NMP-only with overwhelming probability is hard to force
+  // (heights are random), so insert many and hammer one of them.
+  for (Key k = 1; k <= 200; ++k) ASSERT_TRUE(list.insert(k * 3, k, 0));
+  const std::size_t host_before = list.host_size();
+  Value v = 0;
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(list.read(33, v, 0));
+  // 33 = 11*3 was inserted; after >= threshold reads it must be promoted
+  // (unless its tower already reached the host, in which case nothing fires).
+  EXPECT_TRUE(list.validate());
+  EXPECT_GE(list.host_size(), host_before);
+  // Reads still return the correct value after promotion.
+  ASSERT_TRUE(list.read(33, v, 0));
+  EXPECT_EQ(v, 11u);
+}
+
+TEST(AdaptiveHybridSkipList, PromotionPreservesSemanticsUnderChurn) {
+  hd::HybridSkipList list(adaptive_config(3, 64));
+  std::map<Key, Value> model;
+  hu::Xoshiro256 rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    Key k = static_cast<Key>(rng.next_below(300)) * 7;
+    switch (rng.next_below(4)) {
+      case 0: {
+        Value v = static_cast<Value>(rng.next());
+        ASSERT_EQ(list.insert(k, v, 0), model.emplace(k, v).second);
+        break;
+      }
+      case 1:
+        ASSERT_EQ(list.remove(k, 0), model.erase(k) > 0);
+        break;
+      case 2: {
+        Value v = static_cast<Value>(rng.next());
+        bool present = model.count(k) > 0;
+        ASSERT_EQ(list.update(k, v, 0), present);
+        if (present) model[k] = v;
+        break;
+      }
+      default: {
+        Value v = 0;
+        auto it = model.find(k);
+        ASSERT_EQ(list.read(k, v, 0), it != model.end()) << k;
+        if (it != model.end()) { ASSERT_EQ(v, it->second); }
+      }
+    }
+  }
+  EXPECT_EQ(list.size(), model.size());
+  EXPECT_TRUE(list.validate());
+  EXPECT_GT(list.promoted(), 0u);  // hot keys exist in a 300-key space
+}
+
+TEST(AdaptiveHybridSkipList, BudgetBoundsPromotions) {
+  hd::HybridSkipList list(adaptive_config(2, 4));
+  for (Key k = 1; k <= 400; ++k) ASSERT_TRUE(list.insert(k, k, 0));
+  Value v = 0;
+  for (Key k = 1; k <= 400; ++k) {
+    for (int i = 0; i < 5; ++i) (void)list.read(k, v, 0);
+  }
+  EXPECT_LE(list.promoted(), 4u);
+  EXPECT_TRUE(list.validate());
+}
+
+TEST(AdaptiveHybridSkipList, ConcurrentReadersPromoteSafely) {
+  hd::HybridSkipList list(adaptive_config(4, 128));
+  for (Key k = 1; k <= 500; ++k) ASSERT_TRUE(list.insert(k * 2, k, 0));
+  std::vector<std::thread> threads;
+  std::atomic<bool> error{false};
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      hu::Xoshiro256 rng(t);
+      Value v = 0;
+      for (int i = 0; i < 4000; ++i) {
+        Key k = static_cast<Key>(1 + rng.next_below(50)) * 2;  // hot range
+        if (!list.read(k, v, t) || v != k / 2) error.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(error.load());
+  EXPECT_TRUE(list.validate());
+  EXPECT_GT(list.promoted(), 0u);
+}
+
+TEST(AdaptiveHybridSkipList, DisabledByDefault) {
+  hd::HybridSkipList list(adaptive_config(0, 0));
+  for (Key k = 1; k <= 100; ++k) ASSERT_TRUE(list.insert(k, k, 0));
+  Value v = 0;
+  for (int i = 0; i < 100; ++i) (void)list.read(10, v, 0);
+  EXPECT_EQ(list.promoted(), 0u);
+}

@@ -1,0 +1,101 @@
+// Unit tests for the B+ tree node primitives (Listing 3): sequence-lock
+// handshake, racy-read accessors, child index search.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "hybrids/ds/btree_nodes.hpp"
+#include "hybrids/ds/nmp_btree.hpp"
+
+namespace hd = hybrids::ds;
+using hybrids::Key;
+
+TEST(HostBNode, GeometryMatchesPaper) {
+  // 128-byte architectural nodes: leaves hold up to 14 kv pairs; non-leaf
+  // nodes up to 15 children.
+  EXPECT_EQ(hd::kBTreeLeafSlots, 14);
+  EXPECT_EQ(hd::kBTreeInnerSlots + 1, 15);
+}
+
+TEST(HostBNode, SeqLockBasicProtocol) {
+  hd::HostBNode n;
+  EXPECT_EQ(n.seq(), 0u);
+  EXPECT_TRUE(n.try_lock_at(0));
+  EXPECT_EQ(n.seqnum.load(), 1u);   // odd = locked
+  EXPECT_FALSE(n.try_lock_at(0));   // stale recorded seq
+  EXPECT_FALSE(n.try_lock_at(1));   // odd seq never locks
+  n.unlock();
+  EXPECT_EQ(n.seq(), 2u);           // even again
+  EXPECT_TRUE(n.seq_unchanged(2));
+  EXPECT_FALSE(n.seq_unchanged(0));
+}
+
+TEST(HostBNode, TryLockFailsOnChangedSeq) {
+  hd::HostBNode n;
+  const std::uint32_t recorded = n.seq();
+  n.lock();
+  n.unlock();  // seq advanced to 2
+  EXPECT_FALSE(n.try_lock_at(recorded));
+  EXPECT_TRUE(n.try_lock_at(2));
+  n.unlock();
+}
+
+TEST(HostBNode, WaitEvenSeqSpinsOutWriters) {
+  hd::HostBNode n;
+  n.lock();
+  std::thread writer([&n] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    n.unlock();
+  });
+  const std::uint32_t s = n.wait_even_seq();
+  EXPECT_EQ(s % 2, 0u);
+  writer.join();
+}
+
+TEST(HostBNode, FindChildIndexRespectsDividers) {
+  hd::HostBNode n;
+  n.level = 1;
+  n.slotuse = 3;
+  n.keys[0] = 10;
+  n.keys[1] = 20;
+  n.keys[2] = 30;
+  // Keys <= divider go left: child i covers keys <= keys[i].
+  EXPECT_EQ(n.find_child_index(5), 0);
+  EXPECT_EQ(n.find_child_index(10), 0);
+  EXPECT_EQ(n.find_child_index(11), 1);
+  EXPECT_EQ(n.find_child_index(20), 1);
+  EXPECT_EQ(n.find_child_index(25), 2);
+  EXPECT_EQ(n.find_child_index(30), 2);
+  EXPECT_EQ(n.find_child_index(31), 3);
+}
+
+TEST(HostBNode, RacyAccessorsRoundTrip) {
+  hd::HostBNode n;
+  n.store_slotuse(5);
+  n.store_key(2, 42);
+  n.store_value(3, 99);
+  EXPECT_EQ(n.load_slotuse(), 5);
+  EXPECT_EQ(n.load_key(2), 42u);
+  EXPECT_EQ(n.load_value(3), 99u);
+  hd::HostBNode child;
+  n.store_child(1, &child);
+  EXPECT_EQ(n.load_child(1), &child);
+  // Tagged child bits survive the round trip (hybrid B+ tree NMP refs).
+  n.store_child_bits(0, 0xF00Du);
+  EXPECT_EQ(n.load_child_bits(0), 0xF00Du);
+}
+
+TEST(NmpBNode, LayoutDefaultsAndChildSearch) {
+  hd::NmpBNode n;
+  EXPECT_EQ(n.parent_seqnum, 0u);
+  EXPECT_FALSE(n.locked);
+  EXPECT_TRUE(n.is_leaf());
+  n.level = 2;
+  EXPECT_FALSE(n.is_leaf());
+  n.slotuse = 2;
+  n.keys[0] = 100;
+  n.keys[1] = 200;
+  EXPECT_EQ(n.find_child_index(100), 0);
+  EXPECT_EQ(n.find_child_index(150), 1);
+  EXPECT_EQ(n.find_child_index(201), 2);
+}

@@ -1,0 +1,194 @@
+// Tests for the host-only seqlock B+ tree baseline.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "hybrids/ds/seqlock_btree.hpp"
+#include "hybrids/util/rng.hpp"
+
+namespace hd = hybrids::ds;
+namespace hu = hybrids::util;
+using hybrids::Key;
+using hybrids::Value;
+
+TEST(SeqLockBTree, EmptyTreeBehaves) {
+  hd::SeqLockBTree tree;
+  Value v = 0;
+  EXPECT_FALSE(tree.read(1, v));
+  EXPECT_FALSE(tree.remove(1));
+  EXPECT_FALSE(tree.update(1, 2));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.validate());
+}
+
+TEST(SeqLockBTree, InsertAndReadBack) {
+  hd::SeqLockBTree tree;
+  for (Key k = 1; k <= 100; ++k) EXPECT_TRUE(tree.insert(k * 2, k));
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.validate());
+  Value v = 0;
+  for (Key k = 1; k <= 100; ++k) {
+    ASSERT_TRUE(tree.read(k * 2, v));
+    EXPECT_EQ(v, k);
+    EXPECT_FALSE(tree.read(k * 2 + 1, v));
+  }
+}
+
+TEST(SeqLockBTree, DuplicateInsertFails) {
+  hd::SeqLockBTree tree;
+  EXPECT_TRUE(tree.insert(5, 1));
+  EXPECT_FALSE(tree.insert(5, 2));
+  Value v = 0;
+  ASSERT_TRUE(tree.read(5, v));
+  EXPECT_EQ(v, 1u);
+}
+
+TEST(SeqLockBTree, LeafSplitsPreserveOrder) {
+  hd::SeqLockBTree tree;
+  // More than one leaf's worth, inserted descending to stress shifting.
+  for (int i = 100; i >= 1; --i) ASSERT_TRUE(tree.insert(static_cast<Key>(i), static_cast<Value>(i)));
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.validate());
+  EXPECT_GE(tree.height(), 2);
+}
+
+TEST(SeqLockBTree, RootGrowthUnderSortedInserts) {
+  hd::SeqLockBTree tree;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) ASSERT_TRUE(tree.insert(static_cast<Key>(i + 1), 7));
+  EXPECT_EQ(tree.size(), static_cast<std::size_t>(kN));
+  // Sorted inserts leave leaves ~half full: 5000/7 leaves, fanout ~8.
+  EXPECT_GE(tree.height(), 4);
+  EXPECT_TRUE(tree.validate());
+  Value v = 0;
+  for (int i = 0; i < kN; ++i) ASSERT_TRUE(tree.read(static_cast<Key>(i + 1), v));
+}
+
+TEST(SeqLockBTree, BuildFromSortedMatchesPaperShape) {
+  std::vector<Key> keys;
+  std::vector<Value> vals;
+  for (int i = 0; i < 100000; ++i) {
+    keys.push_back(static_cast<Key>(i * 2));
+    vals.push_back(static_cast<Value>(i));
+  }
+  hd::SeqLockBTree tree;
+  tree.build_from_sorted(keys, vals, 0.5);
+  EXPECT_EQ(tree.size(), 100000u);
+  EXPECT_TRUE(tree.validate());
+  // Half-full: ~14286 leaves, inner fanout ~7..8 -> height ~6.
+  EXPECT_GE(tree.height(), 5);
+  EXPECT_LE(tree.height(), 8);
+  Value v = 0;
+  hu::Xoshiro256 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    Key k = static_cast<Key>(rng.next_below(100000)) * 2;
+    ASSERT_TRUE(tree.read(k, v));
+    EXPECT_EQ(v, k / 2);
+    EXPECT_FALSE(tree.read(k + 1, v));
+  }
+}
+
+TEST(SeqLockBTree, SequentialMatchesReferenceModel) {
+  hd::SeqLockBTree tree;
+  std::map<Key, Value> model;
+  hu::Xoshiro256 rng(17);
+  for (int i = 0; i < 30000; ++i) {
+    Key k = static_cast<Key>(1 + rng.next_below(3000));
+    switch (rng.next_below(4)) {
+      case 0: {
+        Value v = static_cast<Value>(rng.next());
+        EXPECT_EQ(tree.insert(k, v), model.emplace(k, v).second);
+        break;
+      }
+      case 1:
+        EXPECT_EQ(tree.remove(k), model.erase(k) > 0);
+        break;
+      case 2: {
+        Value v = static_cast<Value>(rng.next());
+        bool present = model.count(k) > 0;
+        EXPECT_EQ(tree.update(k, v), present);
+        if (present) model[k] = v;
+        break;
+      }
+      default: {
+        Value v = 0;
+        auto it = model.find(k);
+        ASSERT_EQ(tree.read(k, v), it != model.end());
+        if (it != model.end()) { EXPECT_EQ(v, it->second); }
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  EXPECT_TRUE(tree.validate());
+}
+
+TEST(SeqLockBTree, ConcurrentStripedInserts) {
+  hd::SeqLockBTree tree;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(tree.insert(static_cast<Key>(1 + i * kThreads + t),
+                                static_cast<Value>(t)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tree.size(), std::size_t{kThreads} * kPerThread);
+  EXPECT_TRUE(tree.validate());
+}
+
+TEST(SeqLockBTree, ConcurrentReadersDuringInserts) {
+  hd::SeqLockBTree tree;
+  for (Key k = 0; k < 2000; ++k) ASSERT_TRUE(tree.insert(k * 4, k));
+  std::atomic<bool> stop{false};
+  std::atomic<bool> read_error{false};
+  std::thread reader([&] {
+    hu::Xoshiro256 rng(5);
+    while (!stop.load()) {
+      Key k = static_cast<Key>(rng.next_below(2000)) * 4;
+      Value v = 0;
+      if (!tree.read(k, v) || v != k / 4) read_error.store(true);
+    }
+  });
+  std::thread writer([&] {
+    for (Key k = 0; k < 4000; ++k) tree.insert(k * 4 + 1, 1);
+    stop.store(true);
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(read_error.load());
+  EXPECT_TRUE(tree.validate());
+  EXPECT_EQ(tree.size(), 6000u);
+}
+
+TEST(SeqLockBTree, ConcurrentMixedWorkload) {
+  hd::SeqLockBTree tree;
+  std::vector<std::thread> threads;
+  std::atomic<long long> net[256] = {};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      hu::Xoshiro256 rng(2000 + t);
+      for (int i = 0; i < 5000; ++i) {
+        Key k = static_cast<Key>(1 + rng.next_below(256));
+        if (rng.next() & 1) {
+          if (tree.insert(k, k)) net[k - 1].fetch_add(1);
+        } else {
+          if (tree.remove(k)) net[k - 1].fetch_sub(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(tree.validate());
+  Value v = 0;
+  for (Key k = 1; k <= 256; ++k) {
+    const long long n = net[k - 1].load();
+    ASSERT_TRUE(n == 0 || n == 1);
+    EXPECT_EQ(tree.read(k, v), n == 1) << "key " << k;
+  }
+}

@@ -1,0 +1,342 @@
+// Tests for the hybrid B+ tree (§3.4): construction/push-down, boundary
+// synchronization, LOCK_PATH escalation, concurrent workloads, non-blocking
+// calls, and the NMP-side partition structure in isolation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "hybrids/ds/hybrid_btree.hpp"
+#include "hybrids/ds/nmp_btree.hpp"
+#include "hybrids/util/rng.hpp"
+
+namespace hd = hybrids::ds;
+namespace hu = hybrids::util;
+using hybrids::Key;
+using hybrids::Value;
+
+namespace {
+
+std::vector<Key> even_keys(int n) {
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) keys.push_back(static_cast<Key>(i * 2));
+  return keys;
+}
+
+std::vector<Value> values_for(const std::vector<Key>& keys) {
+  std::vector<Value> vals;
+  vals.reserve(keys.size());
+  for (Key k : keys) vals.push_back(k + 1);
+  return vals;
+}
+
+hd::HybridBTree::Config config(int nmp_levels = 2, std::uint32_t partitions = 4,
+                               std::uint32_t threads = 4) {
+  hd::HybridBTree::Config cfg;
+  cfg.nmp_levels = nmp_levels;
+  cfg.partitions = partitions;
+  cfg.max_threads = threads;
+  return cfg;
+}
+
+}  // namespace
+
+// ---------- NmpBTree in isolation ----------
+
+TEST(NmpBTree, LeafOnlyPartitionInsertReadRemove) {
+  hd::NmpBTree bt(0);  // top level == leaf
+  hd::NmpBNode* leaf = bt.make_node(0);
+  leaf->parent_seqnum = 0;
+  // Fill below capacity.
+  for (Key k = 1; k <= 10; ++k) {
+    auto r = bt.insert(leaf, 0, k * 2, k);
+    ASSERT_TRUE(r.ok);
+  }
+  auto r = bt.read(leaf, 0, 6);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 3u);
+  EXPECT_FALSE(bt.read(leaf, 0, 7).ok);
+  EXPECT_TRUE(bt.remove(leaf, 0, 6).ok);
+  EXPECT_FALSE(bt.read(leaf, 0, 6).ok);
+  EXPECT_TRUE(bt.update(leaf, 0, 8, 99).ok);
+  EXPECT_EQ(bt.read(leaf, 0, 8).value, 99u);
+}
+
+TEST(NmpBTree, BoundaryCheckDetectsStaleAndAdoptsNewer) {
+  hd::NmpBTree bt(0);
+  hd::NmpBNode* leaf = bt.make_node(0);
+  leaf->parent_seqnum = 4;
+  // Offloaded seq older than recorded: begin node was split -> retry.
+  EXPECT_TRUE(bt.read(leaf, 2, 1).retry);
+  // Offloaded seq newer: sibling split; adopt.
+  auto r = bt.read(leaf, 6, 1);
+  EXPECT_FALSE(r.retry);
+  EXPECT_EQ(leaf->parent_seqnum, 6u);
+}
+
+TEST(NmpBTree, FullTopLevelEscalatesWithLockPath) {
+  hd::NmpBTree bt(0);
+  hd::NmpBNode* leaf = bt.make_node(0);
+  for (int i = 0; i < hd::kBTreeLeafSlots; ++i) {
+    ASSERT_TRUE(bt.insert(leaf, 0, static_cast<Key>(i * 2 + 2), 1).ok);
+  }
+  // Leaf (== top level) is full: escalation.
+  auto r = bt.insert(leaf, 0, 5, 5);
+  EXPECT_TRUE(r.lock_path);
+  ASSERT_NE(r.handle, nullptr);
+  EXPECT_TRUE(leaf->locked);
+  // A remove hitting the locked leaf must be told to retry.
+  EXPECT_TRUE(bt.remove(leaf, 0, 4).retry);
+  // Reads are still allowed on the locked path.
+  EXPECT_TRUE(bt.read(leaf, 0, 4).ok);
+  // A concurrent insert into the locked path must also retry.
+  EXPECT_TRUE(bt.insert(leaf, 0, 7, 7).retry);
+  // RESUME completes the split and stamps parent_seqnum.
+  auto res = bt.resume_insert(r.handle, 12);
+  EXPECT_TRUE(res.ok);
+  ASSERT_NE(res.new_top, nullptr);
+  EXPECT_FALSE(leaf->locked);
+  EXPECT_FALSE(res.new_top->locked);
+  EXPECT_EQ(leaf->parent_seqnum, 12u);
+  EXPECT_EQ(res.new_top->parent_seqnum, 12u);
+  // The divider separates the two leaves.
+  EXPECT_LE(leaf->keys[leaf->slotuse - 1], res.up_key);
+  EXPECT_GT(res.new_top->keys[0], res.up_key);
+  // The new key landed in exactly one of the leaves.
+  bool in_left = bt.read(leaf, 12, 5).ok;
+  bool in_right = bt.read(res.new_top, 12, 5).ok;
+  EXPECT_TRUE(in_left != in_right);
+}
+
+TEST(NmpBTree, UnlockPathRollsBack) {
+  hd::NmpBTree bt(0);
+  hd::NmpBNode* leaf = bt.make_node(0);
+  for (int i = 0; i < hd::kBTreeLeafSlots; ++i) {
+    ASSERT_TRUE(bt.insert(leaf, 0, static_cast<Key>(i + 1), 1).ok);
+  }
+  auto r = bt.insert(leaf, 0, 100, 1);
+  ASSERT_TRUE(r.lock_path);
+  EXPECT_TRUE(bt.unlock_path(r.handle).ok);
+  EXPECT_FALSE(leaf->locked);
+  // The insert did not happen.
+  EXPECT_FALSE(bt.read(leaf, 0, 100).ok);
+}
+
+// ---------- HybridBTree ----------
+
+TEST(HybridBTree, SplitSizingRule) {
+  // 2^21 keys at fill 0.5: leaves ~300k, fanout 7 -> height ~8; a 1MB LLC
+  // holds the top ~5-6 levels.
+  int nmp = hd::HybridBTree::nmp_levels_for_cache(1ull << 21, 1 << 20, 0.5);
+  EXPECT_GE(nmp, 2);
+  EXPECT_LE(nmp, 4);
+  // Tiny cache: almost everything NMP-managed.
+  EXPECT_GE(hd::HybridBTree::nmp_levels_for_cache(1ull << 21, 4096, 0.5), 5);
+}
+
+TEST(HybridBTree, BuildAndReadBack) {
+  auto keys = even_keys(10000);
+  auto vals = values_for(keys);
+  hd::HybridBTree tree(config(), keys, vals);
+  EXPECT_EQ(tree.size(), keys.size());
+  EXPECT_TRUE(tree.validate());
+  Value v = 0;
+  for (Key k : keys) {
+    ASSERT_TRUE(tree.read(k, v, 0)) << k;
+    ASSERT_EQ(v, k + 1);
+  }
+  EXPECT_FALSE(tree.read(1, v, 0));
+  EXPECT_FALSE(tree.read(keys.back() + 2, v, 0));
+}
+
+TEST(HybridBTree, HostPortionIsSmallSubset) {
+  auto keys = even_keys(20000);
+  auto vals = values_for(keys);
+  hd::HybridBTree tree(config(/*nmp_levels=*/3), keys, vals);
+  // Leaves + 2 inner levels pushed down: the host holds far fewer nodes
+  // than the ~2900 leaves.
+  EXPECT_LT(tree.host_node_count(), 200u);
+  EXPECT_TRUE(tree.validate());
+}
+
+TEST(HybridBTree, InsertUpdateRemoveRoundTrip) {
+  auto keys = even_keys(2000);
+  auto vals = values_for(keys);
+  hd::HybridBTree tree(config(), keys, vals);
+  EXPECT_TRUE(tree.insert(5, 55, 0));
+  EXPECT_FALSE(tree.insert(5, 66, 0));
+  Value v = 0;
+  ASSERT_TRUE(tree.read(5, v, 0));
+  EXPECT_EQ(v, 55u);
+  EXPECT_TRUE(tree.update(5, 77, 0));
+  ASSERT_TRUE(tree.read(5, v, 0));
+  EXPECT_EQ(v, 77u);
+  EXPECT_TRUE(tree.remove(5, 0));
+  EXPECT_FALSE(tree.remove(5, 0));
+  EXPECT_FALSE(tree.read(5, v, 0));
+  EXPECT_TRUE(tree.validate());
+  EXPECT_EQ(tree.size(), keys.size());
+}
+
+TEST(HybridBTree, SequentialMatchesReferenceModel) {
+  auto keys = even_keys(5000);
+  auto vals = values_for(keys);
+  hd::HybridBTree tree(config(), keys, vals);
+  std::map<Key, Value> model;
+  for (std::size_t i = 0; i < keys.size(); ++i) model[keys[i]] = vals[i];
+  hu::Xoshiro256 rng(23);
+  for (int i = 0; i < 30000; ++i) {
+    Key k = static_cast<Key>(rng.next_below(12000));
+    switch (rng.next_below(4)) {
+      case 0: {
+        Value v = static_cast<Value>(rng.next());
+        ASSERT_EQ(tree.insert(k, v, 0), model.emplace(k, v).second) << "key " << k;
+        break;
+      }
+      case 1:
+        ASSERT_EQ(tree.remove(k, 0), model.erase(k) > 0) << "key " << k;
+        break;
+      case 2: {
+        Value v = static_cast<Value>(rng.next());
+        bool present = model.count(k) > 0;
+        ASSERT_EQ(tree.update(k, v, 0), present) << "key " << k;
+        if (present) model[k] = v;
+        break;
+      }
+      default: {
+        Value v = 0;
+        auto it = model.find(k);
+        ASSERT_EQ(tree.read(k, v, 0), it != model.end()) << "key " << k;
+        if (it != model.end()) { ASSERT_EQ(v, it->second); }
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  EXPECT_TRUE(tree.validate());
+}
+
+TEST(HybridBTree, EscalatedSplitsEndToEnd) {
+  // Tail-insert ascending keys force repeated splits that escalate through
+  // the partitions' top-level nodes into host-side splits.
+  auto keys = even_keys(4000);
+  auto vals = values_for(keys);
+  hd::HybridBTree tree(config(/*nmp_levels=*/2), keys, vals);
+  const Key base = keys.back() + 2;
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(tree.insert(base + static_cast<Key>(i), 1, 0)) << i;
+  }
+  EXPECT_EQ(tree.size(), 8000u);
+  EXPECT_TRUE(tree.validate());
+  Value v = 0;
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(tree.read(base + static_cast<Key>(i), v, 0));
+  }
+}
+
+TEST(HybridBTree, RootGrowthViaEscalations) {
+  // Small initial tree + many inserts: the host root itself must split.
+  auto keys = even_keys(200);
+  auto vals = values_for(keys);
+  hd::HybridBTree tree(config(/*nmp_levels=*/1, /*partitions=*/2), keys, vals);
+  const int h0 = tree.height();
+  for (Key k = 1; k < 8000; k += 2) ASSERT_TRUE(tree.insert(k, k, 0));
+  EXPECT_GT(tree.height(), h0);
+  EXPECT_EQ(tree.size(), 200u + 4000u);
+  EXPECT_TRUE(tree.validate());
+}
+
+TEST(HybridBTree, ConcurrentStripedInserts) {
+  auto keys = even_keys(2000);
+  auto vals = values_for(keys);
+  hd::HybridBTree tree(config(), keys, vals);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  const Key base = keys.back() + 2;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(tree.insert(base + static_cast<Key>(i * kThreads + t),
+                                static_cast<Value>(t), static_cast<std::uint32_t>(t)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tree.size(), keys.size() + kThreads * kPerThread);
+  EXPECT_TRUE(tree.validate());
+}
+
+TEST(HybridBTree, ConcurrentMixedWorkload) {
+  auto keys = even_keys(4096);
+  auto vals = values_for(keys);
+  hd::HybridBTree tree(config(), keys, vals);
+  std::vector<std::thread> threads;
+  std::atomic<long long> net[256] = {};
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      hu::Xoshiro256 rng(3000 + t);
+      for (int i = 0; i < 3000; ++i) {
+        // Odd keys: absent initially; fight over 256 of them.
+        Key k = static_cast<Key>(rng.next_below(256)) * 16 + 1;
+        switch (rng.next_below(3)) {
+          case 0:
+            if (tree.insert(k, k, t)) net[k / 16].fetch_add(1);
+            break;
+          case 1:
+            if (tree.remove(k, t)) net[k / 16].fetch_sub(1);
+            break;
+          default: {
+            Value v = 0;
+            (void)tree.read(k, v, t);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(tree.validate());
+  Value v = 0;
+  for (int i = 0; i < 256; ++i) {
+    const long long n = net[i].load();
+    ASSERT_TRUE(n == 0 || n == 1);
+    EXPECT_EQ(tree.read(static_cast<Key>(i) * 16 + 1, v, 0), n == 1) << i;
+  }
+  // Initial even keys must all still be present.
+  EXPECT_GE(tree.size(), keys.size());
+}
+
+TEST(HybridBTree, NonBlockingTicketsCompleteCorrectly) {
+  auto keys = even_keys(3000);
+  auto vals = values_for(keys);
+  hd::HybridBTree tree(config(), keys, vals);
+  std::vector<hd::HybridBTree::Ticket> pending;
+  auto drain_one = [&] {
+    ASSERT_FALSE(pending.empty());
+    (void)tree.finish(pending.front());
+    pending.erase(pending.begin());
+  };
+  const Key base = keys.back() + 2;
+  for (int i = 0; i < 500; ++i) {
+    auto t = tree.insert_async(base + static_cast<Key>(i), 1, 0);
+    while (t.state == hd::HybridBTree::Ticket::State::kRejected) {
+      drain_one();
+      t = tree.insert_async(base + static_cast<Key>(i), 1, 0);
+    }
+    pending.push_back(t);
+  }
+  while (!pending.empty()) drain_one();
+  EXPECT_EQ(tree.size(), keys.size() + 500);
+  EXPECT_TRUE(tree.validate());
+  // Async reads see all inserted keys.
+  for (int i = 0; i < 500; ++i) {
+    auto t = tree.read_async(base + static_cast<Key>(i), 0);
+    while (t.state == hd::HybridBTree::Ticket::State::kRejected) {
+      t = tree.read_async(base + static_cast<Key>(i), 0);
+    }
+    Value v = 0;
+    EXPECT_TRUE(tree.finish(t, &v));
+    EXPECT_EQ(v, 1u);
+  }
+}

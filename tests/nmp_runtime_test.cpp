@@ -1,0 +1,218 @@
+// Tests for the software NMP runtime: publication-list handshake, combiner
+// serialization, partition routing, blocking and non-blocking calls.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "hybrids/nmp/nmp_core.hpp"
+#include "hybrids/nmp/partition_set.hpp"
+
+namespace hn = hybrids::nmp;
+
+TEST(PubSlot, HandshakeRoundTrip) {
+  hn::PubSlot slot;
+  EXPECT_FALSE(slot.done());
+  hn::Request r;
+  r.op = hn::OpCode::kRead;
+  r.key = 42;
+  slot.post(r);
+  EXPECT_EQ(slot.status.load(), hn::PubSlot::kPending);
+  slot.resp.ok = true;
+  slot.resp.value = 7;
+  slot.status.store(hn::PubSlot::kDone);
+  EXPECT_TRUE(slot.done());
+  hn::Response resp = slot.take();
+  EXPECT_TRUE(resp.ok);
+  EXPECT_EQ(resp.value, 7u);
+  EXPECT_EQ(slot.status.load(), hn::PubSlot::kEmpty);
+}
+
+TEST(NmpCore, ServesSingleRequest) {
+  hn::NmpCore core(0, 4, [](const hn::Request& req, hn::Response& resp) {
+    resp.ok = true;
+    resp.value = req.key * 2;
+  });
+  core.start();
+  hn::Request r;
+  r.op = hn::OpCode::kNop;
+  r.key = 21;
+  core.post(0, r);
+  core.wait_done(0);
+  hn::Response resp = core.slot(0).take();
+  EXPECT_TRUE(resp.ok);
+  EXPECT_EQ(resp.value, 42u);
+  core.stop();
+  EXPECT_EQ(core.served(), 1u);
+}
+
+TEST(NmpCore, HandlerRunsSingleThreaded) {
+  // The combiner must never run the handler concurrently with itself.
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  hn::NmpCore core(0, 16, [&](const hn::Request&, hn::Response& resp) {
+    if (inside.fetch_add(1) != 0) overlapped.store(true);
+    inside.fetch_sub(1);
+    resp.ok = true;
+  });
+  core.start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        hn::Request r;
+        r.op = hn::OpCode::kNop;
+        r.key = static_cast<hn::Key>(i);
+        core.post(static_cast<std::uint32_t>(t), r);
+        core.wait_done(static_cast<std::uint32_t>(t));
+        (void)core.slot(static_cast<std::uint32_t>(t)).take();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  core.stop();
+  EXPECT_FALSE(overlapped.load());
+  EXPECT_EQ(core.served(), 800u);
+}
+
+TEST(NmpCore, StopDrainsOutstandingWork) {
+  hn::NmpCore core(0, 2, [](const hn::Request&, hn::Response& resp) { resp.ok = true; });
+  core.start();
+  hn::Request r;
+  core.post(0, r);
+  core.post(1, r);
+  core.stop();  // must not lose the posted requests
+  EXPECT_TRUE(core.slot(0).done());
+  EXPECT_TRUE(core.slot(1).done());
+}
+
+TEST(NmpCore, RestartAfterStop) {
+  hn::NmpCore core(3, 2, [](const hn::Request&, hn::Response& resp) { resp.ok = true; });
+  core.start();
+  core.stop();
+  core.start();
+  hn::Request r;
+  core.post(0, r);
+  core.wait_done(0);
+  EXPECT_TRUE(core.slot(0).take().ok);
+  core.stop();
+}
+
+namespace {
+hn::PartitionSet make_set(std::uint32_t partitions, std::uint32_t threads,
+                          std::uint32_t inflight) {
+  hn::PartitionConfig cfg;
+  cfg.partitions = partitions;
+  cfg.max_threads = threads;
+  cfg.slots_per_thread = inflight;
+  cfg.partition_width = 1000;
+  return hn::PartitionSet(cfg);
+}
+}  // namespace
+
+TEST(PartitionSet, RoutesByKeyRange) {
+  auto set = make_set(4, 2, 2);
+  EXPECT_EQ(set.partition_of(0), 0u);
+  EXPECT_EQ(set.partition_of(999), 0u);
+  EXPECT_EQ(set.partition_of(1000), 1u);
+  EXPECT_EQ(set.partition_of(3999), 3u);
+  EXPECT_EQ(set.partition_of(400000), 3u);  // clamped to last partition
+}
+
+TEST(PartitionSet, BlockingCallsHitCorrectPartition) {
+  auto set = make_set(4, 2, 2);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    set.set_handler(p, [p](const hn::Request& req, hn::Response& resp) {
+      resp.ok = true;
+      resp.value = p * 1000 + req.key % 1000;
+    });
+  }
+  set.start();
+  hn::Request r;
+  r.op = hn::OpCode::kRead;
+  r.key = 2345;
+  hn::Response resp = set.call(set.partition_of(r.key), /*thread=*/0, r);
+  EXPECT_TRUE(resp.ok);
+  EXPECT_EQ(resp.value, 2345u);
+  set.stop();
+}
+
+TEST(PartitionSet, AsyncCallsCompleteAndRespectInflightLimit) {
+  auto set = make_set(1, 1, 4);
+  std::atomic<int> handled{0};
+  set.set_handler(0, [&](const hn::Request& req, hn::Response& resp) {
+    handled.fetch_add(1);
+    resp.ok = true;
+    resp.value = req.key + 1;
+  });
+  set.start();
+
+  std::vector<hn::OpHandle> handles;
+  hn::Request r;
+  r.op = hn::OpCode::kNop;
+  // A 5th in-flight call must be rejected before any retrieve.
+  int accepted = 0;
+  for (int i = 0; i < 5; ++i) {
+    r.key = static_cast<hn::Key>(i);
+    hn::OpHandle h = set.call_async(0, 0, r);
+    if (h.valid) {
+      handles.push_back(h);
+      ++accepted;
+    }
+  }
+  EXPECT_LE(accepted, 4);
+  for (auto& h : handles) {
+    hn::Response resp = set.retrieve(h);
+    EXPECT_TRUE(resp.ok);
+  }
+  // Slots freed: a new async call must be accepted again.
+  hn::OpHandle h = set.call_async(0, 0, r);
+  EXPECT_TRUE(h.valid);
+  (void)set.retrieve(h);
+  set.stop();
+  EXPECT_EQ(handled.load(), accepted + 1);
+}
+
+TEST(PartitionSet, ConcurrentMixedBlockingAndAsync) {
+  auto set = make_set(2, 4, 2);
+  std::atomic<std::uint64_t> sum{0};
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    set.set_handler(p, [&](const hn::Request& req, hn::Response& resp) {
+      sum.fetch_add(req.key);
+      resp.ok = true;
+    });
+  }
+  set.start();
+  std::atomic<std::uint64_t> expected{0};
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<hn::OpHandle> pending;
+      for (int i = 0; i < 500; ++i) {
+        hn::Request r;
+        r.key = t * 1000 + static_cast<hn::Key>(i);
+        expected.fetch_add(r.key);
+        std::uint32_t p = set.partition_of(r.key);
+        if (i % 3 == 0) {
+          (void)set.call(p, t, r);
+        } else {
+          hn::OpHandle h = set.call_async(p, t, r);
+          if (!h.valid) {
+            // Drain one pending handle and retry.
+            ASSERT_FALSE(pending.empty());
+            (void)set.retrieve(pending.front());
+            pending.erase(pending.begin());
+            h = set.call_async(p, t, r);
+            ASSERT_TRUE(h.valid);
+          }
+          pending.push_back(h);
+        }
+      }
+      for (auto& h : pending) (void)set.retrieve(h);
+    });
+  }
+  for (auto& th : threads) th.join();
+  set.stop();
+  EXPECT_EQ(sum.load(), expected.load());
+}

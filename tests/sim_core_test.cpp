@@ -1,0 +1,225 @@
+// Tests for the simulator substrate: event engine + coroutine tasks, cache
+// model, DRAM vault timing, and the routed memory system.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hybrids/sim/core/event_queue.hpp"
+#include "hybrids/sim/core/task.hpp"
+#include "hybrids/sim/machine/config.hpp"
+#include "hybrids/sim/mem/cache.hpp"
+#include "hybrids/sim/mem/dram.hpp"
+#include "hybrids/sim/mem/memory_system.hpp"
+#include "hybrids/util/rng.hpp"
+
+namespace hs = hybrids::sim;
+
+// ---------- Engine + Task ----------
+
+namespace {
+hs::Task<void> record_at(hs::Engine& e, hs::Tick d, std::vector<hs::Tick>& out) {
+  co_await e.delay(d);
+  out.push_back(e.now());
+}
+
+hs::Task<int> add_later(hs::Engine& e, int a, int b) {
+  co_await e.delay(100);
+  co_return a + b;
+}
+
+hs::Task<void> parent(hs::Engine& e, int& result) {
+  const int x = co_await add_later(e, 2, 3);
+  co_await e.delay(50);
+  const int y = co_await add_later(e, x, 10);
+  result = y;
+}
+}  // namespace
+
+TEST(Engine, DelaysResumeInTickOrder) {
+  hs::Engine e;
+  std::vector<hs::Tick> order;
+  e.spawn(record_at(e, 300, order));
+  e.spawn(record_at(e, 100, order));
+  e.spawn(record_at(e, 200, order));
+  e.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 100u);
+  EXPECT_EQ(order[1], 200u);
+  EXPECT_EQ(order[2], 300u);
+}
+
+TEST(Engine, NestedTasksReturnValuesAndAdvanceTime) {
+  hs::Engine e;
+  int result = 0;
+  e.spawn(parent(e, result));
+  const hs::Tick end = e.run();
+  EXPECT_EQ(result, 15);
+  EXPECT_EQ(end, 250u);  // 100 + 50 + 100
+}
+
+TEST(Engine, SameTickEventsRunFifo) {
+  hs::Engine e;
+  std::vector<hs::Tick> order;
+  std::vector<int> ids;
+  auto actor = [&](int id) -> hs::Task<void> {
+    co_await e.delay(10);
+    ids.push_back(id);
+  };
+  e.spawn(actor(1));
+  e.spawn(actor(2));
+  e.spawn(actor(3));
+  e.run();
+  EXPECT_EQ(ids, (std::vector<int>{1, 2, 3}));
+}
+
+// ---------- CacheModel ----------
+
+TEST(CacheModel, HitAfterFill) {
+  hs::CacheModel c(1024, 2, 128);  // 4 sets x 2 ways
+  EXPECT_FALSE(c.access(1, false).hit);
+  EXPECT_TRUE(c.access(1, false).hit);
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(CacheModel, LruEvictionWithinSet) {
+  hs::CacheModel c(1024, 2, 128);  // 4 sets, 2-way: set = block % 4
+  // Blocks 0, 4, 8 all map to set 0.
+  c.access(0, false);
+  c.access(4, false);
+  c.access(0, false);              // 0 is MRU, 4 is LRU
+  auto r = c.access(8, false);     // evicts 4
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.evicted_valid);
+  EXPECT_EQ(r.evicted, 4u);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(4));
+}
+
+TEST(CacheModel, DirtyEvictionReportsWriteback) {
+  hs::CacheModel c(1024, 2, 128);
+  c.access(0, true);   // dirty
+  c.access(4, false);
+  c.access(8, false);  // evicts 0 (LRU) -> writeback
+  // One of the two misses above must have evicted the dirty block 0.
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(CacheModel, InvalidateRemovesBlock) {
+  hs::CacheModel c(1024, 2, 128);
+  c.access(7, false);
+  EXPECT_TRUE(c.invalidate(7));
+  EXPECT_FALSE(c.contains(7));
+  EXPECT_FALSE(c.invalidate(7));
+}
+
+TEST(CacheModel, StatsCountHitsAndMisses) {
+  hs::CacheModel c(64 * 1024, 2, 128);
+  for (int i = 0; i < 100; ++i) c.access(static_cast<std::uint64_t>(i), false);
+  for (int i = 0; i < 100; ++i) c.access(static_cast<std::uint64_t>(i), false);
+  EXPECT_EQ(c.misses(), 100u);
+  EXPECT_EQ(c.hits(), 100u);
+}
+
+// ---------- DramVault ----------
+
+TEST(DramVault, RowMissThenRowHitLatency) {
+  hs::DramTiming t;
+  hs::DramVault v(t, 8, 128, 16);
+  // First access to a closed bank: activate + CAS + burst.
+  const hs::Tick lat1 = v.access(0, false, 0);
+  EXPECT_EQ(lat1, t.tRCD + t.tCL + t.tBURST);
+  // Same row (next block in the same bank is +8 blocks away): row hit.
+  const hs::Tick lat2 = v.access(8 * 128, false, lat1);
+  EXPECT_EQ(lat2, t.tCL + t.tBURST);
+  EXPECT_EQ(v.row_hits(), 1u);
+  EXPECT_EQ(v.row_misses(), 1u);
+}
+
+TEST(DramVault, ConflictingRowRequiresPrecharge) {
+  hs::DramTiming t;
+  hs::DramVault v(t, 8, 128, 16);
+  (void)v.access(0, false, 0);  // opens row 0 of bank 0
+  // Same bank, different row: block index multiple of 8 (bank 0), beyond
+  // 16 blocks/row -> row 1.
+  const std::uint64_t far = 128ull * 8 * 16;  // bank 0, row 1
+  const hs::Tick lat = v.access(far, false, 1'000'000);
+  EXPECT_EQ(lat, t.tRP + t.tRCD + t.tCL + t.tBURST);
+}
+
+TEST(DramVault, BusyBankQueuesRequests) {
+  hs::DramTiming t;
+  hs::DramVault v(t, 8, 128, 16);
+  const hs::Tick lat1 = v.access(0, false, 0);
+  // Immediately issue another request to the same bank: it waits.
+  const hs::Tick lat2 = v.access(0, false, 0);
+  EXPECT_EQ(lat2, lat1 + t.tCL + t.tBURST);  // queue + row hit
+  // A different bank is free in parallel.
+  const hs::Tick lat3 = v.access(128, false, 0);
+  EXPECT_EQ(lat3, t.tRCD + t.tCL + t.tBURST);
+}
+
+// ---------- MemorySystem ----------
+
+TEST(MemorySystem, L1HitIsCheapRepeatAccess) {
+  hs::MachineConfig cfg;
+  hs::MemorySystem mem(cfg);
+  const hs::Tick first = mem.host_access(0, 0x10000, false, 0);
+  const hs::Tick second = mem.host_access(0, 0x10000, false, first);
+  EXPECT_GT(first, cfg.l2_latency);  // cold: went to DRAM
+  EXPECT_EQ(second, cfg.l1_latency);
+  EXPECT_EQ(mem.stats().host_dram_reads, 1u);
+  EXPECT_EQ(mem.stats().l1_hits, 1u);
+}
+
+TEST(MemorySystem, SecondCoreHitsInSharedL2) {
+  hs::MachineConfig cfg;
+  hs::MemorySystem mem(cfg);
+  (void)mem.host_access(0, 0x20000, false, 0);
+  const hs::Tick lat = mem.host_access(1, 0x20000, false, 100000);
+  EXPECT_EQ(lat, cfg.l1_latency + cfg.l2_latency);
+  EXPECT_EQ(mem.stats().host_dram_reads, 1u);
+}
+
+TEST(MemorySystem, WriteInvalidatesOtherCores) {
+  hs::MachineConfig cfg;
+  hs::MemorySystem mem(cfg);
+  (void)mem.host_access(0, 0x30000, false, 0);
+  (void)mem.host_access(1, 0x30000, false, 0);
+  // Core 1 writes: core 0's copy must be invalidated -> core 0 re-fetches
+  // from L2, not L1.
+  (void)mem.host_access(1, 0x30000, true, 0);
+  const hs::Tick lat = mem.host_access(0, 0x30000, false, 200000);
+  EXPECT_EQ(lat, cfg.l1_latency + cfg.l2_latency);
+}
+
+TEST(MemorySystem, NmpAccessSkipsCachesAndLink) {
+  hs::MachineConfig cfg;
+  hs::MemorySystem mem(cfg);
+  const hs::Tick lat = mem.nmp_access(0, 0x40000, false, 0);
+  // Row miss on a closed bank + one NMP cycle, but no link/cache latency.
+  EXPECT_EQ(lat, cfg.nmp_cycle + cfg.dram.tRCD + cfg.dram.tCL + cfg.dram.tBURST);
+  EXPECT_EQ(mem.stats().nmp_dram_reads, 1u);
+  EXPECT_EQ(mem.stats().host_dram_reads, 0u);
+}
+
+TEST(MemorySystem, MmioCostsMatchProtocol) {
+  hs::MachineConfig cfg;
+  hs::MemorySystem mem(cfg);
+  EXPECT_EQ(mem.host_mmio(true, 0), cfg.link_latency + cfg.scratchpad_latency);
+  EXPECT_EQ(mem.host_mmio(false, 0),
+            2 * cfg.link_latency + cfg.scratchpad_latency);
+  EXPECT_EQ(mem.stats().mmio_writes, 1u);
+  EXPECT_EQ(mem.stats().mmio_reads, 1u);
+}
+
+TEST(MemorySystem, DramReadsEqualL2MissesForReads) {
+  hs::MachineConfig cfg;
+  hs::MemorySystem mem(cfg);
+  hybrids::util::Xoshiro256 rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    (void)mem.host_access(static_cast<std::uint32_t>(i % 8),
+                          rng.next() % (1ull << 30), false, 0);
+  }
+  EXPECT_EQ(mem.stats().host_dram_reads, mem.stats().l2_misses);
+  EXPECT_EQ(mem.stats().l1_hits + mem.stats().l1_misses, 5000u);
+}

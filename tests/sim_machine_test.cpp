@@ -1,0 +1,211 @@
+// Tests for the simulated machine layer: host/NMP execution contexts and
+// the publication-list transport (sim_call / sim_post / sim_collect /
+// sim_combiner).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hybrids/sim/core/arena.hpp"
+#include "hybrids/sim/machine/system.hpp"
+
+namespace hs = hybrids::sim;
+namespace hn = hybrids::nmp;
+
+namespace {
+
+hs::Task<void> charge_nodes(hs::HostCtx c, const void* p, int times, hs::Tick& out) {
+  const hs::Tick start = c.sys->engine().now();
+  for (int i = 0; i < times; ++i) co_await c.node(p);
+  out = c.sys->engine().now() - start;
+}
+
+}  // namespace
+
+TEST(HostCtx, RepeatNodeAccessesHitL1) {
+  hs::System sys(hs::MachineConfig{});
+  alignas(128) static int node;
+  hs::Tick elapsed = 0;
+  sys.engine().spawn(charge_nodes(hs::HostCtx{&sys, 0}, &node, 10, elapsed));
+  sys.engine().run();
+  const auto& cfg = sys.config();
+  // 1 cold access (DRAM) + 9 L1 hits.
+  const hs::Tick hit_cost = cfg.l1_latency + cfg.host_node_cpu;
+  EXPECT_GT(elapsed, 9 * hit_cost);
+  EXPECT_LT(elapsed, 9 * hit_cost + 200 * hs::kNanosecond);
+  EXPECT_EQ(sys.mem().stats().host_dram_reads, 1u);
+  EXPECT_EQ(sys.mem().stats().l1_hits, 9u);
+}
+
+TEST(NmpCtx, NodeBufferCapturesRepeatAccess) {
+  hs::System sys(hs::MachineConfig{});
+  alignas(128) static int node;
+  auto actor = [](hs::System& s) -> hs::Task<void> {
+    hs::NmpCtx ctx{&s, 0};
+    alignas(128) static int a, b;
+    co_await ctx.node(&a);  // vault access
+    co_await ctx.node(&a);  // buffer hit
+    co_await ctx.node(&b);  // vault access (evicts buffer)
+    co_await ctx.node(&a);  // vault access again
+  };
+  (void)node;
+  sys.engine().spawn(actor(sys));
+  sys.engine().run();
+  EXPECT_EQ(sys.mem().stats().nmp_dram_reads, 3u);
+}
+
+namespace {
+
+hs::Task<void> echo_handler(hs::NmpCtx& ctx, hs::SimSlot& slot) {
+  co_await ctx.node(&slot);  // pretend to touch one node
+  slot.resp.ok = true;
+  slot.resp.value = slot.req.key * 2;
+}
+
+hs::Task<void> blocking_client(hs::System& sys, hs::SimPubList& pl,
+                               std::vector<hybrids::Value>& out) {
+  hs::HostCtx c{&sys, 0};
+  for (hybrids::Key k = 1; k <= 5; ++k) {
+    hn::Request r;
+    r.op = hn::OpCode::kNop;
+    r.key = k;
+    hn::Response resp = co_await hs::sim_call(c, pl, 0, r);
+    EXPECT_TRUE(resp.ok);
+    out.push_back(resp.value);
+  }
+  sys.request_stop();
+}
+
+hs::Task<void> pipelined_client(hs::System& sys, hs::SimPubList& pl,
+                                std::vector<hybrids::Value>& out) {
+  hs::HostCtx c{&sys, 0};
+  // Post 4 requests, then collect them in order (§3.5 pipelining).
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    hn::Request r;
+    r.op = hn::OpCode::kNop;
+    r.key = s + 10;
+    co_await hs::sim_post(c, pl, s, r);
+  }
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    hn::Response resp = co_await hs::sim_collect(c, pl, s);
+    EXPECT_TRUE(resp.ok);
+    out.push_back(resp.value);
+  }
+  sys.request_stop();
+}
+
+}  // namespace
+
+TEST(SimPubList, BlockingCallRoundTrips) {
+  hs::System sys(hs::MachineConfig{});
+  hs::SimPubList pl(1);
+  std::vector<hybrids::Value> out;
+  sys.engine().spawn(hs::sim_combiner(sys, hs::NmpCtx{&sys, 0}, pl, echo_handler));
+  sys.engine().spawn(blocking_client(sys, pl, out));
+  sys.engine().run();
+  ASSERT_EQ(out.size(), 5u);
+  for (hybrids::Key k = 1; k <= 5; ++k) EXPECT_EQ(out[k - 1], k * 2);
+  EXPECT_GE(sys.mem().stats().mmio_writes, 5u);
+  EXPECT_GE(sys.mem().stats().mmio_reads, 10u);  // >= poll + payload per op
+}
+
+TEST(SimPubList, PipelinedPostsComplete) {
+  hs::System sys(hs::MachineConfig{});
+  hs::SimPubList pl(4);
+  std::vector<hybrids::Value> out;
+  sys.engine().spawn(hs::sim_combiner(sys, hs::NmpCtx{&sys, 0}, pl, echo_handler));
+  sys.engine().spawn(pipelined_client(sys, pl, out));
+  sys.engine().run();
+  ASSERT_EQ(out.size(), 4u);
+  for (std::uint32_t s = 0; s < 4; ++s) EXPECT_EQ(out[s], (s + 10) * 2);
+}
+
+TEST(SimPubList, PipeliningIsFasterThanBlocking) {
+  // The essence of Figure 4: the same 4 operations complete sooner when
+  // offloads overlap.
+  hs::Tick blocking_time = 0;
+  {
+    hs::System sys(hs::MachineConfig{});
+    hs::SimPubList pl(4);
+    std::vector<hybrids::Value> out;
+    sys.engine().spawn(hs::sim_combiner(sys, hs::NmpCtx{&sys, 0}, pl, echo_handler));
+    auto client = [](hs::System& s, hs::SimPubList& p,
+                     std::vector<hybrids::Value>& o) -> hs::Task<void> {
+      hs::HostCtx c{&s, 0};
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        hn::Request r;
+        r.key = i;
+        o.push_back((co_await hs::sim_call(c, p, 0, r)).value);
+      }
+      s.request_stop();
+    };
+    sys.engine().spawn(client(sys, pl, out));
+    blocking_time = sys.engine().run();
+  }
+  hs::Tick pipelined_time = 0;
+  {
+    hs::System sys(hs::MachineConfig{});
+    hs::SimPubList pl(4);
+    std::vector<hybrids::Value> out;
+    sys.engine().spawn(hs::sim_combiner(sys, hs::NmpCtx{&sys, 0}, pl, echo_handler));
+    sys.engine().spawn(pipelined_client(sys, pl, out));
+    pipelined_time = sys.engine().run();
+  }
+  EXPECT_LT(pipelined_time, blocking_time);
+}
+
+TEST(AlignedArena, AllocationsAreAlignedAndDistinct) {
+  hs::AlignedArena arena;
+  void* a = arena.allocate(128, 128);
+  void* b = arena.allocate(128, 128);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 128, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 128, 0u);
+  // Chunk bases are aligned to the L2 set period.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % hs::AlignedArena::kChunkAlign, 0u);
+}
+
+TEST(AlignedArena, GrowsAcrossChunks) {
+  hs::AlignedArena arena;
+  for (int i = 0; i < 10000; ++i) (void)arena.allocate(256, 128);
+  EXPECT_GE(arena.chunk_count(), 2u);
+}
+
+TEST(AlignedArena, RelativeLayoutIsReproducible) {
+  // Two arenas allocate the same sequence: the offsets of allocation i from
+  // its chunk base must match, which is what makes simulations replayable.
+  hs::AlignedArena a, b;
+  for (int i = 0; i < 1000; ++i) {
+    auto pa = reinterpret_cast<std::uintptr_t>(a.allocate(192, 128));
+    auto pb = reinterpret_cast<std::uintptr_t>(b.allocate(192, 128));
+    EXPECT_EQ(pa % hs::AlignedArena::kChunkAlign, pb % hs::AlignedArena::kChunkAlign);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Energy model
+// ---------------------------------------------------------------------------
+
+#include "hybrids/sim/exp/energy.hpp"
+
+TEST(EnergyModel, NmpTrafficIsCheaperThanHostTraffic) {
+  hs::EnergyModel model;
+  hs::MemStats host_heavy;
+  host_heavy.host_dram_reads = 1000;
+  hs::MemStats nmp_heavy;
+  nmp_heavy.nmp_dram_reads = 1000;
+  // Host reads cross the serial link twice; NMP reads stay in the stack.
+  EXPECT_GT(model.total_nj(host_heavy), model.total_nj(nmp_heavy));
+}
+
+TEST(EnergyModel, ScalesLinearlyWithOps) {
+  hs::EnergyModel model;
+  hs::MemStats s;
+  s.host_dram_reads = 500;
+  s.l1_hits = 2000;
+  s.l2_hits = 700;
+  s.mmio_reads = 100;
+  const double total = model.total_nj(s);
+  EXPECT_GT(total, 0.0);
+  EXPECT_DOUBLE_EQ(model.nj_per_op(s, 100), total / 100.0);
+  EXPECT_DOUBLE_EQ(model.nj_per_op(s, 0), 0.0);
+}

@@ -1,0 +1,157 @@
+// Unit tests for hybrids/util: RNG determinism and distribution sanity,
+// marked/tagged pointers, histogram, table rendering, backoff.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "hybrids/util/backoff.hpp"
+#include "hybrids/util/cache_aligned.hpp"
+#include "hybrids/util/histogram.hpp"
+#include "hybrids/util/marked_ptr.hpp"
+#include "hybrids/util/rng.hpp"
+#include "hybrids/util/table.hpp"
+
+namespace hu = hybrids::util;
+
+TEST(Rng, DeterministicForSameSeed) {
+  hu::Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  hu::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  hu::Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  hu::Xoshiro256 rng(99);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expected = double(kDraws) / kBuckets;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.1);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  hu::Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, SplitMixExpandsSeeds) {
+  hu::SplitMix64 sm(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(sm.next());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Rng, Fnv1aMatchesKnownVector) {
+  // FNV-1a of 8 zero bytes (computed independently from the FNV constants).
+  EXPECT_EQ(hu::fnv1a64(0), 0xA8C7F832281A39C5ULL);
+  EXPECT_NE(hu::fnv1a64(1), hu::fnv1a64(2));
+}
+
+TEST(MarkedPtr, RoundTripsPointerAndMark) {
+  int x = 0;
+  hu::MarkedPtr<int> p(&x, false);
+  EXPECT_EQ(p.ptr(), &x);
+  EXPECT_FALSE(p.marked());
+  hu::MarkedPtr<int> q(&x, true);
+  EXPECT_EQ(q.ptr(), &x);
+  EXPECT_TRUE(q.marked());
+  EXPECT_NE(p.bits(), q.bits());
+  EXPECT_EQ(hu::MarkedPtr<int>::from_bits(q.bits()), q);
+}
+
+TEST(TaggedPtr, RoundTripsPointerAndTag) {
+  alignas(128) static int node;
+  for (unsigned tag = 0; tag < 8; ++tag) {
+    hu::TaggedPtr<int, 3> p(&node, tag);
+    EXPECT_EQ(p.ptr(), &node);
+    EXPECT_EQ(p.tag(), tag);
+  }
+  hu::TaggedPtr<int, 3> null;
+  EXPECT_FALSE(null);
+}
+
+TEST(Histogram, TracksMeanMinMax) {
+  hu::Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 10.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  hu::Histogram a, b;
+  a.record(1.0);
+  a.record(3.0);
+  b.record(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Histogram, QuantileIsMonotone) {
+  hu::Histogram h;
+  hu::Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) h.record(double(rng.next_below(1000)));
+  double last = 0;
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    double v = h.quantile(q);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(Table, RendersAlignedColumnsAndCsv) {
+  hu::Table t({"threads", "mops"});
+  t.new_row().add_int(1).add_num(1.25);
+  t.new_row().add_int(8).add_num(10.5, 1);
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("threads"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("10.5"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("threads,mops"), std::string::npos);
+  EXPECT_NE(csv.str().find("8,10.5"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Backoff, SpinsWithoutCrashingAndResets) {
+  hu::Backoff b(4);
+  for (int i = 0; i < 100; ++i) b.spin();
+  b.reset();
+  b.spin();
+  SUCCEED();
+}
+
+TEST(CacheAligned, PreventsFalseSharing) {
+  hu::CacheAligned<int> arr[2];
+  auto a = reinterpret_cast<std::uintptr_t>(&arr[0]);
+  auto b = reinterpret_cast<std::uintptr_t>(&arr[1]);
+  EXPECT_GE(b - a, hu::kCacheLineSize);
+  EXPECT_EQ(a % hu::kCacheLineSize, 0u);
+}

