@@ -21,6 +21,7 @@ namespace hb = hybrids::bench;
 
 int main(int argc, char** argv) {
   hb::Options opt = hb::parse_options(argc, argv);
+  hb::StatsSession stats(opt);
   const std::uint64_t keys = opt.keys ? opt.keys : 1ull << 19;
   const std::uint32_t threads = opt.threads.empty() ? 8 : opt.threads.front();
 

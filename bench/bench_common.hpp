@@ -1,20 +1,29 @@
 // Shared command-line handling and run helpers for the figure/table benches.
 //
 // Every bench accepts:
-//   --keys=N      initial key count (default: scaled-down from the paper)
-//   --ops=N       measured operations per host thread
-//   --warmup=N    warmup operations per host thread
-//   --threads=CSV host-thread counts to sweep (default per bench)
-//   --full        paper-scale sizes (long running)
-//   --csv         machine-readable output
+//   --keys=N             initial key count (default: scaled-down from the paper)
+//   --ops=N              measured operations per host thread
+//   --warmup=N           warmup operations per host thread
+//   --threads=CSV        host-thread counts to sweep (default per bench)
+//   --full               paper-scale sizes (long running)
+//   --csv                machine-readable output
+//   --stats-json=FILE    write a telemetry snapshot (JSON) on exit
+//   --stats-interval=MS  print a one-line telemetry summary to stderr
+//                        every MS milliseconds while the bench runs
 #pragma once
 
+#include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "hybrids/telemetry/export.hpp"
+#include "hybrids/telemetry/timeline.hpp"
 
 namespace hybrids::bench {
 
@@ -25,7 +34,27 @@ struct Options {
   std::vector<std::uint32_t> threads;
   bool full = false;
   bool csv = false;
+  std::string stats_json;               // empty: no JSON export
+  std::uint32_t stats_interval_ms = 0;  // 0: no periodic reporter
 };
+
+/// Parses "1,2,4" into `out`. Rejects empty lists, empty elements ("1,,2",
+/// trailing comma), zero, and trailing garbage ("4x").
+inline bool parse_thread_list(const char* v, std::vector<std::uint32_t>& out) {
+  out.clear();
+  const char* p = v;
+  if (*p == '\0') return false;
+  while (true) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(p, &end, 10);
+    if (n == 0 || n > 0xFFFFFFFFul) return false;
+    out.push_back(static_cast<std::uint32_t>(n));
+    if (*end == '\0') return true;
+    if (*end != ',') return false;
+    p = end + 1;
+  }
+}
 
 inline Options parse_options(int argc, char** argv) {
   Options opt;
@@ -42,24 +71,71 @@ inline Options parse_options(int argc, char** argv) {
     } else if (const char* v = value_of("--warmup=")) {
       opt.warmup = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of("--threads=")) {
-      opt.threads.clear();
-      const char* p = v;
-      while (*p != '\0') {
-        char* end = nullptr;
-        opt.threads.push_back(static_cast<std::uint32_t>(std::strtoul(p, &end, 10)));
-        p = *end == ',' ? end + 1 : end;
+      if (!parse_thread_list(v, opt.threads)) {
+        std::cerr << "error: malformed --threads list '" << v
+                  << "' (expected comma-separated positive integers, e.g. "
+                     "--threads=1,2,4,8)\n";
+        std::exit(2);
       }
+    } else if (const char* v = value_of("--stats-json=")) {
+      opt.stats_json = v;
+    } else if (const char* v = value_of("--stats-interval=")) {
+      opt.stats_interval_ms =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--full") {
       opt.full = true;
     } else if (arg == "--csv") {
       opt.csv = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "options: --keys=N --ops=N --warmup=N --threads=1,2,4,8 "
-                   "--full --csv\n";
+      std::cout << "options:\n"
+                   "  --keys=N             initial key count\n"
+                   "  --ops=N              measured ops per host thread\n"
+                   "  --warmup=N           warmup ops per host thread\n"
+                   "  --threads=1,2,4,8    host-thread counts to sweep\n"
+                   "  --full               paper-scale sizes (long running)\n"
+                   "  --csv                machine-readable output\n"
+                   "  --stats-json=FILE    write telemetry snapshot (JSON) on "
+                   "exit\n"
+                   "  --stats-interval=MS  periodic one-line telemetry summary "
+                   "on stderr\n";
       std::exit(0);
     }
   }
   return opt;
 }
+
+/// RAII wiring of the telemetry flags: constructs a periodic stderr reporter
+/// if --stats-interval was given, and exports the final registry snapshot to
+/// --stats-json on destruction (i.e. after the bench body ran).
+class StatsSession {
+ public:
+  explicit StatsSession(const Options& opt) : json_path_(opt.stats_json) {
+    if (opt.stats_interval_ms > 0) {
+      reporter_.emplace(std::chrono::milliseconds(opt.stats_interval_ms),
+                        [](const telemetry::Snapshot& snap) {
+                          std::cerr << telemetry::one_line_summary(snap)
+                                    << "\n";
+                        });
+    }
+  }
+
+  ~StatsSession() {
+    if (reporter_) reporter_->stop();
+    if (!json_path_.empty()) {
+      if (telemetry::export_json(json_path_)) {
+        std::cerr << "telemetry: wrote " << json_path_ << "\n";
+      } else {
+        std::cerr << "telemetry: failed to write " << json_path_ << "\n";
+      }
+    }
+  }
+
+  StatsSession(const StatsSession&) = delete;
+  StatsSession& operator=(const StatsSession&) = delete;
+
+ private:
+  std::string json_path_;
+  std::optional<telemetry::PeriodicReporter> reporter_;
+};
 
 }  // namespace hybrids::bench

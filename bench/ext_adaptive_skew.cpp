@@ -24,6 +24,7 @@ namespace hb = hybrids::bench;
 
 int main(int argc, char** argv) {
   hb::Options opt = hb::parse_options(argc, argv);
+  hb::StatsSession stats(opt);
   if (opt.warmup < 8000) opt.warmup = 8000;  // let promotions settle before measuring
   const std::uint64_t keys = opt.keys ? opt.keys : 1ull << 18;
   const std::uint32_t threads = opt.threads.empty() ? 8 : opt.threads.front();

@@ -20,6 +20,7 @@ namespace hb = hybrids::bench;
 
 int main(int argc, char** argv) {
   hb::Options opt = hb::parse_options(argc, argv);
+  hb::StatsSession stats(opt);
   const std::uint64_t keys = opt.keys ? opt.keys : (opt.full ? 1ull << 22 : 1ull << 20);
   if (opt.threads.empty()) opt.threads = {1, 2, 4, 8};
 

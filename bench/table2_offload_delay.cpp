@@ -15,6 +15,7 @@ namespace hb = hybrids::bench;
 
 int main(int argc, char** argv) {
   hb::Options opt = hb::parse_options(argc, argv);
+  hb::StatsSession stats(opt);
   hs::MachineConfig machine;
   hs::OffloadDelays d = hs::measure_offload_delays(machine);
 

@@ -26,6 +26,7 @@
 #include "hybrids/ds/btree_nodes.hpp"
 #include "hybrids/ds/nmp_btree.hpp"
 #include "hybrids/nmp/partition_set.hpp"
+#include "hybrids/telemetry/registry.hpp"
 #include "hybrids/types.hpp"
 #include "hybrids/util/marked_ptr.hpp"
 
@@ -84,13 +85,23 @@ class HybridBTree {
                                   config.slots_per_thread, /*width=*/1}) {
     assert(config.nmp_levels >= 1);
     assert(config.partitions >= 1 && config.partitions <= 16);
+    namespace tn = telemetry::names;
+    host_retry_ = &telemetry::counter(tn::kHostRetryTotal);
+    lock_path_ = &telemetry::counter(tn::kLockPathTotal);
+    resume_insert_ = &telemetry::counter(tn::kResumeInsertTotal);
+    unlock_path_ = &telemetry::counter(tn::kUnlockPathTotal);
     partitions_.reserve(config.partitions);
     for (std::uint32_t p = 0; p < config.partitions; ++p) {
       partitions_.push_back(std::make_unique<NmpBTree>(config.nmp_levels - 1));
       NmpBTree* bt = partitions_.back().get();
-      set_.set_handler(p, [bt](const nmp::Request& req, nmp::Response& resp) {
-        apply(*bt, req, resp);
-      });
+      // Per-partition retry-cause counter (parent_seqnum mismatch), captured
+      // so the combiner hot path never touches the registry map.
+      auto* seq_retries = &telemetry::counter(tn::kRetryParentSeqnum,
+                                              static_cast<std::int32_t>(p));
+      set_.set_handler(
+          p, [bt, seq_retries](const nmp::Request& req, nmp::Response& resp) {
+            apply(*bt, *seq_retries, req, resp);
+          });
     }
     build(keys, values);
     set_.start();
@@ -122,7 +133,10 @@ class HybridBTree {
       Frame frame;
       if (!traverse(key, frame)) continue;
       nmp::Response r = offload(nmp::OpCode::kRead, key, 0, frame, tid);
-      if (r.retry) continue;
+      if (r.retry) {
+        host_retry_->inc();
+        continue;
+      }
       out = r.value;
       return r.ok;
     }
@@ -133,7 +147,10 @@ class HybridBTree {
       Frame frame;
       if (!traverse(key, frame)) continue;
       nmp::Response r = offload(nmp::OpCode::kUpdate, key, value, frame, tid);
-      if (r.retry) continue;
+      if (r.retry) {
+        host_retry_->inc();
+        continue;
+      }
       return r.ok;
     }
   }
@@ -143,7 +160,10 @@ class HybridBTree {
       Frame frame;
       if (!traverse(key, frame)) continue;
       nmp::Response r = offload(nmp::OpCode::kRemove, key, 0, frame, tid);
-      if (r.retry) continue;
+      if (r.retry) {
+        host_retry_->inc();
+        continue;
+      }
       return r.ok;
     }
   }
@@ -153,8 +173,12 @@ class HybridBTree {
       Frame frame;
       if (!traverse(key, frame)) continue;
       nmp::Response r = offload(nmp::OpCode::kInsert, key, value, frame, tid);
-      if (r.retry) continue;
+      if (r.retry) {
+        host_retry_->inc();
+        continue;
+      }
       if (!r.lock_path) return r.ok;
+      lock_path_->inc();
       // LOCK_PATH escalation (Listing 4 lines 26-43).
       bool done = false;
       if (complete_escalated_insert(frame, r.node, frame.partition, tid, done)) {
@@ -214,6 +238,7 @@ class HybridBTree {
     assert(t.state == Ticket::State::kPending);
     nmp::Response r = set_.retrieve(t.handle);
     if (r.retry) {
+      host_retry_->inc();
       switch (t.op) {
         case nmp::OpCode::kRead: {
           Value v = 0;
@@ -230,6 +255,7 @@ class HybridBTree {
       }
     }
     if (r.lock_path) {
+      lock_path_->inc();
       bool done = false;
       if (complete_escalated_insert(t.frame, r.node, t.frame.partition, t.tid, done)) {
         return done;
@@ -378,6 +404,7 @@ class HybridBTree {
       nmp::Request r;
       r.op = nmp::OpCode::kUnlockPath;
       r.node = pending_handle;
+      unlock_path_->inc();
       (void)set_.call(partition, tid, r);
       return false;
     }
@@ -388,6 +415,7 @@ class HybridBTree {
     rr.op = nmp::OpCode::kResumeInsert;
     rr.node = pending_handle;
     rr.aux = frame.seqs[last_host_level_] + 2;
+    resume_insert_->inc();
     nmp::Response resp = set_.call(partition, tid, rr);
     assert(resp.ok);
     auto* new_top = static_cast<NmpBNode*>(resp.node);
@@ -487,7 +515,8 @@ class HybridBTree {
 
   // --- NMP-side dispatch (combiner thread) ------------------------------------
 
-  static void apply(NmpBTree& bt, const nmp::Request& req, nmp::Response& resp) {
+  static void apply(NmpBTree& bt, telemetry::Counter& seq_retries,
+                    const nmp::Request& req, nmp::Response& resp) {
     NmpBTree::OpResult res;
     auto* begin = static_cast<NmpBNode*>(req.node);
     const auto pseq = static_cast<std::uint32_t>(req.aux);
@@ -513,6 +542,7 @@ class HybridBTree {
       default:
         break;
     }
+    if (res.retry) seq_retries.inc();
     resp.ok = res.ok;
     resp.retry = res.retry;
     resp.lock_path = res.lock_path;
@@ -729,6 +759,11 @@ class HybridBTree {
   nmp::PartitionSet set_;
   std::vector<std::unique_ptr<NmpBTree>> partitions_;
   std::atomic<HostBNode*> root_{nullptr};
+  // Host-layer telemetry: NMP retry responses and LOCK_PATH protocol legs.
+  telemetry::Counter* host_retry_;
+  telemetry::Counter* lock_path_;
+  telemetry::Counter* resume_insert_;
+  telemetry::Counter* unlock_path_;
 };
 
 }  // namespace hybrids::ds

@@ -29,6 +29,7 @@
 #include "hybrids/ds/lockfree_skiplist.hpp"
 #include "hybrids/ds/seq_skiplist.hpp"
 #include "hybrids/nmp/partition_set.hpp"
+#include "hybrids/telemetry/registry.hpp"
 #include "hybrids/types.hpp"
 #include "hybrids/util/cache_aligned.hpp"
 #include "hybrids/util/rng.hpp"
@@ -80,15 +81,24 @@ class HybridSkipList {
                                   config.partition_width}) {
     assert(config.total_height > config.nmp_height);
     assert(config.nmp_height >= 1);
+    namespace tn = telemetry::names;
+    host_read_hits_ = &telemetry::counter(tn::kHostReadHits);
+    host_retry_ = &telemetry::counter(tn::kHostRetryTotal);
     lists_.reserve(config.partitions);
     for (std::uint32_t p = 0; p < config.partitions; ++p) {
       lists_.push_back(std::make_unique<SeqSkipList>(config.nmp_height));
       SeqSkipList* list = lists_.back().get();
       const int nmp_height = config.nmp_height;
       const std::uint32_t threshold = config.promote_threshold;
-      set_.set_handler(p, [list, nmp_height, threshold](const nmp::Request& req,
-                                                        nmp::Response& resp) {
-        apply(*list, nmp_height, threshold, req, resp);
+      // Per-partition retry-cause counters, captured by the handler so the
+      // combiner hot path never touches the registry map.
+      auto* stale = &telemetry::counter(tn::kRetryStaleBeginNode,
+                                        static_cast<std::int32_t>(p));
+      auto* from_head = &telemetry::counter(tn::kBeginFromHead,
+                                            static_cast<std::int32_t>(p));
+      set_.set_handler(p, [list, nmp_height, threshold, stale, from_head](
+                              const nmp::Request& req, nmp::Response& resp) {
+        apply(*list, nmp_height, threshold, *stale, *from_head, req, resp);
       });
     }
     rngs_ = std::vector<util::CacheAligned<util::Xoshiro256>>(config.max_threads);
@@ -108,12 +118,16 @@ class HybridSkipList {
       LfSkipList::Node* succs[LfSkipList::kMaxLevels];
       if (host_.find(key, preds, succs)) {
         // Tall node: the value is mirrored host-side; serve from cache.
+        host_read_hits_->inc();
         out = succs[0]->value_now();
         return true;
       }
       nmp::Response r = offload(nmp::OpCode::kRead, key, 0, 0, preds[0],
                                 nullptr, tid);
-      if (r.retry) continue;
+      if (r.retry) {
+        host_retry_->inc();
+        continue;
+      }
       if (r.promote_hint) try_promote(key, tid);
       out = r.value;
       return r.ok;
@@ -130,7 +144,10 @@ class HybridSkipList {
       // version, so racing updates converge (§3.3 insert/update interplay).
       nmp::Response r = offload(nmp::OpCode::kUpdate, key, value, 0, preds[0],
                                 nullptr, tid);
-      if (r.retry) continue;
+      if (r.retry) {
+        host_retry_->inc();
+        continue;
+      }
       if (r.ok && r.node != nullptr) {
         LfSkipList::update_versioned(static_cast<LfSkipList::Node*>(r.node),
                                      static_cast<std::uint32_t>(r.aux), value);
@@ -156,6 +173,7 @@ class HybridSkipList {
                                 static_cast<std::uint64_t>(height), preds[0],
                                 hnode, tid);
       if (r.retry) {
+        host_retry_->inc();
         if (hnode != nullptr) LfSkipList::free_unlinked(hnode);
         continue;
       }
@@ -190,7 +208,10 @@ class HybridSkipList {
       }
       nmp::Response r =
           offload(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr, tid);
-      if (r.retry) continue;
+      if (r.retry) {
+        host_retry_->inc();
+        continue;
+      }
       return r.ok;
     }
   }
@@ -265,6 +286,7 @@ class HybridSkipList {
     t.key = key;
     t.tid = tid;
     if (host_.find(key, preds, succs)) {
+      host_read_hits_->inc();
       t.state = Ticket::State::kImmediate;
       t.ok = true;
       t.value = succs[0]->value_now();
@@ -357,6 +379,7 @@ class HybridSkipList {
     }
     assert(t.state == Ticket::State::kPending);
     nmp::Response r = set_.retrieve(t.handle);
+    if (r.retry) host_retry_->inc();
     switch (t.op) {
       case nmp::OpCode::kRead:
         if (r.retry) {
@@ -471,16 +494,22 @@ class HybridSkipList {
   /// NMP-side of every operation (runs on the partition's combiner thread;
   /// mirrors Listing 2, plus the §7 adaptive-promotion extension).
   static void apply(SeqSkipList& list, int nmp_height, std::uint32_t threshold,
+                    telemetry::Counter& stale_retries,
+                    telemetry::Counter& begin_from_head,
                     const nmp::Request& req, nmp::Response& resp) {
     SeqSkipList::Node* begin = list.head();
     if (req.node != nullptr) {
       auto* candidate = static_cast<SeqSkipList::Node*>(req.node);
       if (SeqSkipList::is_stale(candidate)) {
         // Begin node removed by an operation queued earlier: host must retry.
+        stale_retries.inc();
         resp.retry = true;
         return;
       }
       begin = candidate;
+    } else {
+      // No usable host shortcut: traversal starts at the partition head.
+      begin_from_head.inc();
     }
     // Exactly one access observes the counter crossing the threshold, so at
     // most one promotion fires per key (the combiner serializes accesses).
@@ -545,6 +574,10 @@ class HybridSkipList {
   std::vector<std::unique_ptr<SeqSkipList>> lists_;
   std::vector<util::CacheAligned<util::Xoshiro256>> rngs_;
   std::atomic<std::uint32_t> promoted_{0};
+  // Host-layer telemetry: reads served from the host cache mirror, and
+  // NMP responses that requested a retry (stale begin node).
+  telemetry::Counter* host_read_hits_;
+  telemetry::Counter* host_retry_;
 };
 
 }  // namespace hybrids::ds

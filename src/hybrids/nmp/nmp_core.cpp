@@ -10,6 +10,20 @@ NmpCore::NmpCore(std::uint32_t id, std::uint32_t slot_count, Handler handler)
     : id_(id), handler_(std::move(handler)) {
   assert(slot_count > 0);
   slots_ = std::vector<util::CacheAligned<PubSlot>>(slot_count);
+  const auto p = static_cast<std::int32_t>(id_);
+  namespace tn = telemetry::names;
+  metrics_.served_total = &telemetry::counter(tn::kServedTotal, p);
+  for (std::size_t op = 0; op < 8; ++op) {
+    metrics_.served_op[op] = &telemetry::counter(
+        std::string(tn::kServedPrefix) + op_code_name(static_cast<OpCode>(op)),
+        p);
+  }
+  metrics_.park = &telemetry::counter(tn::kParkTotal, p);
+  metrics_.wake = &telemetry::counter(tn::kWakeTotal, p);
+  metrics_.queue_wait = &telemetry::latency(tn::kQueueWaitNs, p);
+  metrics_.service = &telemetry::latency(tn::kServiceNs, p);
+  metrics_.occupancy = &telemetry::latency(tn::kScanOccupancy, p);
+  metrics_.batch = &telemetry::latency(tn::kCombinerBatch, p);
 }
 
 NmpCore::~NmpCore() { stop(); }
@@ -26,14 +40,19 @@ void NmpCore::stop() {
   stop_.store(true, std::memory_order_release);
   pending_.fetch_add(1, std::memory_order_release);
   pending_.notify_one();
+  metrics_.wake->inc();
   thread_.join();
   started_ = false;
 }
 
 void NmpCore::post(std::uint32_t index, const Request& r) {
   slots_[index]->post(r);
+  // The release fetch_add orders after the slot's kPending store; see the
+  // protocol comment in publication.hpp.
   pending_.fetch_add(1, std::memory_order_release);
   pending_.notify_one();
+  metrics_.wake->inc();
+  telemetry::counter(telemetry::names::kOffloadPosted).add();
 }
 
 void NmpCore::wait_done(std::uint32_t index) {
@@ -57,18 +76,46 @@ void NmpCore::run() {
   // handler_, so everything it touches in the partition is race-free.
   while (true) {
     const std::uint64_t seen = pending_.load(std::memory_order_acquire);
-    bool any = false;
+    if constexpr (telemetry::kEnabled) {
+      // Publication-slot occupancy at scan time, observed before serving
+      // (relaxed loads; the serving pass below re-checks with acquire).
+      std::uint32_t occupied = 0;
+      for (auto& wrapped : slots_) {
+        occupied += wrapped->status.load(std::memory_order_relaxed) ==
+                    PubSlot::kPending;
+      }
+      if (occupied > 0) metrics_.occupancy->record(occupied);
+    }
+    std::uint32_t served_this_pass = 0;
     for (auto& wrapped : slots_) {
       PubSlot& s = *wrapped;
       if (s.status.load(std::memory_order_acquire) == PubSlot::kPending) {
+        // Capture request metadata before the kDone store: once the slot is
+        // done the owning host thread may take() and re-post, overwriting
+        // req/posted_ns concurrently.
+        const std::uint64_t t0 = telemetry::now_ns();
+        const std::uint64_t posted_ns = s.posted_ns;
+        const auto op = static_cast<std::size_t>(s.req.op);
         handler_(s.req, s.resp);
         s.status.store(PubSlot::kDone, std::memory_order_release);
         s.status.notify_all();
         served_.fetch_add(1, std::memory_order_relaxed);
-        any = true;
+        ++served_this_pass;
+        if constexpr (telemetry::kEnabled) {
+          metrics_.queue_wait->record(static_cast<double>(t0 - posted_ns));
+          metrics_.service->record(
+              static_cast<double>(telemetry::now_ns() - t0));
+          metrics_.served_total->inc();
+          if (op < 8) metrics_.served_op[op]->inc();
+        }
       }
     }
-    if (any) continue;
+    if (served_this_pass > 0) {
+      if constexpr (telemetry::kEnabled) {
+        metrics_.batch->record(served_this_pass);
+      }
+      continue;
+    }
     if (stop_.load(std::memory_order_acquire)) {
       // One final scan already found nothing; safe to exit only if no new
       // posts arrived after we observed `seen`.
@@ -76,6 +123,7 @@ void NmpCore::run() {
       continue;
     }
     idle_passes_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.park->inc();
     // Park until someone posts (or stop() bumps the counter).
     pending_.wait(seen, std::memory_order_acquire);
   }

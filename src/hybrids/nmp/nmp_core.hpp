@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "hybrids/nmp/publication.hpp"
+#include "hybrids/telemetry/registry.hpp"
 
 namespace hybrids::nmp {
 
@@ -59,6 +60,20 @@ class NmpCore {
   std::uint64_t idle_passes() const { return idle_passes_.load(std::memory_order_relaxed); }
 
  private:
+  /// Telemetry instruments, registered per partition id at construction.
+  /// All hot-path mutations are relaxed-atomic increments; they compile to
+  /// no-ops under HYBRIDS_NO_TELEMETRY.
+  struct Metrics {
+    telemetry::Counter* served_total;
+    telemetry::Counter* served_op[8];  // indexed by OpCode
+    telemetry::Counter* park;          // combiner futex parks
+    telemetry::Counter* wake;          // host-side futex notifies (post/stop)
+    telemetry::LatencyRecorder* queue_wait;  // post -> pickup, ns
+    telemetry::LatencyRecorder* service;     // handler execution, ns
+    telemetry::LatencyRecorder* occupancy;   // pending slots at scan start
+    telemetry::LatencyRecorder* batch;       // requests served per scan pass
+  };
+
   void run();
 
   std::uint32_t id_;
@@ -68,6 +83,7 @@ class NmpCore {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> idle_passes_{0};
+  Metrics metrics_;
   std::thread thread_;
   bool started_ = false;
 };

@@ -14,6 +14,11 @@ PartitionSet::PartitionSet(const PartitionConfig& config) : config_(config) {
     cores_.push_back(std::make_unique<NmpCore>(p, slots, NmpCore::Handler{}));
   }
   async_busy_.assign(config_.partitions, std::vector<std::uint8_t>(slots, 0));
+  namespace tn = telemetry::names;
+  calls_blocking_ = &telemetry::counter(tn::kCallBlocking);
+  calls_async_ = &telemetry::counter(tn::kCallAsync);
+  async_rejected_ = &telemetry::counter(tn::kAsyncRejected);
+  async_inflight_ = &telemetry::latency(tn::kAsyncInflight);
 }
 
 PartitionSet::~PartitionSet() { stop(); }
@@ -41,6 +46,7 @@ Response PartitionSet::call(std::uint32_t p, std::uint32_t thread_id,
                             const Request& r) {
   NmpCore& core = *cores_[p];
   const std::uint32_t slot = thread_base(thread_id);
+  calls_blocking_->inc();
   core.post(slot, r);
   core.wait_done(slot);
   return core.slot(slot).take();
@@ -54,9 +60,20 @@ OpHandle PartitionSet::call_async(std::uint32_t p, std::uint32_t thread_id,
     if (!busy[base + i]) {
       busy[base + i] = 1;
       cores_[p]->post(base + i, r);
+      calls_async_->inc();
+      if constexpr (telemetry::kEnabled) {
+        // In-flight depth of this thread's window against partition p,
+        // including the post we just made (only the owner writes `busy`).
+        std::uint32_t depth = 0;
+        for (std::uint32_t j = 1; j <= config_.slots_per_thread; ++j) {
+          depth += busy[base + j];
+        }
+        async_inflight_->record(depth);
+      }
       return OpHandle{p, base + i, true};
     }
   }
+  async_rejected_->inc();
   return OpHandle{};
 }
 

@@ -84,6 +84,14 @@ class PartitionSet {
   // owning host thread touches its entries.
   std::vector<std::vector<std::uint8_t>> async_busy_;
   bool started_ = false;
+
+  // Host-level telemetry (global scope; per-partition metrics live in the
+  // cores). The recorder tracks the non-blocking in-flight depth observed
+  // right after each successful async post.
+  telemetry::Counter* calls_blocking_;
+  telemetry::Counter* calls_async_;
+  telemetry::Counter* async_rejected_;
+  telemetry::LatencyRecorder* async_inflight_;
 };
 
 }  // namespace hybrids::nmp

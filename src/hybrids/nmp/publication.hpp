@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "hybrids/telemetry/counters.hpp"
 #include "hybrids/types.hpp"
 #include "hybrids/util/cache_aligned.hpp"
 
@@ -41,6 +42,22 @@ enum class OpCode : std::uint8_t {
   kPromote,  // adaptive extension (§7): raise a hot key into the host portion
   kNop,
 };
+
+/// Human-readable opcode name, used as the suffix of the per-op telemetry
+/// counters (`served_<name>`) by both the real runtime and the simulator.
+inline const char* op_code_name(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::kRead: return "read";
+    case OpCode::kUpdate: return "update";
+    case OpCode::kInsert: return "insert";
+    case OpCode::kRemove: return "remove";
+    case OpCode::kResumeInsert: return "resume_insert";
+    case OpCode::kUnlockPath: return "unlock_path";
+    case OpCode::kPromote: return "promote";
+    case OpCode::kNop: return "nop";
+  }
+  return "unknown";
+}
 
 struct Request {
   OpCode op = OpCode::kNop;
@@ -65,6 +82,31 @@ struct Response {
 
 /// One publication-list slot. Padded to a cache line so host threads never
 /// false-share; `status` carries the valid-flag handshake.
+///
+/// Slot-state protocol (audited 2026-08; every transition is a release
+/// store matched by the consumer's acquire load):
+///
+///   kEmpty --post(), host--> kPending --combiner--> kDone --take(), host--> kEmpty
+///
+///  1. Only the owning host thread moves kEmpty -> kPending, and only after
+///     plain-writing `req`/`resp`/`posted_ns`. The release store of
+///     kPending is the publication fence: a combiner that acquire-loads
+///     kPending therefore sees the complete request.
+///  2. Only the combiner moves kPending -> kDone, after plain-writing
+///     `resp`. Its release store (plus notify) publishes the response to
+///     the host's acquire load in done()/wait_done().
+///  3. Only the owning host thread moves kDone -> kEmpty (take()). The
+///     release store is what allows the *same* thread's next post() to
+///     plain-write `req` without racing the combiner: the combiner never
+///     touches a slot it has already marked kDone.
+///
+/// NmpCore::post() additionally bumps the core's `pending_` futex word
+/// *after* the kPending store, also with release order. That ordering is
+/// load-bearing: a combiner woken by the futex acquire-loads `pending_`,
+/// which synchronizes-with the post's fetch_add and hence transitively with
+/// the slot write — the combiner can never observe the bumped counter yet
+/// miss the pending slot on its next full scan. (The scan itself re-checks
+/// each slot's status with acquire, so even an unrelated wake-up is safe.)
 struct alignas(util::kCacheLineSize) PubSlot {
   enum Status : std::uint32_t {
     kEmpty = 0,    // free for the owning host thread to fill
@@ -75,11 +117,13 @@ struct alignas(util::kCacheLineSize) PubSlot {
   std::atomic<std::uint32_t> status{kEmpty};
   Request req;
   Response resp;
+  std::uint64_t posted_ns = 0;  // telemetry: post() timestamp (queue wait)
 
   /// Host side: publish a request (slot must be kEmpty and owned by caller).
   void post(const Request& r) noexcept {
     req = r;
     resp = Response{};
+    posted_ns = telemetry::now_ns();
     status.store(kPending, std::memory_order_release);
   }
 

@@ -487,10 +487,15 @@ class SimHybridBTree {
     for (std::uint32_t p = 0; p < partitions(); ++p) {
       SimBNodeArena* arena = arenas_[p].get();
       const int top = nmp_levels_ - 1;
+      // Per-partition retry-cause counter (parent_seqnum mismatch / lock
+      // conflict), registered here so it exports even when zero.
+      auto* seq_retries =
+          &telemetry::counter(telemetry::names::kRetryParentSeqnum,
+                              static_cast<std::int32_t>(p));
       sys_.engine().spawn(sim_combiner(
           sys_, NmpCtx{&sys_, p}, *publists_[p],
-          [this, arena, top](NmpCtx& ctx, SimSlot& slot) {
-            return apply(*arena, top, ctx, slot);
+          [this, arena, top, seq_retries](NmpCtx& ctx, SimSlot& slot) {
+            return apply(*arena, top, *seq_retries, ctx, slot);
           }));
     }
   }
@@ -566,8 +571,15 @@ class SimHybridBTree {
   /// Host-side completion; returns false if the whole operation must retry.
   Task<bool> complete(HostCtx& c, Prepared& prep, const nmp::Response& resp,
                       std::uint32_t slot) {
-    if (resp.retry) co_return false;
+    namespace tn = telemetry::names;
+    if (resp.retry) {
+      static telemetry::Counter& retries = telemetry::counter(tn::kHostRetryTotal);
+      retries.inc();
+      co_return false;
+    }
     if (!resp.lock_path) co_return true;
+    static telemetry::Counter& lock_path = telemetry::counter(tn::kLockPathTotal);
+    lock_path.inc();
     // LOCK_PATH: lock the host path bottom-up (Listing 4 lines 26-43).
     int locked_top = -1;
     bool ok = true;
@@ -585,6 +597,8 @@ class SimHybridBTree {
       nmp::Request r;
       r.op = nmp::OpCode::kUnlockPath;
       r.node = resp.node;
+      static telemetry::Counter& unlock = telemetry::counter(tn::kUnlockPathTotal);
+      unlock.inc();
       (void)co_await sim_call(c, *publists_[prep.partition], slot, r);
       co_return false;
     }
@@ -594,6 +608,8 @@ class SimHybridBTree {
     nmp::Request rr;
     rr.op = nmp::OpCode::kResumeInsert;
     rr.node = resp.node;
+    static telemetry::Counter& resume = telemetry::counter(tn::kResumeInsertTotal);
+    resume.inc();
     // The seqnum the last host node will hold once we complete the link
     // (sim seqnums advance by one per mutation; the real library's seqlocks
     // advance by two, lock + unlock).
@@ -761,7 +777,9 @@ class SimHybridBTree {
     Value value = 0;
   };
 
-  Task<void> apply(SimBNodeArena& arena, int top, NmpCtx& ctx, SimSlot& slot) {
+  Task<void> apply(SimBNodeArena& arena, int top,
+                   telemetry::Counter& seq_retries, NmpCtx& ctx,
+                   SimSlot& slot) {
     const nmp::Request req = slot.req;
     if (req.op == nmp::OpCode::kResumeInsert) {
       auto* p = static_cast<PendingInsert*>(req.node);
@@ -792,6 +810,7 @@ class SimHybridBTree {
     // Boundary synchronization (Listing 5 lines 2-8).
     const auto offloaded = static_cast<std::uint32_t>(req.aux);
     if (begin->parent_seq > offloaded) {
+      seq_retries.inc();
       slot.resp.retry = true;
       co_return;
     }
@@ -826,6 +845,7 @@ class SimHybridBTree {
       }
       case nmp::OpCode::kRemove: {
         if (leaf->locked) {
+          seq_retries.inc();
           slot.resp.retry = true;  // pending escalated insert owns this leaf
           break;
         }
@@ -867,6 +887,7 @@ class SimHybridBTree {
           }
         }
         if (conflict) {
+          seq_retries.inc();
           slot.resp.retry = true;
           break;
         }

@@ -481,14 +481,23 @@ class SimHybridSkipList {
   }
 
   void start_combiners() {
+    namespace tn = telemetry::names;
     for (std::uint32_t p = 0; p < partitions(); ++p) {
       SimSkipRegion* region = regions_[p].get();
       const int nmp_height = nmp_height_;
       const std::uint32_t threshold = promote_threshold_;
+      // Per-partition retry-cause counters, registered here so they appear
+      // in exports even when they stay zero.
+      auto* stale = &telemetry::counter(tn::kRetryStaleBeginNode,
+                                        static_cast<std::int32_t>(p));
+      auto* from_head = &telemetry::counter(tn::kBeginFromHead,
+                                            static_cast<std::int32_t>(p));
       sys_.engine().spawn(sim_combiner(
           sys_, NmpCtx{&sys_, p}, *publists_[p],
-          [region, nmp_height, threshold](NmpCtx& ctx, SimSlot& slot) {
-            return apply(*region, nmp_height, threshold, ctx, slot);
+          [region, nmp_height, threshold, stale, from_head](NmpCtx& ctx,
+                                                            SimSlot& slot) {
+            return apply(*region, nmp_height, threshold, *stale, *from_head,
+                         ctx, slot);
           }));
     }
   }
@@ -512,6 +521,9 @@ class SimHybridSkipList {
     SimSkipNode* succs[SimSkipRegion::kMaxLevels];
     SimSkipNode* found = co_await host_.find(c, host_.head(), op.key, preds, succs);
     if (op.type == workload::OpType::kRead && found != nullptr) {
+      static telemetry::Counter& hits =
+          telemetry::counter(telemetry::names::kHostReadHits);
+      hits.inc();
       co_return prep;  // tall node: served from the host (cache) portion
     }
     if (op.type == workload::OpType::kInsert && found != nullptr) {
@@ -549,7 +561,12 @@ class SimHybridSkipList {
   /// (now free) publication slot, reused for the promotion follow-up.
   Task<bool> complete(HostCtx& c, const Prepared& prep, const nmp::Response& resp,
                       std::uint32_t slot, util::Xoshiro256& rng) {
-    if (resp.retry) co_return false;
+    if (resp.retry) {
+      static telemetry::Counter& retries =
+          telemetry::counter(telemetry::names::kHostRetryTotal);
+      retries.inc();
+      co_return false;
+    }
     if (resp.promote_hint) co_await maybe_promote(c, slot, prep.op.key, rng);
     if (prep.req.op == nmp::OpCode::kInsert && resp.ok &&
         static_cast<int>(prep.req.aux) > nmp_height_) {
@@ -627,7 +644,9 @@ class SimHybridSkipList {
 
  private:
   static Task<void> apply(SimSkipRegion& region, int nmp_height,
-                          std::uint32_t threshold, NmpCtx& ctx,
+                          std::uint32_t threshold,
+                          telemetry::Counter& stale_retries,
+                          telemetry::Counter& begin_from_head, NmpCtx& ctx,
                           SimSlot& slot) {
     const nmp::Request req = slot.req;
     SimSkipNode* begin = region.head();
@@ -637,12 +656,14 @@ class SimHybridSkipList {
       co_await ctx.node(candidate);
       if (candidate->marked) {
         ++g_hybrid_counters.stale_retries;
+        stale_retries.inc();
         slot.resp.retry = true;  // stale begin node: host retries (§3.3)
         co_return;
       }
       begin = candidate;
     } else {
       ++g_hybrid_counters.begin_from_head;
+      begin_from_head.inc();
     }
     auto note_access = [&](SimSkipNode* n) {
       if (threshold == 0 || n == nullptr) return;

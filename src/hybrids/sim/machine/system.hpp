@@ -6,13 +6,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "hybrids/nmp/publication.hpp"
 #include "hybrids/sim/core/event_queue.hpp"
 #include "hybrids/sim/core/task.hpp"
+#include "hybrids/sim/core/time.hpp"
 #include "hybrids/sim/machine/config.hpp"
 #include "hybrids/sim/mem/memory_system.hpp"
+#include "hybrids/telemetry/registry.hpp"
 
 namespace hybrids::sim {
 
@@ -107,6 +110,7 @@ struct SimSlot {
   Status status = kEmpty;
   nmp::Request req{};
   nmp::Response resp{};
+  Tick posted_at = 0;  // telemetry: simulated post time (queue wait)
 };
 
 /// One NMP core's publication list plus the stop flag shared with its
@@ -121,10 +125,18 @@ struct SimPubList {
 /// this round trip).
 inline Task<nmp::Response> sim_call(HostCtx& c, SimPubList& pl,
                                     std::uint32_t slot, nmp::Request req) {
+  // Function-local statics: one registry lookup per process, not per call.
+  static telemetry::Counter& posted =
+      telemetry::counter(telemetry::names::kOffloadPosted);
+  static telemetry::Counter& blocking =
+      telemetry::counter(telemetry::names::kCallBlocking);
   co_await c.mmio_write();
   pl.slots[slot].req = req;
   pl.slots[slot].resp = nmp::Response{};
+  pl.slots[slot].posted_at = c.sys->engine().now();
   pl.slots[slot].status = SimSlot::kPending;
+  posted.inc();
+  blocking.inc();
   while (true) {
     co_await c.mmio_read();  // poll the flag
     if (pl.slots[slot].status == SimSlot::kDone) break;
@@ -140,10 +152,17 @@ inline Task<nmp::Response> sim_call(HostCtx& c, SimPubList& pl,
 /// posted MMIO write; completion is collected with sim_collect.
 inline Task<void> sim_post(HostCtx& c, SimPubList& pl, std::uint32_t slot,
                            nmp::Request req) {
+  static telemetry::Counter& posted =
+      telemetry::counter(telemetry::names::kOffloadPosted);
+  static telemetry::Counter& async =
+      telemetry::counter(telemetry::names::kCallAsync);
   co_await c.mmio_write();
   pl.slots[slot].req = req;
   pl.slots[slot].resp = nmp::Response{};
+  pl.slots[slot].posted_at = c.sys->engine().now();
   pl.slots[slot].status = SimSlot::kPending;
+  posted.inc();
+  async.inc();
 }
 
 inline Task<nmp::Response> sim_collect(HostCtx& c, SimPubList& pl,
@@ -162,21 +181,69 @@ inline Task<nmp::Response> sim_collect(HostCtx& c, SimPubList& pl,
 /// NMP combiner actor: scans the publication list (one scratchpad read per
 /// slot), applies pending requests through `handler`, and writes responses.
 /// Runs until the system requests a stop and the list is drained.
+/// Per-partition telemetry instruments for one simulated combiner, resolved
+/// once at actor start. All metric names match the real NmpCore runtime so
+/// exports look identical regardless of which transport ran the workload.
+struct SimCombinerMetrics {
+  telemetry::Counter* served_total;
+  telemetry::Counter* served_op[8];  // indexed by OpCode
+  telemetry::LatencyRecorder* queue_wait;
+  telemetry::LatencyRecorder* service;
+  telemetry::LatencyRecorder* occupancy;
+  telemetry::LatencyRecorder* batch;
+
+  explicit SimCombinerMetrics(std::uint32_t vault) {
+    namespace tn = telemetry::names;
+    const auto p = static_cast<std::int32_t>(vault);
+    served_total = &telemetry::counter(tn::kServedTotal, p);
+    for (std::size_t op = 0; op < 8; ++op) {
+      served_op[op] = &telemetry::counter(
+          std::string(tn::kServedPrefix) +
+              nmp::op_code_name(static_cast<nmp::OpCode>(op)),
+          p);
+    }
+    queue_wait = &telemetry::latency(tn::kQueueWaitNs, p);
+    service = &telemetry::latency(tn::kServiceNs, p);
+    occupancy = &telemetry::latency(tn::kScanOccupancy, p);
+    batch = &telemetry::latency(tn::kCombinerBatch, p);
+  }
+};
+
 inline Task<void> sim_combiner(
     System& sys, NmpCtx ctx, SimPubList& pl,
     std::function<Task<void>(NmpCtx&, SimSlot&)> handler) {
+  SimCombinerMetrics m(ctx.vault);
   while (true) {
-    bool any = false;
+    if constexpr (telemetry::kEnabled) {
+      // Occupancy at scan start: free (uncharged) status reads, so telemetry
+      // never perturbs the simulated timing.
+      std::uint32_t occupied = 0;
+      for (const auto& slot : pl.slots) {
+        occupied += slot.status == SimSlot::kPending;
+      }
+      if (occupied > 0) m.occupancy->record(occupied);
+    }
+    std::uint32_t served_this_pass = 0;
     for (auto& slot : pl.slots) {
       co_await ctx.spad();  // read the valid flag
       if (slot.status == SimSlot::kPending) {
+        const Tick t0 = sys.engine().now();
+        const auto op = static_cast<std::size_t>(slot.req.op);
         co_await handler(ctx, slot);
         co_await ctx.spad();  // write response + clear flag
         slot.status = SimSlot::kDone;
-        any = true;
+        ++served_this_pass;
+        if constexpr (telemetry::kEnabled) {
+          m.queue_wait->record(ticks_to_ns(t0 - slot.posted_at));
+          m.service->record(ticks_to_ns(sys.engine().now() - t0));
+          m.served_total->inc();
+          if (op < 8) m.served_op[op]->inc();
+        }
       }
     }
-    if (!any) {
+    if (served_this_pass > 0) {
+      if constexpr (telemetry::kEnabled) m.batch->record(served_this_pass);
+    } else {
       if (sys.stop_requested()) co_return;
       co_await ctx.delay(sys.config().nmp_idle_gap);
     }

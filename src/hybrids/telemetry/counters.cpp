@@ -1,0 +1,12 @@
+#include "hybrids/telemetry/counters.hpp"
+
+namespace hybrids::telemetry {
+
+unsigned this_thread_ordinal() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace hybrids::telemetry

@@ -1,0 +1,153 @@
+// Telemetry primitives: cache-aligned, sharded-per-thread counters and
+// histogram-backed latency recorders.
+//
+// Both are safe for concurrent writers and can be snapshotted without
+// stopping them: a Counter is a set of per-shard relaxed atomics summed at
+// read time; a LatencyRecorder stripes a util::Histogram per shard behind a
+// tiny per-shard spinlock that writers of *other* shards never touch.
+//
+// Cost model: with telemetry enabled, Counter::add is a single relaxed
+// fetch_add on a thread-private cache line; LatencyRecorder::record is an
+// uncontended spinlock acquire plus a histogram bucket bump. Compiling with
+// -DHYBRIDS_NO_TELEMETRY turns every mutation into a no-op (and now_ns()
+// into a constant) so instrumented hot paths carry zero overhead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "hybrids/util/cache_aligned.hpp"
+#include "hybrids/util/histogram.hpp"
+
+namespace hybrids::telemetry {
+
+#if defined(HYBRIDS_NO_TELEMETRY)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Monotonic wall-clock in nanoseconds (0 when telemetry is compiled out).
+inline std::uint64_t now_ns() noexcept {
+#if defined(HYBRIDS_NO_TELEMETRY)
+  return 0;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Stable small integer id for the calling thread, assigned on first use;
+/// used to pick a shard. Ids are never reused, so long-lived processes with
+/// thread churn still spread load (modulo shard count).
+unsigned this_thread_ordinal() noexcept;
+
+#if defined(HYBRIDS_NO_TELEMETRY)
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  void inc() noexcept {}
+  std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class LatencyRecorder {
+ public:
+  void record(double) noexcept {}
+  util::Histogram snapshot() const { return {}; }
+  void reset() noexcept {}
+};
+
+#else  // telemetry enabled
+
+/// Monotone event counter, sharded to keep concurrent writers off each
+/// other's cache lines. value() is a sum over shards and is only guaranteed
+/// to include increments that happened-before the call (relaxed ordering).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[this_thread_ordinal() % kShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& c : cells_) sum += c.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// Quiescent-only (concurrent adds may survive a reset).
+  void reset() noexcept {
+    for (auto& c : cells_) c.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr unsigned kShards = 16;
+  struct alignas(util::kCacheLineSize) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Cell cells_[kShards];
+};
+
+/// Value-distribution recorder (latencies, batch sizes, occupancies).
+/// Each shard's histogram sits behind a per-shard spinlock: a writer only
+/// ever takes its own shard's lock (uncontended in steady state), so
+/// snapshot() can walk the shards while other threads keep recording.
+class LatencyRecorder {
+ public:
+  void record(double value) noexcept {
+    Shard& s = shards_[this_thread_ordinal() % kShards];
+    s.acquire();
+    s.hist.record(value);
+    s.release();
+  }
+
+  /// Merged copy of all shards. Each shard is copied under its lock, so the
+  /// result is a union of internally-consistent per-shard histograms (no
+  /// torn count/sum pairs).
+  util::Histogram snapshot() const {
+    util::Histogram merged;
+    for (const auto& s : shards_) {
+      s.acquire();
+      util::Histogram copy = s.hist;
+      s.release();
+      merged.merge(copy);
+    }
+    return merged;
+  }
+
+  /// Quiescent-only.
+  void reset() noexcept {
+    for (auto& s : shards_) {
+      s.acquire();
+      s.hist = util::Histogram{};
+      s.release();
+    }
+  }
+
+ private:
+  static constexpr unsigned kShards = 8;
+  struct alignas(util::kCacheLineSize) Shard {
+    mutable std::atomic<bool> locked{false};
+    util::Histogram hist;
+
+    void acquire() const noexcept {
+      while (locked.exchange(true, std::memory_order_acquire)) {
+        // Owner holds it for a handful of instructions; just respin.
+      }
+    }
+    void release() const noexcept {
+      locked.store(false, std::memory_order_release);
+    }
+  };
+  Shard shards_[kShards];
+};
+
+#endif  // HYBRIDS_NO_TELEMETRY
+
+}  // namespace hybrids::telemetry

@@ -1,0 +1,207 @@
+#include "hybrids/telemetry/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hybrids::telemetry {
+
+namespace {
+
+/// JSON has no NaN/Inf literals; degenerate statistics export as 0.
+double finite(double v) { return std::isfinite(v) ? v : 0.0; }
+
+void append_number(std::ostringstream& os, double v) {
+  v = finite(v);
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<std::int64_t>(v);
+  } else {
+    os.precision(17);
+    os << v;
+  }
+}
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_histogram(std::ostringstream& os, const util::Histogram& h) {
+  os << "{\"count\":" << h.count();
+  os << ",\"sum\":"; append_number(os, h.sum());
+  os << ",\"mean\":"; append_number(os, h.mean());
+  os << ",\"min\":"; append_number(os, h.min());
+  os << ",\"max\":"; append_number(os, h.max());
+  os << ",\"p50\":"; append_number(os, h.quantile(0.5));
+  os << ",\"p90\":"; append_number(os, h.quantile(0.9));
+  os << ",\"p99\":"; append_number(os, h.quantile(0.99));
+  os << ",\"buckets\":[";
+  bool first = true;
+  const auto& buckets = h.bucket_counts();
+  for (int i = 0; i < static_cast<int>(buckets.size()); ++i) {
+    if (buckets[static_cast<std::size_t>(i)] == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"le\":"; append_number(os, util::Histogram::bucket_upper(i));
+    os << ",\"count\":" << buckets[static_cast<std::size_t>(i)] << '}';
+  }
+  os << "]}";
+}
+
+template <typename Samples, typename Emit>
+void append_object(std::ostringstream& os, const Samples& samples,
+                   std::int32_t partition, Emit emit) {
+  os << '{';
+  bool first = true;
+  for (const auto& s : samples) {
+    if (s.partition != partition) continue;
+    if (!first) os << ',';
+    first = false;
+    append_escaped(os, s.name);
+    os << ':';
+    emit(s);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+  std::ostringstream os;
+  os << "{\"schema\":\"hybrids.telemetry.v1\"";
+  os << ",\"taken_ns\":" << snap.taken_ns;
+
+  // Global-scope instruments.
+  os << ",\"counters\":";
+  append_object(os, snap.counters, Registry::kGlobal,
+                [&](const CounterSample& s) { os << s.value; });
+  os << ",\"histograms\":";
+  append_object(os, snap.histograms, Registry::kGlobal,
+                [&](const HistogramSample& s) { append_histogram(os, s.hist); });
+
+  // Partition-scope instruments, summed/merged across partitions.
+  std::map<std::string, std::uint64_t> counter_totals;
+  std::map<std::string, util::Histogram> hist_totals;
+  std::set<std::int32_t> partitions;
+  for (const auto& c : snap.counters) {
+    if (c.partition == Registry::kGlobal) continue;
+    counter_totals[c.name] += c.value;
+    partitions.insert(c.partition);
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.partition == Registry::kGlobal) continue;
+    hist_totals[h.name].merge(h.hist);
+    partitions.insert(h.partition);
+  }
+  os << ",\"totals\":{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counter_totals) {
+    if (!first) os << ',';
+    first = false;
+    append_escaped(os, name);
+    os << ':' << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : hist_totals) {
+    if (!first) os << ',';
+    first = false;
+    append_escaped(os, name);
+    os << ':';
+    append_histogram(os, hist);
+  }
+  os << "}}";
+
+  // Per-partition breakdown.
+  os << ",\"partitions\":[";
+  first = true;
+  for (std::int32_t p : partitions) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"partition\":" << p << ",\"counters\":";
+    append_object(os, snap.counters, p,
+                  [&](const CounterSample& s) { os << s.value; });
+    os << ",\"histograms\":";
+    append_object(os, snap.histograms, p, [&](const HistogramSample& s) {
+      append_histogram(os, s.hist);
+    });
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string to_csv(const Snapshot& snap) {
+  std::ostringstream os;
+  os << "type,name,partition,value,count,sum,mean,min,max,p50,p90,p99\n";
+  auto partition_field = [](std::int32_t p) {
+    return p == Registry::kGlobal ? std::string{} : std::to_string(p);
+  };
+  for (const auto& c : snap.counters) {
+    os << "counter," << c.name << ',' << partition_field(c.partition) << ','
+       << c.value << ",,,,,,,,\n";
+  }
+  for (const auto& h : snap.histograms) {
+    os << "histogram," << h.name << ',' << partition_field(h.partition)
+       << ",," << h.hist.count() << ',' << finite(h.hist.sum()) << ','
+       << finite(h.hist.mean()) << ',' << finite(h.hist.min()) << ','
+       << finite(h.hist.max()) << ',' << finite(h.hist.quantile(0.5)) << ','
+       << finite(h.hist.quantile(0.9)) << ','
+       << finite(h.hist.quantile(0.99)) << '\n';
+  }
+  return os.str();
+}
+
+std::string one_line_summary(const Snapshot& snap) {
+  std::ostringstream os;
+  os << "[telemetry] served=" << snap.counter_total(names::kServedTotal)
+     << " posted=" << snap.counter_total(names::kOffloadPosted)
+     << " stale_retries=" << snap.counter_total(names::kRetryStaleBeginNode)
+     << " seq_retries=" << snap.counter_total(names::kRetryParentSeqnum);
+  const util::Histogram qw = snap.histogram_total(names::kQueueWaitNs);
+  if (qw.count() > 0) {
+    os << " queue_wait_ns{p50=" << finite(qw.quantile(0.5))
+       << ",p99=" << finite(qw.quantile(0.99)) << '}';
+  }
+  return os.str();
+}
+
+namespace {
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content << '\n';
+  return static_cast<bool>(out.flush());
+}
+}  // namespace
+
+bool export_json(const std::string& path) {
+  return write_file(path, to_json(snapshot()));
+}
+
+bool export_csv(const std::string& path) {
+  return write_file(path, to_csv(snapshot()));
+}
+
+}  // namespace hybrids::telemetry

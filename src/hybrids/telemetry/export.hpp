@@ -1,0 +1,47 @@
+// Machine-readable exporters for telemetry snapshots.
+//
+// JSON layout (schema "hybrids.telemetry.v1"):
+//   {
+//     "schema": "hybrids.telemetry.v1",
+//     "taken_ns": <now_ns() at snapshot time>,
+//     "counters":   { "<name>": <value>, ... },      // global-scope
+//     "histograms": { "<name>": {<hist>}, ... },     // global-scope
+//     "totals": {                                    // summed/merged over
+//       "counters":   { "served_total": ..., ... },  // all partitions
+//       "histograms": { "queue_wait_ns": {...}, ... }
+//     },
+//     "partitions": [
+//       { "partition": 0,
+//         "counters":   { "served_total": ..., "retry_stale_begin_node": ... },
+//         "histograms": { "queue_wait_ns": {...}, ... } },
+//       ...
+//     ]
+//   }
+// where <hist> is {"count","sum","mean","min","max","p50","p90","p99",
+// "buckets":[{"le":...,"count":...}, ...]} (non-empty buckets only).
+//
+// CSV layout: one row per instrument,
+//   type,name,partition,value,count,sum,mean,min,max,p50,p90,p99
+// (counters fill `value`, histograms fill the rest; partition is empty for
+// global-scope metrics).
+#pragma once
+
+#include <string>
+
+#include "hybrids/telemetry/registry.hpp"
+
+namespace hybrids::telemetry {
+
+std::string to_json(const Snapshot& snap);
+std::string to_csv(const Snapshot& snap);
+
+/// One-line human summary (periodic reporters / log lines).
+std::string one_line_summary(const Snapshot& snap);
+
+/// Snapshot the global registry and write it to `path`. Returns false (and
+/// leaves no partial file behind semantics aside) if the file cannot be
+/// opened or written.
+bool export_json(const std::string& path);
+bool export_csv(const std::string& path);
+
+}  // namespace hybrids::telemetry

@@ -1,0 +1,63 @@
+#include "hybrids/telemetry/registry.hpp"
+
+namespace hybrids::telemetry {
+
+std::uint64_t Snapshot::counter_total(std::string_view name) const {
+  std::uint64_t sum = 0;
+  for (const auto& c : counters) {
+    if (c.name == name) sum += c.value;
+  }
+  return sum;
+}
+
+util::Histogram Snapshot::histogram_total(std::string_view name) const {
+  util::Histogram merged;
+  for (const auto& h : histograms) {
+    if (h.name == name) merged.merge(h.hist);
+  }
+  return merged;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name, std::int32_t partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[Key{std::string(name), partition}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+LatencyRecorder& Registry::latency(std::string_view name,
+                                   std::int32_t partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = latencies_[Key{std::string(name), partition}];
+  if (!slot) slot = std::make_unique<LatencyRecorder>();
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.taken_ns = now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, c] : counters_) {
+    snap.counters.push_back(CounterSample{key.first, key.second, c->value()});
+  }
+  snap.histograms.reserve(latencies_.size());
+  for (const auto& [key, h] : latencies_) {
+    snap.histograms.push_back(
+        HistogramSample{key.first, key.second, h->snapshot()});
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, c] : counters_) c->reset();
+  for (auto& [key, h] : latencies_) h->reset();
+}
+
+}  // namespace hybrids::telemetry

@@ -1,0 +1,52 @@
+#include "hybrids/telemetry/timeline.hpp"
+
+#include <utility>
+
+namespace hybrids::telemetry {
+
+void Timeline::append(Snapshot snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(snap));
+}
+
+std::size_t Timeline::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<Snapshot> Timeline::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+PeriodicReporter::PeriodicReporter(std::chrono::milliseconds interval,
+                                   Sink sink)
+    : interval_(interval), sink_(std::move(sink)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+PeriodicReporter::~PeriodicReporter() { stop(); }
+
+void PeriodicReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicReporter::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+    lock.unlock();
+    sink_(snapshot());
+    lock.lock();
+  }
+  lock.unlock();
+  sink_(snapshot());  // final sample at shutdown
+}
+
+}  // namespace hybrids::telemetry

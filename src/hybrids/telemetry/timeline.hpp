@@ -1,0 +1,60 @@
+// Periodic snapshotting: a background reporter thread that delivers
+// registry snapshots to a sink at a fixed interval, and a Timeline that
+// accumulates them for post-run export (the `--stats-interval=MS` bench
+// flag wires one to stderr).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hybrids/telemetry/registry.hpp"
+
+namespace hybrids::telemetry {
+
+/// Append-only series of snapshots (thread-safe).
+class Timeline {
+ public:
+  void append(Snapshot snap);
+  std::size_t size() const;
+  /// Copy of the series so far.
+  std::vector<Snapshot> entries() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Snapshot> entries_;
+};
+
+/// Background thread that snapshots the global registry every `interval`
+/// and hands the snapshot to `sink`. A final snapshot is delivered on
+/// stop()/destruction so short runs still produce at least one sample.
+/// With HYBRIDS_NO_TELEMETRY the thread still runs but snapshots are empty.
+class PeriodicReporter {
+ public:
+  using Sink = std::function<void(const Snapshot&)>;
+
+  PeriodicReporter(std::chrono::milliseconds interval, Sink sink);
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  /// Stops the reporter thread after delivering one final snapshot.
+  /// Idempotent.
+  void stop();
+
+ private:
+  void run();
+
+  std::chrono::milliseconds interval_;
+  Sink sink_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace hybrids::telemetry

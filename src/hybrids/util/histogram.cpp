@@ -39,17 +39,27 @@ void Histogram::merge(const Histogram& other) {
   for (int i = 0; i < kBuckets; ++i) buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
 }
 
+double Histogram::bucket_upper(int i) {
+  return i <= 0 ? 1.0 : std::pow(2.0, i);
+}
+
 double Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
+  // NaN compares false against everything, so std::clamp would pass it
+  // through and the target cast below would be undefined; pin it first.
+  if (std::isnan(q)) q = 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // The bucket walk approximates from upper edges; for the exact endpoint
+  // we track max() precisely, so return it directly (a single-bucket
+  // distribution would otherwise report the bucket edge, not the sample).
+  if (q >= 1.0) return max_;
   const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
   std::uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[static_cast<std::size_t>(i)];
     if (seen > target) {
       // Upper edge of bucket i, clamped to the observed range.
-      double upper = i == 0 ? 1.0 : std::pow(2.0, i);
-      return std::clamp(upper, min_, max_);
+      return std::clamp(bucket_upper(i), min_, max_);
     }
   }
   return max_;

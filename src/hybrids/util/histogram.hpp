@@ -22,13 +22,20 @@ class Histogram {
   double max() const { return count_ ? max_ : 0.0; }
   double sum() const { return sum_; }
 
-  /// Approximate quantile from the bucketed distribution (q in [0,1]).
+  /// Approximate quantile from the bucketed distribution. `q` is clamped to
+  /// [0,1] (NaN is treated as 0); q == 1.0 returns the exact max().
   double quantile(double q) const;
 
   std::string summary() const;
 
- private:
+  /// Bucket introspection (for exporters). Bucket 0 covers values < 1;
+  /// bucket i >= 1 has upper edge bucket_upper(i) = 2^i, matching the edge
+  /// quantile() interpolates against.
   static constexpr int kBuckets = 64;
+  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+  static double bucket_upper(int i);
+
+ private:
   static int bucket_for(double value);
 
   std::uint64_t count_ = 0;

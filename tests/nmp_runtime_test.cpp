@@ -8,8 +8,10 @@
 
 #include "hybrids/nmp/nmp_core.hpp"
 #include "hybrids/nmp/partition_set.hpp"
+#include "hybrids/telemetry/registry.hpp"
 
 namespace hn = hybrids::nmp;
+namespace ht = hybrids::telemetry;
 
 TEST(PubSlot, HandshakeRoundTrip) {
   hn::PubSlot slot;
@@ -172,6 +174,53 @@ TEST(PartitionSet, AsyncCallsCompleteAndRespectInflightLimit) {
   (void)set.retrieve(h);
   set.stop();
   EXPECT_EQ(handled.load(), accepted + 1);
+}
+
+TEST(PartitionSet, TelemetryServedCountsSumToTotalOps) {
+  if constexpr (!ht::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  // The registry is process-wide; clear residue from earlier tests in this
+  // binary so the per-partition sums are attributable to this run.
+  ht::reset_all();
+  auto set = make_set(4, 4, 2);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    set.set_handler(p, [](const hn::Request&, hn::Response& resp) {
+      resp.ok = true;
+    });
+  }
+  set.start();
+  constexpr std::uint64_t kOpsPerThread = 300;
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        hn::Request r;
+        r.op = hn::OpCode::kRead;
+        r.key = static_cast<hn::Key>((t * kOpsPerThread + i) * 7 % 4000);
+        (void)set.call(set.partition_of(r.key), t, r);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  set.stop();
+
+  const ht::Snapshot snap = ht::snapshot();
+  constexpr std::uint64_t kTotalOps = 4 * kOpsPerThread;
+  // Per-partition served counts must sum to the total issued operations...
+  EXPECT_EQ(snap.counter_total(ht::names::kServedTotal), kTotalOps);
+  // ...and agree with the runtime's own served() accounting per partition.
+  std::uint64_t nonzero_partitions = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name != ht::names::kServedTotal) continue;
+    ASSERT_GE(c.partition, 0);
+    EXPECT_EQ(c.value, set.core(static_cast<std::uint32_t>(c.partition)).served());
+    nonzero_partitions += c.value > 0;
+  }
+  EXPECT_EQ(nonzero_partitions, 4u);  // the key pattern hits every partition
+  // All offloads were blocking; queue-wait samples match the op count.
+  EXPECT_EQ(snap.counter_total(ht::names::kOffloadPosted), kTotalOps);
+  EXPECT_EQ(snap.histogram_total(ht::names::kQueueWaitNs).count(), kTotalOps);
+  EXPECT_EQ(snap.counter_total(ht::names::kCallBlocking), kTotalOps);
+  ht::reset_all();
 }
 
 TEST(PartitionSet, ConcurrentMixedBlockingAndAsync) {

@@ -1,0 +1,270 @@
+// Tests for hybrids/telemetry: sharded counters under concurrent writers,
+// snapshot-during-write consistency, registry identity/reset semantics, and
+// JSON/CSV export round-trips.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hybrids/telemetry/counters.hpp"
+#include "hybrids/telemetry/export.hpp"
+#include "hybrids/telemetry/registry.hpp"
+#include "hybrids/telemetry/timeline.hpp"
+
+namespace ht = hybrids::telemetry;
+
+namespace {
+
+/// Minimal structural JSON check: balanced braces/brackets outside strings,
+/// and the document is a single object. Not a full parser, but catches the
+/// classes of bugs a handwritten emitter produces (unbalanced nesting,
+/// unterminated strings, trailing garbage).
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  bool seen_any = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{':
+      case '[': ++depth; seen_any = true; break;
+      case '}':
+      case ']':
+        --depth;
+        if (depth < 0) return false;
+        if (depth == 0) {
+          // Nothing but whitespace may follow the closing brace.
+          for (std::size_t j = i + 1; j < s.size(); ++j) {
+            if (s[j] != ' ' && s[j] != '\n' && s[j] != '\t') return false;
+          }
+        }
+        break;
+      default: break;
+    }
+  }
+  return seen_any && depth == 0 && !in_string;
+}
+
+}  // namespace
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  ht::Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  if constexpr (ht::kEnabled) {
+    EXPECT_EQ(c.value(), kThreads * kAddsPerThread);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+  } else {
+    EXPECT_EQ(c.value(), 0u);
+  }
+}
+
+TEST(Counter, AddTakesArbitraryDeltas) {
+  ht::Counter c;
+  c.add(5);
+  c.add(37);
+  if constexpr (ht::kEnabled) EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(LatencyRecorder, SnapshotDuringConcurrentWritesIsConsistent) {
+  if constexpr (!ht::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  ht::LatencyRecorder rec;
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&rec, &stop] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        rec.record(static_cast<double>(1 + (i++ % 1000)));
+      }
+    });
+  }
+  // Snapshots taken while writers run must be internally consistent: every
+  // recorded value is in [1, 1000], so mean/min/max of any snapshot must be
+  // too, and counts must be monotone between consecutive snapshots.
+  std::uint64_t last_count = 0;
+  for (int round = 0; round < 50; ++round) {
+    hybrids::util::Histogram h = rec.snapshot();
+    if (h.count() > 0) {
+      EXPECT_GE(h.min(), 1.0);
+      EXPECT_LE(h.max(), 1000.0);
+      EXPECT_GE(h.mean(), 1.0);
+      EXPECT_LE(h.mean(), 1000.0);
+      EXPECT_GE(h.count(), last_count);
+      last_count = h.count();
+    }
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  hybrids::util::Histogram final = rec.snapshot();
+  EXPECT_GE(final.count(), last_count);
+}
+
+TEST(Registry, SameNameAndScopeReturnsSameInstrument) {
+  ht::Registry reg;
+  ht::Counter& a = reg.counter("x", 0);
+  ht::Counter& b = reg.counter("x", 0);
+  ht::Counter& other_scope = reg.counter("x", 1);
+  ht::Counter& global = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other_scope);
+  EXPECT_NE(&a, &global);
+  ht::LatencyRecorder& l1 = reg.latency("y", 2);
+  ht::LatencyRecorder& l2 = reg.latency("y", 2);
+  EXPECT_EQ(&l1, &l2);
+}
+
+TEST(Registry, SnapshotAndResetCoverEveryInstrument) {
+  if constexpr (!ht::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  ht::Registry reg;
+  reg.counter("served_total", 0).add(10);
+  reg.counter("served_total", 1).add(32);
+  reg.counter("host.posted").add(7);
+  reg.latency("queue_wait_ns", 0).record(128.0);
+
+  ht::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_total("served_total"), 42u);
+  EXPECT_EQ(snap.counter_total("host.posted"), 7u);
+  EXPECT_EQ(snap.histogram_total("queue_wait_ns").count(), 1u);
+  EXPECT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.histograms.size(), 1u);
+
+  reg.reset();
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_total("served_total"), 0u);
+  EXPECT_EQ(snap.histogram_total("queue_wait_ns").count(), 0u);
+  // Instruments stay registered after a reset (zero-valued, not dropped).
+  EXPECT_EQ(snap.counters.size(), 3u);
+}
+
+TEST(Registry, ConcurrentRegistrationIsSafe) {
+  ht::Registry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      for (int i = 0; i < 100; ++i) {
+        reg.counter("shared", i % 4).inc();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  if constexpr (ht::kEnabled) {
+    EXPECT_EQ(reg.snapshot().counter_total("shared"), kThreads * 100u);
+  }
+}
+
+TEST(Export, JsonRoundTripContainsRegisteredMetrics) {
+  if constexpr (!ht::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  ht::reset_all();
+  ht::counter(ht::names::kServedTotal, 0).add(11);
+  ht::counter(ht::names::kServedTotal, 1).add(31);
+  ht::counter(ht::names::kRetryStaleBeginNode, 0).add(3);
+  ht::counter(ht::names::kOffloadPosted).add(42);
+  ht::latency(ht::names::kQueueWaitNs, 0).record(100.0);
+  ht::latency(ht::names::kQueueWaitNs, 0).record(200.0);
+
+  const std::string json = ht::to_json(ht::snapshot());
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"schema\":\"hybrids.telemetry.v1\""), std::string::npos);
+  // Global scope.
+  EXPECT_NE(json.find("\"host.offload_posted\":42"), std::string::npos);
+  // Totals across partitions.
+  EXPECT_NE(json.find("\"served_total\":42"), std::string::npos);
+  // Per-partition sections with their own values.
+  EXPECT_NE(json.find("\"partition\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"partition\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"served_total\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"served_total\":31"), std::string::npos);
+  EXPECT_NE(json.find("\"retry_stale_begin_node\":3"), std::string::npos);
+  // Histogram block with its stats.
+  EXPECT_NE(json.find("\"queue_wait_ns\":{\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":300"), std::string::npos);
+  ht::reset_all();
+}
+
+TEST(Export, CsvHasHeaderAndOneRowPerInstrument) {
+  if constexpr (!ht::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  ht::Registry reg;
+  reg.counter("a", 0).add(1);
+  reg.counter("b").add(2);
+  reg.latency("c", 1).record(5.0);
+  const std::string csv = ht::to_csv(reg.snapshot());
+  EXPECT_NE(csv.find("type,name,partition,value,count"), std::string::npos);
+  EXPECT_NE(csv.find("counter,a,0,1,"), std::string::npos);
+  EXPECT_NE(csv.find("counter,b,,2,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,c,1,,1,5"), std::string::npos);
+}
+
+TEST(Export, WritesJsonFile) {
+  const std::string path = ::testing::TempDir() + "hybrids_telemetry_test.json";
+  ht::counter("file_marker").inc();
+  ASSERT_TRUE(ht::export_json(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_TRUE(json_balanced(content)) << content;
+  EXPECT_NE(content.find("hybrids.telemetry.v1"), std::string::npos);
+  if constexpr (ht::kEnabled) {
+    EXPECT_NE(content.find("\"file_marker\":1"), std::string::npos);
+  }
+}
+
+TEST(Timeline, AccumulatesSnapshots) {
+  ht::Timeline tl;
+  EXPECT_EQ(tl.size(), 0u);
+  tl.append(ht::snapshot());
+  tl.append(ht::snapshot());
+  EXPECT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl.entries().size(), 2u);
+}
+
+TEST(PeriodicReporter, DeliversAtLeastOneFinalSnapshot) {
+  std::atomic<int> delivered{0};
+  {
+    ht::PeriodicReporter reporter(std::chrono::milliseconds(5),
+                                  [&delivered](const ht::Snapshot&) {
+                                    delivered.fetch_add(1);
+                                  });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  // At least the final stop() snapshot, likely several periodic ones.
+  EXPECT_GE(delivered.load(), 1);
+}
+
+TEST(ThreadOrdinal, StableWithinThreadDistinctAcrossThreads) {
+  const unsigned mine = ht::this_thread_ordinal();
+  EXPECT_EQ(ht::this_thread_ordinal(), mine);
+  unsigned other = mine;
+  std::thread([&other] { other = ht::this_thread_ordinal(); }).join();
+  EXPECT_NE(other, mine);
+}

@@ -125,6 +125,43 @@ TEST(Histogram, QuantileIsMonotone) {
   EXPECT_LE(h.quantile(1.0), h.max());
 }
 
+TEST(Histogram, QuantileOneReturnsExactMaxForSingleBucket) {
+  // Regression: the bucket walk used to return the bucket's upper edge for
+  // q=1.0, so a single-sample histogram reported e.g. 8 instead of 7.
+  hu::Histogram h;
+  h.record(7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+  h.record(7.0);
+  h.record(7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeArguments) {
+  hu::Histogram h;
+  for (double v : {1.0, 2.0, 4.0, 100.0}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), h.max());
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(std::nan("")), h.quantile(0.0));
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  hu::Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileStaysWithinObservedRange) {
+  hu::Histogram h;
+  for (double v : {3.0, 3.5, 3.9}) h.record(v);  // all land in one bucket
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const double val = h.quantile(q);
+    EXPECT_GE(val, h.min());
+    EXPECT_LE(val, h.max());
+  }
+}
+
 TEST(Table, RendersAlignedColumnsAndCsv) {
   hu::Table t({"threads", "mops"});
   t.new_row().add_int(1).add_num(1.25);
