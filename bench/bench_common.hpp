@@ -10,6 +10,10 @@
 //   --stats-json=FILE    write a telemetry snapshot (JSON) on exit
 //   --stats-interval=MS  print a one-line telemetry summary to stderr
 //                        every MS milliseconds while the bench runs
+//   --fault-seed=N       arm the fault injector with seed N (needs a build
+//                        with -DHYBRIDS_FAULTS=ON; rejected otherwise)
+//   --fault-rate=P       per-kind injection probability (default 0.01;
+//                        only meaningful together with --fault-seed)
 #pragma once
 
 #include <cctype>
@@ -22,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "hybrids/nmp/fault.hpp"
 #include "hybrids/telemetry/export.hpp"
 #include "hybrids/telemetry/timeline.hpp"
 
@@ -36,6 +41,8 @@ struct Options {
   bool csv = false;
   std::string stats_json;               // empty: no JSON export
   std::uint32_t stats_interval_ms = 0;  // 0: no periodic reporter
+  std::optional<std::uint64_t> fault_seed;  // set: arm the fault injector
+  double fault_rate = 0.01;                 // per-kind probability
 };
 
 /// Parses "1,2,4" into `out`. Rejects empty lists, empty elements ("1,,2",
@@ -82,6 +89,27 @@ inline Options parse_options(int argc, char** argv) {
     } else if (const char* v = value_of("--stats-interval=")) {
       opt.stats_interval_ms =
           static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--fault-seed=")) {
+      if (!nmp::fault::kCompiledIn) {
+        std::cerr << "error: --fault-seed requires a build with "
+                     "-DHYBRIDS_FAULTS=ON (the fault injector is compiled "
+                     "out of this binary)\n";
+        std::exit(2);
+      }
+      opt.fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--fault-rate=")) {
+      if (!nmp::fault::kCompiledIn) {
+        std::cerr << "error: --fault-rate requires a build with "
+                     "-DHYBRIDS_FAULTS=ON (the fault injector is compiled "
+                     "out of this binary)\n";
+        std::exit(2);
+      }
+      opt.fault_rate = std::strtod(v, nullptr);
+      if (opt.fault_rate < 0.0 || opt.fault_rate > 1.0) {
+        std::cerr << "error: --fault-rate must be in [0, 1], got '" << v
+                  << "'\n";
+        std::exit(2);
+      }
     } else if (arg == "--full") {
       opt.full = true;
     } else if (arg == "--csv") {
@@ -97,7 +125,11 @@ inline Options parse_options(int argc, char** argv) {
                    "  --stats-json=FILE    write telemetry snapshot (JSON) on "
                    "exit\n"
                    "  --stats-interval=MS  periodic one-line telemetry summary "
-                   "on stderr\n";
+                   "on stderr\n"
+                   "  --fault-seed=N       arm the fault injector with seed N "
+                   "(HYBRIDS_FAULTS builds only)\n"
+                   "  --fault-rate=P       per-kind injection probability "
+                   "(default 0.01)\n";
       std::exit(0);
     }
   }
@@ -117,9 +149,24 @@ class StatsSession {
                                     << "\n";
                         });
     }
+    if (opt.fault_seed) {
+      // Duration faults only: spurious protocol responses would make the
+      // measured op mix depend on the seed, whereas stalls/delays/lost
+      // wakeups perturb timing while leaving every op's result intact.
+      nmp::fault::Config fc;
+      fc.seed = *opt.fault_seed;
+      fc.enable(nmp::fault::Kind::kCombinerStall, opt.fault_rate)
+          .enable(nmp::fault::Kind::kDelayedResponse, opt.fault_rate)
+          .enable(nmp::fault::Kind::kLostWakeup, opt.fault_rate);
+      nmp::fault::FaultInjector::arm(fc);
+      armed_ = true;
+      std::cerr << "faults: armed seed=" << *opt.fault_seed
+                << " rate=" << opt.fault_rate << "\n";
+    }
   }
 
   ~StatsSession() {
+    if (armed_) nmp::fault::FaultInjector::disarm();
     if (reporter_) reporter_->stop();
     if (!json_path_.empty()) {
       if (telemetry::export_json(json_path_)) {
@@ -136,6 +183,7 @@ class StatsSession {
  private:
   std::string json_path_;
   std::optional<telemetry::PeriodicReporter> reporter_;
+  bool armed_ = false;
 };
 
 }  // namespace hybrids::bench

@@ -28,6 +28,7 @@
 #include "hybrids/nmp/partition_set.hpp"
 #include "hybrids/telemetry/registry.hpp"
 #include "hybrids/types.hpp"
+#include "hybrids/util/backoff.hpp"
 #include "hybrids/util/marked_ptr.hpp"
 
 namespace hybrids::ds {
@@ -42,6 +43,11 @@ class HybridBTree {
     std::uint32_t max_threads = 8;
     std::uint32_t slots_per_thread = 4;
     double fill = 0.5;  // initial node occupancy (sorted-load default)
+    // NMP-requested retries (parent-seqnum mismatches, injected faults) per
+    // operation before the retry budget counts as exhausted. Every retry
+    // already retraverses root-down; past the budget the retry loop also
+    // backs off exponentially and `host.retry_budget_exhausted` is bumped.
+    std::uint32_t retry_budget = 8;
   };
 
   /// Split-point rule (§3.4): the largest host portion whose cumulative top
@@ -87,6 +93,7 @@ class HybridBTree {
     assert(config.partitions >= 1 && config.partitions <= 16);
     namespace tn = telemetry::names;
     host_retry_ = &telemetry::counter(tn::kHostRetryTotal);
+    retry_exhausted_ = &telemetry::counter(tn::kRetryBudgetExhausted);
     lock_path_ = &telemetry::counter(tn::kLockPathTotal);
     resume_insert_ = &telemetry::counter(tn::kResumeInsertTotal);
     unlock_path_ = &telemetry::counter(tn::kUnlockPathTotal);
@@ -129,12 +136,13 @@ class HybridBTree {
   // ----- blocking operations ------------------------------------------------
 
   bool read(Key key, Value& out, std::uint32_t tid) {
+    RetryBudget budget(*this);
     while (true) {
       Frame frame;
       if (!traverse(key, frame)) continue;
       nmp::Response r = offload(nmp::OpCode::kRead, key, 0, frame, tid);
       if (r.retry) {
-        host_retry_->inc();
+        budget.note_retry();
         continue;
       }
       out = r.value;
@@ -143,12 +151,13 @@ class HybridBTree {
   }
 
   bool update(Key key, Value value, std::uint32_t tid) {
+    RetryBudget budget(*this);
     while (true) {
       Frame frame;
       if (!traverse(key, frame)) continue;
       nmp::Response r = offload(nmp::OpCode::kUpdate, key, value, frame, tid);
       if (r.retry) {
-        host_retry_->inc();
+        budget.note_retry();
         continue;
       }
       return r.ok;
@@ -156,12 +165,13 @@ class HybridBTree {
   }
 
   bool remove(Key key, std::uint32_t tid) {
+    RetryBudget budget(*this);
     while (true) {
       Frame frame;
       if (!traverse(key, frame)) continue;
       nmp::Response r = offload(nmp::OpCode::kRemove, key, 0, frame, tid);
       if (r.retry) {
-        host_retry_->inc();
+        budget.note_retry();
         continue;
       }
       return r.ok;
@@ -169,12 +179,13 @@ class HybridBTree {
   }
 
   bool insert(Key key, Value value, std::uint32_t tid) {
+    RetryBudget budget(*this);
     while (true) {
       Frame frame;
       if (!traverse(key, frame)) continue;
       nmp::Response r = offload(nmp::OpCode::kInsert, key, value, frame, tid);
       if (r.retry) {
-        host_retry_->inc();
+        budget.note_retry();
         continue;
       }
       if (!r.lock_path) return r.ok;
@@ -292,6 +303,27 @@ class HybridBTree {
   }
 
  private:
+  /// Per-operation retry bookkeeping: counts NMP-requested retries, bumps
+  /// `host.retry_budget_exhausted` once when the budget is crossed, and
+  /// backs off exponentially past the budget so a partition stuck replying
+  /// retry (injected faults, persistent seqnum races) is not hammered.
+  class RetryBudget {
+   public:
+    explicit RetryBudget(HybridBTree& tree) : tree_(tree) {}
+    void note_retry() {
+      tree_.host_retry_->inc();
+      if (++retries_ == tree_.config_.retry_budget) {
+        tree_.retry_exhausted_->inc();
+      }
+      if (retries_ >= tree_.config_.retry_budget) backoff_.wait();
+    }
+
+   private:
+    HybridBTree& tree_;
+    util::ExpBackoff backoff_;
+    std::uint32_t retries_ = 0;
+  };
+
   // --- traversal -------------------------------------------------------------
 
   /// Optimistic descent to the last host level, then child-ref selection.
@@ -417,7 +449,15 @@ class HybridBTree {
     rr.aux = frame.seqs[last_host_level_] + 2;
     resume_insert_->inc();
     nmp::Response resp = set_.call(partition, tid, rr);
-    assert(resp.ok);
+    if (!resp.ok) {
+      // The NMP side has no record of this escalation: the LOCK_PATH
+      // response was spurious (fault injection) or the pending insert was
+      // dropped. Release our locks and have the caller retry from the root.
+      for (int lvl = last_host_level_; lvl <= locked_top; ++lvl) {
+        frame.path[lvl]->unlock();
+      }
+      return false;
+    }
     auto* new_top = static_cast<NmpBNode*>(resp.node);
     const Key up_key = static_cast<Key>(resp.value);
     std::vector<HostBNode*> created;
@@ -761,6 +801,7 @@ class HybridBTree {
   std::atomic<HostBNode*> root_{nullptr};
   // Host-layer telemetry: NMP retry responses and LOCK_PATH protocol legs.
   telemetry::Counter* host_retry_;
+  telemetry::Counter* retry_exhausted_;
   telemetry::Counter* lock_path_;
   telemetry::Counter* resume_insert_;
   telemetry::Counter* unlock_path_;

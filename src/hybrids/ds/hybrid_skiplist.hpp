@@ -31,6 +31,7 @@
 #include "hybrids/nmp/partition_set.hpp"
 #include "hybrids/telemetry/registry.hpp"
 #include "hybrids/types.hpp"
+#include "hybrids/util/backoff.hpp"
 #include "hybrids/util/cache_aligned.hpp"
 #include "hybrids/util/rng.hpp"
 
@@ -52,6 +53,13 @@ class HybridSkipList {
     // portion, up to `promote_budget` promotions. 0 disables.
     std::uint32_t promote_threshold = 0;
     std::uint32_t promote_budget = 0;
+
+    // Stale-begin-node retries per operation before the budget counts as
+    // exhausted. Past the budget the operation backs off exponentially and
+    // falls back to a full root-down NMP retraversal (begin node dropped,
+    // so the partition head is used — a start that can never be stale), and
+    // `host.retry_budget_exhausted` is bumped.
+    std::uint32_t retry_budget = 8;
 
     int host_height() const { return total_height - nmp_height; }
   };
@@ -84,6 +92,7 @@ class HybridSkipList {
     namespace tn = telemetry::names;
     host_read_hits_ = &telemetry::counter(tn::kHostReadHits);
     host_retry_ = &telemetry::counter(tn::kHostRetryTotal);
+    retry_exhausted_ = &telemetry::counter(tn::kRetryBudgetExhausted);
     lists_.reserve(config.partitions);
     for (std::uint32_t p = 0; p < config.partitions; ++p) {
       lists_.push_back(std::make_unique<SeqSkipList>(config.nmp_height));
@@ -113,6 +122,7 @@ class HybridSkipList {
   // ----- blocking operations ------------------------------------------------
 
   bool read(Key key, Value& out, std::uint32_t tid) {
+    RetryBudget budget(*this);
     while (true) {
       LfSkipList::Node* preds[LfSkipList::kMaxLevels];
       LfSkipList::Node* succs[LfSkipList::kMaxLevels];
@@ -123,9 +133,9 @@ class HybridSkipList {
         return true;
       }
       nmp::Response r = offload(nmp::OpCode::kRead, key, 0, 0, preds[0],
-                                nullptr, tid);
-      if (r.retry) {
-        host_retry_->inc();
+                                nullptr, tid, budget.exhausted());
+      if (must_retry(r)) {
+        budget.note_retry();
         continue;
       }
       if (r.promote_hint) try_promote(key, tid);
@@ -135,6 +145,7 @@ class HybridSkipList {
   }
 
   bool update(Key key, Value value, std::uint32_t tid) {
+    RetryBudget budget(*this);
     while (true) {
       LfSkipList::Node* preds[LfSkipList::kMaxLevels];
       LfSkipList::Node* succs[LfSkipList::kMaxLevels];
@@ -143,9 +154,9 @@ class HybridSkipList {
       // the response tells us which host mirror to refresh, and with which
       // version, so racing updates converge (§3.3 insert/update interplay).
       nmp::Response r = offload(nmp::OpCode::kUpdate, key, value, 0, preds[0],
-                                nullptr, tid);
-      if (r.retry) {
-        host_retry_->inc();
+                                nullptr, tid, budget.exhausted());
+      if (must_retry(r)) {
+        budget.note_retry();
         continue;
       }
       if (r.ok && r.node != nullptr) {
@@ -158,6 +169,7 @@ class HybridSkipList {
   }
 
   bool insert(Key key, Value value, std::uint32_t tid) {
+    RetryBudget budget(*this);
     while (true) {
       LfSkipList::Node* preds[LfSkipList::kMaxLevels];
       LfSkipList::Node* succs[LfSkipList::kMaxLevels];
@@ -171,9 +183,9 @@ class HybridSkipList {
       // lives in the NMP partition).
       nmp::Response r = offload(nmp::OpCode::kInsert, key, value,
                                 static_cast<std::uint64_t>(height), preds[0],
-                                hnode, tid);
-      if (r.retry) {
-        host_retry_->inc();
+                                hnode, tid, budget.exhausted());
+      if (must_retry(r)) {
+        budget.note_retry();
         if (hnode != nullptr) LfSkipList::free_unlinked(hnode);
         continue;
       }
@@ -193,6 +205,7 @@ class HybridSkipList {
   }
 
   bool remove(Key key, std::uint32_t tid) {
+    RetryBudget budget(*this);
     while (true) {
       LfSkipList::Node* preds[LfSkipList::kMaxLevels];
       LfSkipList::Node* succs[LfSkipList::kMaxLevels];
@@ -206,10 +219,10 @@ class HybridSkipList {
         // neighborhood; a fresh find gives a clean window.
         continue;
       }
-      nmp::Response r =
-          offload(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr, tid);
-      if (r.retry) {
-        host_retry_->inc();
+      nmp::Response r = offload(nmp::OpCode::kRemove, key, 0, 0, preds[0],
+                                nullptr, tid, budget.exhausted());
+      if (must_retry(r)) {
+        budget.note_retry();
         continue;
       }
       return r.ok;
@@ -379,10 +392,14 @@ class HybridSkipList {
     }
     assert(t.state == Ticket::State::kPending);
     nmp::Response r = set_.retrieve(t.handle);
-    if (r.retry) host_retry_->inc();
+    // A retry (or a lock_path, which this structure's protocol never issues
+    // and therefore treats as a transport anomaly) falls back to the
+    // blocking path, which carries its own retry budget.
+    const bool retry = must_retry(r);
+    if (retry) host_retry_->inc();
     switch (t.op) {
       case nmp::OpCode::kRead:
-        if (r.retry) {
+        if (retry) {
           Value v = 0;
           bool ok = read(t.key, v, t.tid);
           if (out != nullptr) *out = v;
@@ -392,7 +409,7 @@ class HybridSkipList {
         if (out != nullptr) *out = r.value;
         return r.ok;
       case nmp::OpCode::kUpdate:
-        if (r.retry) return update(t.key, t.new_value, t.tid);
+        if (retry) return update(t.key, t.new_value, t.tid);
         if (r.ok && r.node != nullptr) {
           LfSkipList::update_versioned(static_cast<LfSkipList::Node*>(r.node),
                                        static_cast<std::uint32_t>(r.aux),
@@ -401,7 +418,7 @@ class HybridSkipList {
         if (r.promote_hint) try_promote(t.key, t.tid);
         return r.ok;
       case nmp::OpCode::kInsert:
-        if (r.retry) {
+        if (retry) {
           if (t.hnode != nullptr) LfSkipList::free_unlinked(t.hnode);
           t.hnode = nullptr;
           return insert(t.key, t.new_value, t.tid);
@@ -418,7 +435,7 @@ class HybridSkipList {
         }
         return true;
       case nmp::OpCode::kRemove:
-        if (r.retry) return remove(t.key, t.tid);
+        if (retry) return remove(t.key, t.tid);
         return r.ok;
       default:
         return false;
@@ -459,9 +476,40 @@ class HybridSkipList {
   std::size_t host_size() const { return host_.size(); }
 
  private:
+  /// Per-operation stale-begin-node retry bookkeeping. Within the budget,
+  /// retries re-derive the host shortcut; once exhausted() the operation
+  /// backs off exponentially and offloads start from the partition head (a
+  /// begin node that can never be stale), guaranteeing progress.
+  class RetryBudget {
+   public:
+    explicit RetryBudget(HybridSkipList& list) : list_(list) {}
+    void note_retry() {
+      list_.host_retry_->inc();
+      if (++retries_ == list_.config_.retry_budget) {
+        list_.retry_exhausted_->inc();
+      }
+      if (exhausted()) backoff_.wait();
+    }
+    bool exhausted() const { return retries_ >= list_.config_.retry_budget; }
+
+   private:
+    HybridSkipList& list_;
+    util::ExpBackoff backoff_;
+    std::uint32_t retries_ = 0;
+  };
+
+  /// True when the host must re-execute: the NMP core asked for a retry, or
+  /// the response carries a lock_path escalation, which the skiplist
+  /// protocol never issues (it can only appear through fault injection) and
+  /// which is therefore treated as "response unusable, re-execute".
+  static bool must_retry(const nmp::Response& r) {
+    return r.retry || r.lock_path;
+  }
+
   nmp::Request make_request(nmp::OpCode op, Key key, Value value,
                             std::uint64_t aux, LfSkipList::Node* pred0,
-                            LfSkipList::Node* hnode, std::uint32_t part) const {
+                            LfSkipList::Node* hnode, std::uint32_t part,
+                            bool force_head) const {
     nmp::Request r;
     r.op = op;
     r.key = key;
@@ -469,8 +517,10 @@ class HybridSkipList {
     r.aux = aux;
     r.host_node = hnode;
     // Begin-NMP-traversal node (Listing 1 lines 14-15): only usable if the
-    // host-side predecessor lives in the same partition as the lookup key.
-    if (pred0 != host_.head() && set_.partition_of(pred0->key) == part) {
+    // host-side predecessor lives in the same partition as the lookup key,
+    // and not suppressed by an exhausted retry budget (force_head).
+    if (!force_head && pred0 != host_.head() &&
+        set_.partition_of(pred0->key) == part) {
       r.node = pred0->payload;
     }
     return r;
@@ -478,9 +528,10 @@ class HybridSkipList {
 
   nmp::Response offload(nmp::OpCode op, Key key, Value value, std::uint64_t aux,
                         LfSkipList::Node* pred0, LfSkipList::Node* hnode,
-                        std::uint32_t tid) {
+                        std::uint32_t tid, bool force_head = false) {
     const std::uint32_t part = set_.partition_of(key);
-    return set_.call(part, tid, make_request(op, key, value, aux, pred0, hnode, part));
+    return set_.call(part, tid, make_request(op, key, value, aux, pred0, hnode,
+                                             part, force_head));
   }
 
   nmp::OpHandle offload_async(nmp::OpCode op, Key key, Value value,
@@ -488,7 +539,8 @@ class HybridSkipList {
                               LfSkipList::Node* hnode, std::uint32_t tid) {
     const std::uint32_t part = set_.partition_of(key);
     return set_.call_async(part, tid,
-                           make_request(op, key, value, aux, pred0, hnode, part));
+                           make_request(op, key, value, aux, pred0, hnode, part,
+                                        /*force_head=*/false));
   }
 
   /// NMP-side of every operation (runs on the partition's combiner thread;
@@ -578,6 +630,7 @@ class HybridSkipList {
   // NMP responses that requested a retry (stale begin node).
   telemetry::Counter* host_read_hits_;
   telemetry::Counter* host_retry_;
+  telemetry::Counter* retry_exhausted_;
 };
 
 }  // namespace hybrids::ds

@@ -208,7 +208,12 @@ class NmpBTree {
   OpResult resume_insert(void* handle, std::uint32_t host_final_seq) {
     OpResult r;
     PendingInsert* p = take_pending(handle);
-    assert(p != nullptr);
+    if (p == nullptr) {
+      // Unknown pending-insert record: the LOCK_PATH response the host acted
+      // on was spurious (fault injection) or the record was already released.
+      // Reply failure so the host unlocks its path and retries from the root.
+      return r;
+    }
     NmpBNode* new_top = nullptr;
     Key up_key = 0;
     complete_insert(p->path, top_level_, p->key, p->value, /*split_top=*/true,
@@ -227,7 +232,7 @@ class NmpBTree {
   OpResult unlock_path(void* handle) {
     OpResult r;
     PendingInsert* p = take_pending(handle);
-    assert(p != nullptr);
+    if (p == nullptr) return r;  // spurious LOCK_PATH: nothing to unlock
     for (int u = 0; u <= top_level_; ++u) p->path[u]->locked = false;
     release_pending(p);
     r.ok = true;

@@ -1,0 +1,91 @@
+#include "hybrids/nmp/fault.hpp"
+
+#if defined(HYBRIDS_FAULTS)
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "hybrids/telemetry/registry.hpp"
+
+namespace hybrids::nmp::fault {
+
+namespace {
+
+// Streams per kind. A combiner-side kind indexed by partition id gets a
+// private deterministic ticket sequence as long as partitions < kStreams;
+// host-side streams fold together, which only mixes their tickets, not the
+// per-seed reproducibility of the rate.
+constexpr std::uint32_t kStreams = 16;
+
+struct State {
+  Config config;
+  std::atomic<bool> armed{false};
+  std::atomic<std::uint64_t> tickets[kKindCount][kStreams];
+  // Resolved once at arm() time so fire() never touches the registry map.
+  telemetry::Counter* injected[kKindCount] = {};
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void FaultInjector::arm(const Config& config) {
+  State& s = state();
+  s.armed.store(false, std::memory_order_release);
+  s.config = config;
+  for (std::size_t k = 0; k < kKindCount; ++k) {
+    for (auto& t : s.tickets[k]) t.store(0, std::memory_order_relaxed);
+    s.injected[k] = &telemetry::counter(
+        std::string(telemetry::names::kFaultInjectedPrefix) +
+        kind_name(static_cast<Kind>(k)));
+  }
+  s.armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  state().armed.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::armed() noexcept {
+  return state().armed.load(std::memory_order_acquire);
+}
+
+bool FaultInjector::fire(Kind k, std::uint32_t stream) noexcept {
+  State& s = state();
+  if (!s.armed.load(std::memory_order_acquire)) return false;
+  const auto kind = static_cast<std::size_t>(k);
+  const double p = s.config.probability[kind];
+  if (p <= 0.0) return false;
+  const std::uint32_t lane = stream % kStreams;
+  const std::uint64_t ticket =
+      s.tickets[kind][lane].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h =
+      mix(s.config.seed ^ (0x9E3779B97F4A7C15ULL * (kind + 1)) ^
+          (static_cast<std::uint64_t>(lane) << 56) ^ ticket);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u >= p) return false;
+  s.injected[kind]->inc();
+  return true;
+}
+
+void FaultInjector::sleep_for(Kind k) noexcept {
+  const State& s = state();
+  const std::uint32_t us =
+      k == Kind::kCombinerStall ? s.config.stall_us : s.config.delay_us;
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace hybrids::nmp::fault
+
+#endif  // HYBRIDS_FAULTS

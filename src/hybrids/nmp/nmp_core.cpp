@@ -2,9 +2,19 @@
 
 #include <cassert>
 
+#include "hybrids/nmp/fault.hpp"
 #include "hybrids/util/backoff.hpp"
+#include "hybrids/util/futex.hpp"
 
 namespace hybrids::nmp {
+
+namespace {
+// Bounded-wait window: how long a waiter parks before it re-notifies the
+// combiner's pending counter. Long enough that the fault-free path never
+// expires in practice (a combiner pass is microseconds), short enough that
+// recovery from a lost wakeup is prompt.
+constexpr std::chrono::milliseconds kWaitWindow{2};
+}  // namespace
 
 NmpCore::NmpCore(std::uint32_t id, std::uint32_t slot_count, Handler handler)
     : id_(id), handler_(std::move(handler)) {
@@ -13,13 +23,14 @@ NmpCore::NmpCore(std::uint32_t id, std::uint32_t slot_count, Handler handler)
   const auto p = static_cast<std::int32_t>(id_);
   namespace tn = telemetry::names;
   metrics_.served_total = &telemetry::counter(tn::kServedTotal, p);
-  for (std::size_t op = 0; op < 8; ++op) {
+  for (std::size_t op = 0; op < kOpCodeCount; ++op) {
     metrics_.served_op[op] = &telemetry::counter(
         std::string(tn::kServedPrefix) + op_code_name(static_cast<OpCode>(op)),
         p);
   }
   metrics_.park = &telemetry::counter(tn::kParkTotal, p);
   metrics_.wake = &telemetry::counter(tn::kWakeTotal, p);
+  metrics_.wait_timeout = &telemetry::counter(tn::kWaitTimeoutTotal, p);
   metrics_.queue_wait = &telemetry::latency(tn::kQueueWaitNs, p);
   metrics_.service = &telemetry::latency(tn::kServiceNs, p);
   metrics_.occupancy = &telemetry::latency(tn::kScanOccupancy, p);
@@ -50,23 +61,60 @@ void NmpCore::post(std::uint32_t index, const Request& r) {
   // The release fetch_add orders after the slot's kPending store; see the
   // protocol comment in publication.hpp.
   pending_.fetch_add(1, std::memory_order_release);
-  pending_.notify_one();
-  metrics_.wake->inc();
+  posts_.fetch_add(1, std::memory_order_relaxed);
+  // Fault hook: a lost wakeup drops the futex notify (the doorbell) but not
+  // the counter bump. A parked combiner stays parked until a bounded waiter
+  // or the watchdog re-notifies — exactly the recovery paths under test.
+  if (!fault::FaultInjector::fire(fault::Kind::kLostWakeup, id_)) {
+    pending_.notify_one();
+    metrics_.wake->inc();
+  }
   telemetry::counter(telemetry::names::kOffloadPosted).add();
 }
 
+void NmpCore::kick() {
+  // Waking on the current counter value: any parked combiner re-checks its
+  // `seen` snapshot against the live counter and re-scans if they differ.
+  pending_.notify_all();
+  metrics_.wake->inc();
+}
+
 void NmpCore::wait_done(std::uint32_t index) {
+  // Unbounded overall, but composed of bounded windows so a lost wakeup is
+  // recovered instead of hanging the host thread forever.
+  while (!wait_done_for(index, kWaitWindow)) {
+  }
+}
+
+bool NmpCore::wait_done_for(std::uint32_t index,
+                            std::chrono::nanoseconds timeout) {
   PubSlot& s = *slots_[index];
   util::Backoff backoff;
   for (int i = 0; i < 128; ++i) {
-    if (s.done()) return;
+    if (s.done()) return true;
     backoff.spin();
   }
-  // Fall back to futex parking; the combiner notifies on completion.
-  std::uint32_t observed = s.status.load(std::memory_order_acquire);
-  while (observed != PubSlot::kDone) {
-    s.status.wait(observed, std::memory_order_acquire);
-    observed = s.status.load(std::memory_order_acquire);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const std::uint32_t observed = s.status.load(std::memory_order_acquire);
+    if (observed == PubSlot::kDone) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      metrics_.wait_timeout->inc();
+      kick();
+      return s.done();
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - now);
+    const auto window = remaining < kWaitWindow
+                            ? remaining
+                            : std::chrono::nanoseconds(kWaitWindow);
+    if (!util::timed_wait(s.status, observed, window)) {
+      // Window expired with the slot still pending: recover a possibly lost
+      // combiner wakeup by re-notifying the pending counter.
+      metrics_.wait_timeout->inc();
+      kick();
+    }
   }
 }
 
@@ -75,6 +123,9 @@ void NmpCore::run() {
   // and serve pending requests. The NMP core is the *only* thread that runs
   // handler_, so everything it touches in the partition is race-free.
   while (true) {
+    // Fault hook: a stalled combiner sleeps before scanning, starving its
+    // partition for the stall window (watchdog territory).
+    fault::maybe_stall(fault::Kind::kCombinerStall, id_);
     const std::uint64_t seen = pending_.load(std::memory_order_acquire);
     if constexpr (telemetry::kEnabled) {
       // Publication-slot occupancy at scan time, observed before serving
@@ -96,7 +147,33 @@ void NmpCore::run() {
         const std::uint64_t t0 = telemetry::now_ns();
         const std::uint64_t posted_ns = s.posted_ns;
         const auto op = static_cast<std::size_t>(s.req.op);
-        handler_(s.req, s.resp);
+        // Fault hooks: spurious protocol responses are injected *instead of*
+        // running the handler, so no partition state changes and the host's
+        // mandated recovery (retry / LOCK_PATH fallback) re-executes the
+        // operation from scratch — linearizability is preserved by
+        // construction. Spurious lock_path is only meaningful for inserts
+        // (the only op the host protocol answers with an escalation).
+        // RESUME_INSERT / UNLOCK_PATH are exempt: they complete an escalation
+        // whose NMP path is genuinely locked, so swallowing them would leave
+        // the partition wedged forever rather than exercising a retry path.
+        bool injected = false;
+        const bool injectable = s.req.op != OpCode::kResumeInsert &&
+                                s.req.op != OpCode::kUnlockPath;
+        if (fault::kCompiledIn && injectable && fault::FaultInjector::armed()) {
+          if (fault::FaultInjector::fire(fault::Kind::kSpuriousRetry, id_)) {
+            s.resp.retry = true;
+            injected = true;
+          } else if (s.req.op == OpCode::kInsert &&
+                     fault::FaultInjector::fire(fault::Kind::kSpuriousLockPath,
+                                                id_)) {
+            s.resp.lock_path = true;
+            s.resp.node = nullptr;
+            injected = true;
+          }
+        }
+        if (!injected) handler_(s.req, s.resp);
+        // Fault hook: delayed response between handler and completion store.
+        fault::maybe_stall(fault::Kind::kDelayedResponse, id_);
         s.status.store(PubSlot::kDone, std::memory_order_release);
         s.status.notify_all();
         served_.fetch_add(1, std::memory_order_relaxed);
@@ -106,7 +183,7 @@ void NmpCore::run() {
           metrics_.service->record(
               static_cast<double>(telemetry::now_ns() - t0));
           metrics_.served_total->inc();
-          if (op < 8) metrics_.served_op[op]->inc();
+          if (op < kOpCodeCount) metrics_.served_op[op]->inc();
         }
       }
     }

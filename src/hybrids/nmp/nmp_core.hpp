@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <thread>
@@ -51,11 +52,26 @@ class NmpCore {
   /// Host side: publish `r` into slot `index` and wake the combiner.
   void post(std::uint32_t index, const Request& r);
 
-  /// Host side: block until slot `index` holds a response.
+  /// Host side: block until slot `index` holds a response. Internally waits
+  /// in bounded windows with lost-wakeup recovery (see wait_done_for), so it
+  /// never hangs on a dropped futex notify.
   void wait_done(std::uint32_t index);
+
+  /// Host side: bounded wait — spin, then yield, then park on a timed futex
+  /// until slot `index` holds a response or `timeout` elapses. Returns true
+  /// iff the response is available. After each expired wait window the
+  /// pending counter is re-notified (lost-wakeup recovery: a combiner whose
+  /// doorbell was dropped re-scans) and `wait_timeout_total` is bumped.
+  bool wait_done_for(std::uint32_t index, std::chrono::nanoseconds timeout);
+
+  /// Re-wakes the combiner if it is parked (watchdog / lost-wakeup
+  /// recovery). Safe from any thread; a spurious kick costs one idle scan.
+  void kick();
 
   /// Number of requests served so far (for tests / stats).
   std::uint64_t served() const { return served_.load(std::memory_order_relaxed); }
+  /// Number of requests posted so far (watchdog progress accounting).
+  std::uint64_t posted() const { return posts_.load(std::memory_order_relaxed); }
   /// Number of full scan passes that found no pending request.
   std::uint64_t idle_passes() const { return idle_passes_.load(std::memory_order_relaxed); }
 
@@ -65,9 +81,10 @@ class NmpCore {
   /// no-ops under HYBRIDS_NO_TELEMETRY.
   struct Metrics {
     telemetry::Counter* served_total;
-    telemetry::Counter* served_op[8];  // indexed by OpCode
+    telemetry::Counter* served_op[kOpCodeCount];  // indexed by OpCode
     telemetry::Counter* park;          // combiner futex parks
     telemetry::Counter* wake;          // host-side futex notifies (post/stop)
+    telemetry::Counter* wait_timeout;  // expired bounded-wait windows
     telemetry::LatencyRecorder* queue_wait;  // post -> pickup, ns
     telemetry::LatencyRecorder* service;     // handler execution, ns
     telemetry::LatencyRecorder* occupancy;   // pending slots at scan start
@@ -80,6 +97,7 @@ class NmpCore {
   Handler handler_;
   std::vector<util::CacheAligned<PubSlot>> slots_;
   std::atomic<std::uint64_t> pending_{0};  // monotone post counter (futex word)
+  std::atomic<std::uint64_t> posts_{0};    // requests posted (excludes stop bumps)
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> idle_passes_{0};

@@ -1,12 +1,36 @@
 #include "hybrids/nmp/partition_set.hpp"
 
 #include <cassert>
+#include <chrono>
+#include <stdexcept>
+#include <string>
 
 namespace hybrids::nmp {
 
+namespace {
+void validate_config(const PartitionConfig& c) {
+  std::string bad;
+  auto require = [&](bool ok, const char* field) {
+    if (!ok) {
+      if (!bad.empty()) bad += ", ";
+      bad += field;
+    }
+  };
+  require(c.partitions > 0, "partitions");
+  require(c.partition_width > 0, "partition_width");
+  require(c.max_threads > 0, "max_threads");
+  require(c.slots_per_thread > 0, "slots_per_thread");
+  if (!bad.empty()) {
+    throw std::invalid_argument(
+        "PartitionConfig: " + bad +
+        " must be nonzero (partition_of divides keys by partition_width; "
+        "slot layout needs at least one thread with one async slot)");
+  }
+}
+}  // namespace
+
 PartitionSet::PartitionSet(const PartitionConfig& config) : config_(config) {
-  assert(config_.partitions > 0);
-  assert(config_.partition_width > 0);
+  validate_config(config_);
   const std::uint32_t slots =
       config_.max_threads * (1 + config_.slots_per_thread);
   cores_.reserve(config_.partitions);
@@ -14,7 +38,20 @@ PartitionSet::PartitionSet(const PartitionConfig& config) : config_(config) {
     cores_.push_back(std::make_unique<NmpCore>(p, slots, NmpCore::Handler{}));
   }
   async_busy_.assign(config_.partitions, std::vector<std::uint8_t>(slots, 0));
+  watch_.assign(config_.partitions, WatchState{});
+  degraded_ = std::make_unique<std::atomic<bool>[]>(config_.partitions);
+  for (std::uint32_t p = 0; p < config_.partitions; ++p) {
+    degraded_[p].store(false, std::memory_order_relaxed);
+  }
   namespace tn = telemetry::names;
+  watchdog_fired_.reserve(config_.partitions);
+  degraded_counter_.reserve(config_.partitions);
+  for (std::uint32_t p = 0; p < config_.partitions; ++p) {
+    const auto scope = static_cast<std::int32_t>(p);
+    watchdog_fired_.push_back(&telemetry::counter(tn::kWatchdogFired, scope));
+    degraded_counter_.push_back(
+        &telemetry::counter(tn::kPartitionDegraded, scope));
+  }
   calls_blocking_ = &telemetry::counter(tn::kCallBlocking);
   calls_async_ = &telemetry::counter(tn::kCallAsync);
   async_rejected_ = &telemetry::counter(tn::kAsyncRejected);
@@ -34,12 +71,57 @@ void PartitionSet::start() {
   if (started_) return;
   started_ = true;
   for (auto& c : cores_) c->start();
+  if (config_.watchdog_interval_ms > 0) {
+    watchdog_stop_ = false;
+    watch_.assign(config_.partitions, WatchState{});
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 void PartitionSet::stop() {
   if (!started_) return;
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
   for (auto& c : cores_) c->stop();
   started_ = false;
+}
+
+void PartitionSet::watchdog_loop() {
+  std::unique_lock<std::mutex> lk(watchdog_mu_);
+  const auto interval =
+      std::chrono::milliseconds(config_.watchdog_interval_ms);
+  while (!watchdog_cv_.wait_for(lk, interval, [this] { return watchdog_stop_; })) {
+    for (std::uint32_t p = 0; p < config_.partitions; ++p) {
+      NmpCore& core = *cores_[p];
+      // Read served before posted: if the core caught up in between we see
+      // served >= posted and correctly count it as progress.
+      const std::uint64_t served = core.served();
+      const std::uint64_t posted = core.posted();
+      WatchState& w = watch_[p];
+      const bool outstanding = posted > served;
+      const bool stalled = outstanding && served == w.last_served;
+      if (stalled) {
+        // Missed heartbeat: re-wake the combiner (recovers lost wakeups and
+        // nudges a descheduled thread) and escalate after K misses.
+        watchdog_fired_[p]->inc();
+        core.kick();
+        if (++w.misses == config_.watchdog_misses_to_degrade) {
+          degraded_[p].store(true, std::memory_order_release);
+          degraded_counter_[p]->inc();
+        }
+      } else {
+        w.misses = 0;
+        degraded_[p].store(false, std::memory_order_release);
+      }
+      w.last_served = served;
+    }
+  }
 }
 
 Response PartitionSet::call(std::uint32_t p, std::uint32_t thread_id,

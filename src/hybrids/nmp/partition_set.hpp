@@ -2,8 +2,12 @@
 // per-thread slot bookkeeping used for blocking and non-blocking NMP calls.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "hybrids/nmp/nmp_core.hpp"
@@ -13,11 +17,20 @@ namespace hybrids::nmp {
 /// Configuration for a PartitionSet. `slots_per_thread` bounds the number of
 /// in-flight non-blocking calls a single host thread may have against one
 /// partition (the paper's hybrid-nonblocking4 uses 4).
+///
+/// The watchdog monitors per-core served() progress: a core with posted but
+/// unserved requests and no progress across one interval is re-kicked (futex
+/// re-notify) and `watchdog_fired` is bumped; after
+/// `watchdog_misses_to_degrade` consecutive missed heartbeats the partition
+/// is marked degraded (`partition_degraded`, queryable via degraded()) until
+/// it makes progress again.
 struct PartitionConfig {
   std::uint32_t partitions = 8;
   std::uint32_t max_threads = 8;
   std::uint32_t slots_per_thread = 4;
   Key partition_width = 0;  // keys in [p*width, (p+1)*width) -> partition p
+  std::uint32_t watchdog_interval_ms = 10;    // 0 disables the watchdog
+  std::uint32_t watchdog_misses_to_degrade = 5;
 };
 
 /// Identifies one in-flight non-blocking NMP call.
@@ -31,6 +44,9 @@ struct OpHandle {
 /// them. Handlers are installed per partition before start().
 class PartitionSet {
  public:
+  /// Throws std::invalid_argument if the config is unusable (zero
+  /// partitions, partition_width, max_threads, or slots_per_thread —
+  /// partition_of divides by partition_width, so a zero width would fault).
   explicit PartitionSet(const PartitionConfig& config);
   ~PartitionSet();
 
@@ -55,6 +71,13 @@ class PartitionSet {
 
   NmpCore& core(std::uint32_t p) { return *cores_[p]; }
 
+  /// True while the watchdog considers partition `p` wedged (no served()
+  /// progress for watchdog_misses_to_degrade consecutive intervals with
+  /// requests outstanding). Clears as soon as the core serves again.
+  bool degraded(std::uint32_t p) const {
+    return degraded_[p].load(std::memory_order_acquire);
+  }
+
   /// Blocking call: posts `r` to partition `p` on behalf of `thread_id` and
   /// waits for the response. Always uses the thread's slot 0, which is
   /// reserved for blocking calls (so blocking and non-blocking calls from the
@@ -78,12 +101,29 @@ class PartitionSet {
     return thread_id * (1 + config_.slots_per_thread);
   }
 
+  void watchdog_loop();
+
   PartitionConfig config_;
   std::vector<std::unique_ptr<NmpCore>> cores_;
   // In-flight flags for async slots, indexed [partition][slot]; only the
   // owning host thread touches its entries.
   std::vector<std::vector<std::uint8_t>> async_busy_;
   bool started_ = false;
+
+  // Watchdog thread state. `degraded_` is written by the watchdog and read
+  // by any thread; the per-core progress snapshots are watchdog-private.
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  struct WatchState {
+    std::uint64_t last_served = 0;
+    std::uint32_t misses = 0;
+  };
+  std::vector<WatchState> watch_;
+  std::unique_ptr<std::atomic<bool>[]> degraded_;
+  std::vector<telemetry::Counter*> watchdog_fired_;     // per partition
+  std::vector<telemetry::Counter*> degraded_counter_;   // per partition
 
   // Host-level telemetry (global scope; per-partition metrics live in the
   // cores). The recorder tracks the non-blocking in-flight depth observed

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "hybrids/nmp/fault.hpp"
 #include "hybrids/telemetry/counters.hpp"
 #include "hybrids/types.hpp"
 #include "hybrids/util/cache_aligned.hpp"
@@ -42,6 +43,12 @@ enum class OpCode : std::uint8_t {
   kPromote,  // adaptive extension (§7): raise a hot key into the host portion
   kNop,
 };
+
+/// Number of opcodes. Sized from the enum so per-op telemetry arrays
+/// (NmpCore::Metrics::served_op and the simulator's equivalent) can never
+/// silently drop a newly added opcode.
+inline constexpr std::size_t kOpCodeCount =
+    static_cast<std::size_t>(OpCode::kNop) + 1;
 
 /// Human-readable opcode name, used as the suffix of the per-op telemetry
 /// counters (`served_<name>`) by both the real runtime and the simulator.
@@ -124,6 +131,9 @@ struct alignas(util::kCacheLineSize) PubSlot {
     req = r;
     resp = Response{};
     posted_ns = telemetry::now_ns();
+    // Fault hook: emulate a slow host->NMP interconnect by delaying the
+    // publication (between the request write and the kPending store).
+    fault::maybe_stall(fault::Kind::kDelayedResponse, fault::kHostStream);
     status.store(kPending, std::memory_order_release);
   }
 

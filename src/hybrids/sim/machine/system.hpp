@@ -186,7 +186,7 @@ inline Task<nmp::Response> sim_collect(HostCtx& c, SimPubList& pl,
 /// exports look identical regardless of which transport ran the workload.
 struct SimCombinerMetrics {
   telemetry::Counter* served_total;
-  telemetry::Counter* served_op[8];  // indexed by OpCode
+  telemetry::Counter* served_op[nmp::kOpCodeCount];  // indexed by OpCode
   telemetry::LatencyRecorder* queue_wait;
   telemetry::LatencyRecorder* service;
   telemetry::LatencyRecorder* occupancy;
@@ -196,7 +196,7 @@ struct SimCombinerMetrics {
     namespace tn = telemetry::names;
     const auto p = static_cast<std::int32_t>(vault);
     served_total = &telemetry::counter(tn::kServedTotal, p);
-    for (std::size_t op = 0; op < 8; ++op) {
+    for (std::size_t op = 0; op < nmp::kOpCodeCount; ++op) {
       served_op[op] = &telemetry::counter(
           std::string(tn::kServedPrefix) +
               nmp::op_code_name(static_cast<nmp::OpCode>(op)),
@@ -237,7 +237,7 @@ inline Task<void> sim_combiner(
           m.queue_wait->record(ticks_to_ns(t0 - slot.posted_at));
           m.service->record(ticks_to_ns(sys.engine().now() - t0));
           m.served_total->inc();
-          if (op < 8) m.served_op[op]->inc();
+          if (op < nmp::kOpCodeCount) m.served_op[op]->inc();
         }
       }
     }

@@ -35,6 +35,9 @@ inline constexpr const char* kQueueWaitNs = "queue_wait_ns";
 inline constexpr const char* kServiceNs = "service_ns";
 inline constexpr const char* kScanOccupancy = "scan_occupancy";
 inline constexpr const char* kCombinerBatch = "combiner_batch";
+inline constexpr const char* kWaitTimeoutTotal = "wait_timeout_total";
+inline constexpr const char* kWatchdogFired = "watchdog_fired";
+inline constexpr const char* kPartitionDegraded = "partition_degraded";
 // Global scope (host side).
 inline constexpr const char* kOffloadPosted = "host.offload_posted";
 inline constexpr const char* kCallBlocking = "host.call_blocking";
@@ -46,6 +49,8 @@ inline constexpr const char* kHostRetryTotal = "host.retry_total";
 inline constexpr const char* kLockPathTotal = "host.lock_path_total";
 inline constexpr const char* kResumeInsertTotal = "host.resume_insert_total";
 inline constexpr const char* kUnlockPathTotal = "host.unlock_path_total";
+inline constexpr const char* kRetryBudgetExhausted = "host.retry_budget_exhausted";
+inline constexpr const char* kFaultInjectedPrefix = "fault_injected_";  // + kind
 }  // namespace names
 
 struct CounterSample {

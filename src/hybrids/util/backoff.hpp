@@ -48,4 +48,24 @@ class Backoff {
   std::uint32_t count_ = 0;
 };
 
+/// Exponential backoff for retry loops (stale-begin-node and parent-seqnum
+/// retries in the hybrid structures): each wait() pauses twice as long as
+/// the previous one, and past the yield threshold also cedes the CPU, so a
+/// burst of correlated retries decays instead of hammering the combiner.
+class ExpBackoff {
+ public:
+  void wait() noexcept {
+    for (std::uint32_t i = 0; i < current_; ++i) cpu_relax();
+    if (current_ >= kYieldThreshold) std::this_thread::yield();
+    if (current_ < kMaxPause) current_ <<= 1;
+  }
+
+  void reset() noexcept { current_ = 1; }
+
+ private:
+  static constexpr std::uint32_t kMaxPause = 4096;
+  static constexpr std::uint32_t kYieldThreshold = 1024;
+  std::uint32_t current_ = 1;
+};
+
 }  // namespace hybrids::util

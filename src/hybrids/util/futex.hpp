@@ -1,0 +1,61 @@
+// Timed futex wait on a 32-bit atomic.
+//
+// C++20's std::atomic::wait has no deadline, which is exactly what the
+// resilient NMP runtime needs: a host thread parked on a publication slot
+// must be able to give up after a window, re-kick a possibly-stalled
+// combiner, and re-arm. On Linux we wait on the atomic's own cells with
+// FUTEX_WAIT_PRIVATE — the same word libstdc++/libc++ use for notify_one/
+// notify_all on a lock-free 4-byte atomic, so wakes from std::atomic
+// notifications are observed. Elsewhere we fall back to a sleep-slice poll.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ctime>
+#else
+#include <thread>
+#endif
+
+namespace hybrids::util {
+
+/// Blocks while `word` still holds `expected`, for at most `timeout`.
+/// Returns false iff the full timeout elapsed with no wake and no value
+/// change; true on wake, value change, or spurious return (callers must
+/// re-check the predicate either way).
+inline bool timed_wait(std::atomic<std::uint32_t>& word, std::uint32_t expected,
+                       std::chrono::nanoseconds timeout) {
+  static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+                "futex wait requires a lock-free 4-byte atomic");
+  if (timeout <= std::chrono::nanoseconds::zero()) {
+    return word.load(std::memory_order_acquire) != expected;
+  }
+#if defined(__linux__)
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout.count() / 1000000000);
+  ts.tv_nsec = static_cast<long>(timeout.count() % 1000000000);
+  const long rc =
+      syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+              FUTEX_WAIT_PRIVATE, expected, &ts, nullptr, 0);
+  if (rc == -1 && errno == ETIMEDOUT) {
+    return word.load(std::memory_order_acquire) != expected;
+  }
+  return true;
+#else
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (word.load(std::memory_order_acquire) == expected) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return true;
+#endif
+}
+
+}  // namespace hybrids::util

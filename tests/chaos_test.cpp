@@ -1,0 +1,297 @@
+// Seeded chaos-stress harness (built only with -DHYBRIDS_FAULTS=ON).
+//
+// Runs both hybrid structures under every injected fault kind and
+// cross-checks each operation's result against a per-thread std::map oracle.
+// Threads operate on disjoint key stripes (key % kThreads == tid), so every
+// op has exactly one correct answer and the oracle check is exact — any
+// divergence (a lost insert, a phantom remove, a stale read) fails the test
+// rather than hiding in a statistical tolerance.
+//
+// What each fault kind proves when the oracle still matches at the end:
+//  * combiner_stall      — watchdog/bounded waits ride out a wedged core.
+//  * delayed_response    — slow completions never tear the slot handshake.
+//  * lost_wakeup         — wait_done_for's re-notify recovers the doorbell.
+//  * spurious_retry      — host retry loops + budgets re-execute correctly.
+//  * spurious_lock_path  — the LOCK_PATH fallback tolerates escalations the
+//                          NMP side has no record of.
+//
+// The seed comes from $CHAOS_SEED (default 1) so CI can sweep seeds and a
+// failing schedule can be replayed exactly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "hybrids/ds/hybrid_btree.hpp"
+#include "hybrids/ds/hybrid_skiplist.hpp"
+#include "hybrids/nmp/fault.hpp"
+#include "hybrids/telemetry/registry.hpp"
+#include "hybrids/types.hpp"
+#include "hybrids/util/rng.hpp"
+
+namespace {
+
+using namespace hybrids;
+namespace fault = hybrids::nmp::fault;
+
+static_assert(fault::kCompiledIn,
+              "chaos_test must be built with -DHYBRIDS_FAULTS=ON");
+
+constexpr std::uint32_t kThreads = 4;
+constexpr std::uint32_t kKeysPerThread = 600;
+
+std::uint64_t chaos_seed() {
+  const char* env = std::getenv("CHAOS_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1ull;
+}
+
+fault::Config one_kind(std::uint64_t seed, fault::Kind k, double p) {
+  fault::Config c;
+  c.seed = seed;
+  c.enable(k, p);
+  return c;
+}
+
+std::uint64_t injected_count(fault::Kind k) {
+  const std::string name =
+      std::string(telemetry::names::kFaultInjectedPrefix) + fault::kind_name(k);
+  return telemetry::snapshot().counter_total(name);
+}
+
+/// The resilience counters must be present in every telemetry export (they
+/// are registered eagerly at construction, so dashboards see them even at
+/// zero) — chaos runs additionally leave a live structure behind them.
+void expect_resilience_counters_exported() {
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  bool wait_timeout = false, watchdog = false, budget = false;
+  for (const auto& c : snap.counters) {
+    wait_timeout |= c.name == telemetry::names::kWaitTimeoutTotal;
+    watchdog |= c.name == telemetry::names::kWatchdogFired;
+    budget |= c.name == telemetry::names::kRetryBudgetExhausted;
+  }
+  EXPECT_TRUE(wait_timeout) << "wait_timeout_total not exported";
+  EXPECT_TRUE(watchdog) << "watchdog_fired not exported";
+  EXPECT_TRUE(budget) << "host.retry_budget_exhausted not exported";
+}
+
+/// Arms the injector for a scope; disarms on exit so teardown (stop(),
+/// destructors) runs fault-free. Also records per-kind injection counts and
+/// asserts every enabled kind actually fired — a scenario that injects
+/// nothing proves nothing.
+class ArmedScope {
+ public:
+  explicit ArmedScope(const fault::Config& config) : config_(config) {
+    for (std::size_t k = 0; k < fault::kKindCount; ++k) {
+      before_[k] = injected_count(static_cast<fault::Kind>(k));
+    }
+    fault::FaultInjector::arm(config);
+  }
+
+  ~ArmedScope() {
+    fault::FaultInjector::disarm();
+    for (std::size_t k = 0; k < fault::kKindCount; ++k) {
+      if (config_.probability[k] <= 0.0) continue;
+      const auto kind = static_cast<fault::Kind>(k);
+      EXPECT_GT(injected_count(kind), before_[k])
+          << "enabled fault never fired: " << fault::kind_name(kind);
+    }
+  }
+
+ private:
+  fault::Config config_;
+  std::uint64_t before_[fault::kKindCount] = {};
+};
+
+// ---------------------------------------------------------------------------
+// Skiplist chaos
+
+void run_skiplist_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
+  ds::HybridSkipList::Config cfg;
+  cfg.total_height = 12;
+  cfg.nmp_height = 6;
+  cfg.partitions = 4;
+  cfg.partition_width = 1024;  // keys stay < 4 * 1024
+  cfg.max_threads = kThreads;
+  cfg.slots_per_thread = 2;
+  cfg.seed = fc.seed;
+  cfg.retry_budget = 4;  // small, so chaos actually exhausts budgets
+  ds::HybridSkipList list(cfg);
+
+  std::vector<std::map<Key, Value>> oracles(kThreads);
+  {
+    ArmedScope armed(fc);
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        util::Xoshiro256 rng(fc.seed * 0x9E3779B97F4A7C15ULL + 0xC0FFEE + t);
+        std::map<Key, Value>& oracle = oracles[t];
+        for (std::uint32_t i = 0; i < ops_per_thread; ++i) {
+          // Disjoint stripes: thread t owns keys congruent to t mod kThreads.
+          const Key key = 1 + kThreads * rng.next_below(kKeysPerThread) + t;
+          const auto val = static_cast<Value>(rng.next_below(1u << 30)) | 1u;
+          switch (rng.next_below(100)) {
+            case 0 ... 39: {  // read
+              Value out = 0;
+              const bool ok = list.read(key, out, t);
+              const auto it = oracle.find(key);
+              EXPECT_EQ(ok, it != oracle.end()) << "read presence, key " << key;
+              if (ok && it != oracle.end()) {
+                EXPECT_EQ(out, it->second) << "read value, key " << key;
+              }
+              break;
+            }
+            case 40 ... 64: {  // insert
+              const bool ok = list.insert(key, val, t);
+              const bool expect = oracle.emplace(key, val).second;
+              EXPECT_EQ(ok, expect) << "insert, key " << key;
+              break;
+            }
+            case 65 ... 84: {  // remove
+              const bool ok = list.remove(key, t);
+              EXPECT_EQ(ok, oracle.erase(key) != 0) << "remove, key " << key;
+              break;
+            }
+            default: {  // update
+              const bool ok = list.update(key, val, t);
+              const auto it = oracle.find(key);
+              EXPECT_EQ(ok, it != oracle.end()) << "update, key " << key;
+              if (it != oracle.end()) it->second = val;
+              break;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  EXPECT_TRUE(list.validate());
+  std::size_t expected = 0;
+  for (const auto& oracle : oracles) expected += oracle.size();
+  EXPECT_EQ(list.size(), expected);
+  expect_resilience_counters_exported();
+}
+
+// ---------------------------------------------------------------------------
+// B+ tree chaos
+
+void run_btree_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
+  // Initial sorted load: odd multiples j give keys 4j+t, residue t — so each
+  // thread's oracle starts with its own stripe of the initial table. The
+  // even multiples are left as insertion targets, keeping splits (and thus
+  // LOCK_PATH escalations) flowing throughout the run.
+  std::vector<Key> keys;
+  std::vector<Value> values;
+  std::vector<std::map<Key, Value>> oracles(kThreads);
+  for (std::uint32_t j = 1; j <= kKeysPerThread; j += 2) {
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      const Key k = 4 * j + t;
+      keys.push_back(k);
+      values.push_back(k * 7 + 1);
+      oracles[t].emplace(k, k * 7 + 1);
+    }
+  }
+
+  ds::HybridBTree::Config cfg;
+  cfg.nmp_levels = 2;
+  cfg.partitions = 4;
+  cfg.max_threads = kThreads;
+  cfg.slots_per_thread = 2;
+  cfg.retry_budget = 4;
+  ds::HybridBTree tree(cfg, keys, values);
+
+  {
+    ArmedScope armed(fc);
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        util::Xoshiro256 rng(fc.seed * 0x9E3779B97F4A7C15ULL + 0xBEEF + t);
+        std::map<Key, Value>& oracle = oracles[t];
+        for (std::uint32_t i = 0; i < ops_per_thread; ++i) {
+          const Key key = 4 * (1 + rng.next_below(kKeysPerThread)) + t;
+          const auto val = static_cast<Value>(rng.next_below(1u << 30)) | 1u;
+          switch (rng.next_below(100)) {
+            case 0 ... 39: {  // read
+              Value out = 0;
+              const bool ok = tree.read(key, out, t);
+              const auto it = oracle.find(key);
+              EXPECT_EQ(ok, it != oracle.end()) << "read presence, key " << key;
+              if (ok && it != oracle.end()) {
+                EXPECT_EQ(out, it->second) << "read value, key " << key;
+              }
+              break;
+            }
+            case 40 ... 64: {  // insert
+              const bool ok = tree.insert(key, val, t);
+              const bool expect = oracle.emplace(key, val).second;
+              EXPECT_EQ(ok, expect) << "insert, key " << key;
+              break;
+            }
+            case 65 ... 84: {  // remove
+              const bool ok = tree.remove(key, t);
+              EXPECT_EQ(ok, oracle.erase(key) != 0) << "remove, key " << key;
+              break;
+            }
+            default: {  // update
+              const bool ok = tree.update(key, val, t);
+              const auto it = oracle.find(key);
+              EXPECT_EQ(ok, it != oracle.end()) << "update, key " << key;
+              if (it != oracle.end()) it->second = val;
+              break;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  EXPECT_TRUE(tree.validate());
+  std::size_t expected = 0;
+  for (const auto& oracle : oracles) expected += oracle.size();
+  EXPECT_EQ(tree.size(), expected);
+  expect_resilience_counters_exported();
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios: every fault kind in isolation, then all kinds at once.
+
+constexpr fault::Kind kAllKinds[] = {
+    fault::Kind::kCombinerStall,    fault::Kind::kDelayedResponse,
+    fault::Kind::kLostWakeup,       fault::Kind::kSpuriousRetry,
+    fault::Kind::kSpuriousLockPath,
+};
+
+TEST(ChaosSkipList, EachFaultKindInIsolation) {
+  const std::uint64_t seed = chaos_seed();
+  for (fault::Kind k : kAllKinds) {
+    SCOPED_TRACE(fault::kind_name(k));
+    run_skiplist_chaos(one_kind(seed, k, 0.05), /*ops_per_thread=*/600);
+  }
+}
+
+TEST(ChaosSkipList, AllFaultKindsTogether) {
+  run_skiplist_chaos(fault::Config::all(chaos_seed(), 0.02),
+                     /*ops_per_thread=*/1200);
+}
+
+TEST(ChaosBTree, EachFaultKindInIsolation) {
+  const std::uint64_t seed = chaos_seed();
+  for (fault::Kind k : kAllKinds) {
+    SCOPED_TRACE(fault::kind_name(k));
+    run_btree_chaos(one_kind(seed, k, 0.05), /*ops_per_thread=*/600);
+  }
+}
+
+TEST(ChaosBTree, AllFaultKindsTogether) {
+  run_btree_chaos(fault::Config::all(chaos_seed(), 0.02),
+                  /*ops_per_thread=*/1200);
+}
+
+}  // namespace

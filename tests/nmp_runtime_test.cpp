@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -89,6 +91,48 @@ TEST(NmpCore, StopDrainsOutstandingWork) {
   EXPECT_TRUE(core.slot(1).done());
 }
 
+TEST(NmpCore, StopDrainsPendingBehindSlowHandler) {
+  // Requests already posted when stop() is called must complete even when
+  // the handler is slow — stop() may only join after the drain pass.
+  hn::NmpCore core(0, 4, [](const hn::Request&, hn::Response& resp) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    resp.ok = true;
+  });
+  core.start();
+  hn::Request r;
+  for (std::uint32_t i = 0; i < 4; ++i) core.post(i, r);
+  core.stop();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(core.slot(i).done()) << "slot " << i << " lost at stop()";
+  }
+  EXPECT_EQ(core.served(), 4u);
+}
+
+TEST(NmpCore, WaitDoneForTimesOutAgainstStalledHandler) {
+  // A handler wedged on an external condition must surface as a bounded-wait
+  // timeout at the host, never as a hang.
+  std::atomic<bool> release{false};
+  hn::NmpCore core(0, 2, [&](const hn::Request&, hn::Response& resp) {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    resp.ok = true;
+  });
+  core.start();
+  hn::Request r;
+  core.post(0, r);
+  EXPECT_FALSE(core.wait_done_for(0, std::chrono::milliseconds(20)));
+  EXPECT_FALSE(core.slot(0).done());
+  if constexpr (ht::kEnabled) {
+    EXPECT_GT(ht::snapshot().counter_total(ht::names::kWaitTimeoutTotal), 0u);
+  }
+  // Unwedge: the same slot must now complete through the normal wait.
+  release.store(true, std::memory_order_release);
+  core.wait_done(0);
+  EXPECT_TRUE(core.slot(0).take().ok);
+  core.stop();
+}
+
 TEST(NmpCore, RestartAfterStop) {
   hn::NmpCore core(3, 2, [](const hn::Request&, hn::Response& resp) { resp.ok = true; });
   core.start();
@@ -112,6 +156,120 @@ hn::PartitionSet make_set(std::uint32_t partitions, std::uint32_t threads,
   return hn::PartitionSet(cfg);
 }
 }  // namespace
+
+TEST(PartitionSet, RejectsInvalidConfig) {
+  // partition_of divides by partition_width and the slot layout needs at
+  // least one slot; a zero in any dimension must fail fast at construction
+  // with a clear message, not SIGFPE or misroute later.
+  {
+    hn::PartitionConfig cfg;
+    cfg.partition_width = 0;
+    EXPECT_THROW(hn::PartitionSet set(cfg), std::invalid_argument);
+  }
+  {
+    hn::PartitionConfig cfg;
+    cfg.partition_width = 1000;
+    cfg.partitions = 0;
+    EXPECT_THROW(hn::PartitionSet set(cfg), std::invalid_argument);
+  }
+  {
+    hn::PartitionConfig cfg;
+    cfg.partition_width = 1000;
+    cfg.max_threads = 0;
+    EXPECT_THROW(hn::PartitionSet set(cfg), std::invalid_argument);
+  }
+  {
+    hn::PartitionConfig cfg;
+    cfg.partition_width = 1000;
+    cfg.slots_per_thread = 0;
+    EXPECT_THROW(hn::PartitionSet set(cfg), std::invalid_argument);
+  }
+}
+
+TEST(PartitionSet, WatchdogDegradesStalledPartitionAndRecovers) {
+  hn::PartitionConfig cfg;
+  cfg.partitions = 1;
+  cfg.max_threads = 1;
+  cfg.slots_per_thread = 2;
+  cfg.partition_width = 1000;
+  cfg.watchdog_interval_ms = 2;
+  cfg.watchdog_misses_to_degrade = 3;
+  hn::PartitionSet set(cfg);
+  std::atomic<bool> release{false};
+  set.set_handler(0, [&](const hn::Request&, hn::Response& resp) {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    resp.ok = true;
+  });
+  set.start();
+  EXPECT_FALSE(set.degraded(0));
+
+  hn::Request r;
+  hn::OpHandle h = set.call_async(0, 0, r);
+  ASSERT_TRUE(h.valid);
+  // The stalled handler blocks served() progress with an outstanding post;
+  // after misses_to_degrade watchdog intervals the partition must be marked.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!set.degraded(0) && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(set.degraded(0));
+
+  // Unwedge: progress resumes and the next watchdog tick clears the mark.
+  release.store(true, std::memory_order_release);
+  EXPECT_TRUE(set.retrieve(h).ok);
+  const auto recover_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (set.degraded(0) && std::chrono::steady_clock::now() < recover_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(set.degraded(0));
+  set.stop();
+
+  if constexpr (ht::kEnabled) {
+    const ht::Snapshot snap = ht::snapshot();
+    EXPECT_GT(snap.counter_total(ht::names::kWatchdogFired), 0u);
+    EXPECT_GT(snap.counter_total(ht::names::kPartitionDegraded), 0u);
+  }
+}
+
+TEST(PartitionSet, BlockingAndAsyncInterleaveOnOneThread) {
+  // A single host thread with an async op in flight must still be able to
+  // issue blocking calls: the two paths use distinct slots of the thread's
+  // row and neither may steal or clobber the other's response.
+  auto set = make_set(1, 1, 2);
+  set.set_handler(0, [](const hn::Request& req, hn::Response& resp) {
+    if (req.op == hn::OpCode::kUpdate) {
+      // Give the async op a measurable service time so the blocking call
+      // genuinely overlaps it.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    resp.ok = true;
+    resp.value = req.key + 1;
+  });
+  set.start();
+  for (int round = 0; round < 100; ++round) {
+    hn::Request slow;
+    slow.op = hn::OpCode::kUpdate;
+    slow.key = static_cast<hn::Key>(2 * round);
+    hn::OpHandle h = set.call_async(0, 0, slow);
+    ASSERT_TRUE(h.valid);
+
+    hn::Request fast;
+    fast.op = hn::OpCode::kRead;
+    fast.key = static_cast<hn::Key>(2 * round + 1);
+    hn::Response br = set.call(0, 0, fast);
+    EXPECT_TRUE(br.ok);
+    EXPECT_EQ(br.value, fast.key + 1);
+
+    hn::Response ar = set.retrieve(h);
+    EXPECT_TRUE(ar.ok);
+    EXPECT_EQ(ar.value, slow.key + 1);
+  }
+  set.stop();
+}
 
 TEST(PartitionSet, RoutesByKeyRange) {
   auto set = make_set(4, 2, 2);
