@@ -1,0 +1,326 @@
+// Ablation — key-sorted combiner batching.
+//
+// Two modes, both printed on every run:
+//
+//  A. Combiner-level sweep (deterministic): replicates NmpCore's two serve
+//     paths exactly — per-op cost accounting included — over batch sizes
+//     (combiner scan occupancy) {1,2,4,8,16,32,64} and three key workloads.
+//     The unbatched arm is the legacy loop: per op, a timestamp pair around
+//     a std::function handler dispatch plus a service-latency record, with a
+//     fresh top-down descent inside. The batched arm is the batch path: the
+//     collected ops are key-sorted (stable_sort of BatchOp, charged to the
+//     arm, as NmpCore pays it), dispatched once, applied through a shared
+//     traversal finger, and timed with one timestamp pair for the whole
+//     batch. Both arms replay byte-identical request streams; reads only, so
+//     the list never changes between arms or reps. Timing is min-of-reps and
+//     the response streams are cross-checked. At occupancy 1 NmpCore falls
+//     back to the one-at-a-time handler, so the arms are the same code path
+//     by construction and the row is measured once and reported for both.
+//
+//     Workloads: "sorted" (ascending probe windows — the key-sorted best
+//     case), "zipf" (rank-ordered zipfian: a range partition's hot keys are
+//     adjacent, so sorted batches have small gaps; YCSB's *scrambled*
+//     zipfian deliberately destroys exactly this key locality and behaves
+//     like uniform here), "uniform" (worst case: batch gaps as large as the
+//     key space allows).
+//
+//  B. End-to-end check: NmpSkipList with Config::batching on vs off, host
+//     threads issuing blocking calls over a zipfian mix, served Mops/s,
+//     best of 3 runs per arm. This includes runtime overheads (publication
+//     protocol, parking) and scheduling noise; mode A is the controlled
+//     measurement.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hybrids/ds/nmp_skiplist.hpp"
+#include "hybrids/ds/seq_skiplist.hpp"
+#include "hybrids/telemetry/counters.hpp"
+#include "hybrids/util/rng.hpp"
+#include "hybrids/util/table.hpp"
+#include "hybrids/workload/zipf.hpp"
+
+namespace hd = hybrids::ds;
+namespace hn = hybrids::nmp;
+namespace hu = hybrids::util;
+namespace hw = hybrids::workload;
+namespace hb = hybrids::bench;
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+enum class KeyPattern { kSortedWindow, kZipf, kUniform };
+
+const char* pattern_name(KeyPattern p) {
+  switch (p) {
+    case KeyPattern::kSortedWindow: return "sorted";
+    case KeyPattern::kZipf: return "zipf";
+    default: return "uniform";
+  }
+}
+
+/// All requests for one sweep point, pre-generated so both arms replay the
+/// exact same stream. Keys are in generation (slot) order; the batched arm
+/// sorts per batch, as the combiner does.
+std::vector<hn::Request> make_requests(KeyPattern pattern, std::uint64_t count,
+                                       hybrids::Key key_space,
+                                       std::uint64_t batch_size) {
+  hu::Xoshiro256 rng(0xB47C0DE * (batch_size + 1) +
+                     static_cast<std::uint64_t>(pattern));
+  hw::ZipfianGenerator zipf(key_space);
+  std::vector<hn::Request> reqs;
+  reqs.reserve(count);
+  hybrids::Key cursor = 1;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    hybrids::Key key = 0;
+    switch (pattern) {
+      case KeyPattern::kSortedWindow:
+        // Ascending probe sequence with small random gaps; re-randomize the
+        // window at each batch boundary so batches don't correlate.
+        if (i % batch_size == 0) {
+          cursor = 1 + static_cast<hybrids::Key>(rng.next_below(key_space));
+        }
+        cursor = 1 + (cursor - 1 + 1 + static_cast<hybrids::Key>(
+                                           rng.next_below(4))) % key_space;
+        key = cursor;
+        break;
+      case KeyPattern::kZipf:
+        key = 1 + static_cast<hybrids::Key>(zipf.next(rng));
+        break;
+      case KeyPattern::kUniform:
+        key = 1 + static_cast<hybrids::Key>(rng.next_below(key_space));
+        break;
+    }
+    hn::Request r;
+    r.op = hn::OpCode::kRead;
+    r.key = key;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+struct ArmResult {
+  double ns_per_op = 0;
+  double finger_hit_rate = 0;  // batched arm only
+  std::uint64_t checksum = 0;  // folded responses — cross-checks the arms
+                               // and defeats dead-code elimination
+};
+
+std::uint64_t fold_responses(const std::vector<hn::Request>& reqs,
+                             const std::vector<hn::Response>& resps) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    sum += resps[i].ok ? resps[i].value + reqs[i].key : 0;
+  }
+  return sum;
+}
+
+struct PointResult {
+  ArmResult unbatched;
+  ArmResult batched;
+};
+
+/// Measures both arms for one sweep point, interleaving their reps so any
+/// machine-load drift hits both equally; keeps each arm's min.
+PointResult run_point(hd::SeqSkipList& list,
+                      const std::vector<hn::Request>& reqs,
+                      std::uint64_t batch_size, int reps) {
+  // Legacy arm — NmpCore's one-at-a-time loop: per op, a timestamp pair
+  // around a std::function dispatch plus a service record.
+  const hn::NmpCore::Handler handler =
+      [&list](const hn::Request& req, hn::Response& resp) {
+        hd::NmpSkipList::apply(list, req, resp);
+      };
+  // Batch arm — NmpCore's batch path: collect BatchOps, key-sort, dispatch
+  // once, record the evenly-split service time per op.
+  std::uint64_t hits = 0;
+  const hn::NmpCore::BatchHandler batch_handler =
+      [&list, &hits](hn::BatchOp* ops, std::size_t n) {
+        hd::SeqSkipList::Finger fg;
+        for (std::size_t i = 0; i < n; ++i) {
+          hd::NmpSkipList::apply(list, *ops[i].req, *ops[i].resp, &fg);
+        }
+        hits += fg.hits;
+      };
+
+  hybrids::telemetry::LatencyRecorder service;
+  std::vector<hn::Response> un_resps(reqs.size());
+  std::vector<hn::Response> ba_resps(reqs.size());
+  std::vector<hn::BatchOp> batch;
+  batch.reserve(batch_size);
+  std::uint64_t un_best = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t ba_best = std::numeric_limits<std::uint64_t>::max();
+  for (int r = 0; r < reps; ++r) {
+    {
+      const std::uint64_t t0 = now_ns();
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const std::uint64_t h0 = now_ns();
+        handler(reqs[i], un_resps[i]);
+        service.record(static_cast<double>(now_ns() - h0));
+      }
+      un_best = std::min(un_best, now_ns() - t0);
+    }
+    {
+      hits = 0;
+      const std::uint64_t t0 = now_ns();
+      for (std::size_t base = 0; base + batch_size <= reqs.size();
+           base += batch_size) {
+        batch.clear();
+        for (std::size_t i = base; i < base + batch_size; ++i) {
+          batch.push_back(hn::BatchOp{&reqs[i], &ba_resps[i]});
+        }
+        // Same sort as NmpCore: pointer tiebreak = collection order, so the
+        // sort is stable without stable_sort's per-call allocation.
+        std::sort(batch.begin(), batch.end(),
+                  [](const hn::BatchOp& a, const hn::BatchOp& b) {
+                    return a.req->key != b.req->key ? a.req->key < b.req->key
+                                                    : a.req < b.req;
+                  });
+        const std::uint64_t apply0 = now_ns();
+        batch_handler(batch.data(), batch.size());
+        const std::uint64_t per_op = (now_ns() - apply0) / batch.size();
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          service.record(static_cast<double>(per_op));
+        }
+      }
+      ba_best = std::min(ba_best, now_ns() - t0);
+    }
+  }
+  const double n = static_cast<double>(reqs.size());
+  return {{static_cast<double>(un_best) / n, 0.0,
+           fold_responses(reqs, un_resps)},
+          {static_cast<double>(ba_best) / n,
+           static_cast<double>(hits) / n, fold_responses(reqs, ba_resps)}};
+}
+
+/// Mode B: wall-clock served throughput of the full NmpSkipList stack.
+double run_end_to_end(bool batching, std::uint32_t threads, std::uint64_t keys,
+                      std::uint64_t ops_per_thread) {
+  hd::NmpSkipList::Config cfg;
+  cfg.total_height = 16;
+  // Few partitions so the combiners actually observe multi-op occupancy:
+  // with T blocking host threads over P partitions, a combiner's scan sees
+  // at most ~T/P pending ops.
+  cfg.partitions = 2;
+  cfg.partition_width = static_cast<hybrids::Key>(2 * keys / cfg.partitions + 1);
+  cfg.max_threads = threads;
+  cfg.slots_per_thread = 2;
+  cfg.batching = batching;
+  hd::NmpSkipList list(cfg);
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    list.insert(static_cast<hybrids::Key>(2 * k + 1), 1, 0);
+  }
+
+  std::vector<std::thread> workers;
+  const std::uint64_t t0 = now_ns();
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      hu::Xoshiro256 rng(0xE2E + t);
+      hw::ZipfianGenerator zipf(2 * keys);
+      hybrids::Value out;
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+        const hybrids::Key k = 1 + static_cast<hybrids::Key>(zipf.next(rng));
+        if (rng.next_below(10) == 0) {
+          list.update(k, static_cast<hybrids::Value>(i), t);
+        } else {
+          list.read(k, out, t);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double secs = static_cast<double>(now_ns() - t0) * 1e-9;
+  return static_cast<double>(threads) * static_cast<double>(ops_per_thread) /
+         secs / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hb::Options opt = hb::parse_options(argc, argv);
+  hb::StatsSession stats(opt);
+
+  const std::uint64_t preload = opt.keys ? opt.keys : (opt.full ? 1ull << 19
+                                                                : 1ull << 16);
+  const hybrids::Key key_space = static_cast<hybrids::Key>(2 * preload);
+  const std::uint64_t sweep_ops =
+      std::max<std::uint64_t>(opt.ops * 8, 1ull << 16);
+  const int reps = 7;
+
+  // One partition's worth of list, preloaded with every other key so half of
+  // the probes hit.
+  hd::SeqSkipList list(18);
+  {
+    hu::Xoshiro256 rng(42);
+    hn::Response resp;
+    for (std::uint64_t k = 0; k < preload; ++k) {
+      hn::Request req;
+      req.op = hn::OpCode::kInsert;
+      req.key = static_cast<hybrids::Key>(2 * k + 1);
+      req.value = 1;
+      req.aux = static_cast<std::uint64_t>(hd::random_height(rng, 18));
+      hd::NmpSkipList::apply(list, req, resp);
+    }
+  }
+
+  std::cout << "Ablation: key-sorted combiner batching (mode A: combiner-level"
+               ", " << preload << " keys, " << sweep_ops << " ops/point, min of "
+            << reps << " reps)\n\n";
+
+  hu::Table table({"workload", "batch", "unbatched ns/op", "batched ns/op",
+                   "speedup", "finger hit rate"});
+  for (KeyPattern pattern : {KeyPattern::kSortedWindow, KeyPattern::kZipf,
+                             KeyPattern::kUniform}) {
+    for (std::uint64_t b : {1ull, 2ull, 4ull, 8ull, 16ull, 32ull, 64ull}) {
+      const std::vector<hn::Request> reqs =
+          make_requests(pattern, sweep_ops - sweep_ops % b, key_space, b);
+      // Occupancy 1: NmpCore serves through the one-at-a-time handler, so
+      // both arms are literally the same code — measure once, report for
+      // both.
+      const PointResult pr = run_point(list, reqs, b, reps);
+      const ArmResult un = pr.unbatched;
+      const ArmResult ba = b == 1 ? un : pr.batched;
+      if (un.checksum != ba.checksum) {
+        std::cerr << "BUG: batched and unbatched arms disagree ("
+                  << pattern_name(pattern) << ", batch=" << b << ")\n";
+        return 1;
+      }
+      table.new_row()
+          .add_cell(pattern_name(pattern))
+          .add_int(static_cast<long long>(b))
+          .add_num(un.ns_per_op, 1)
+          .add_num(ba.ns_per_op, 1)
+          .add_num(un.ns_per_op / ba.ns_per_op, 3)
+          .add_num(ba.finger_hit_rate, 3);
+    }
+  }
+  if (opt.csv) table.print_csv(std::cout); else table.print(std::cout);
+
+  const std::uint32_t threads = opt.threads.empty() ? 8 : opt.threads.front();
+  const std::uint64_t e2e_keys = opt.full ? 1ull << 16 : 1ull << 13;
+  std::cout << "\nMode B: end-to-end NmpSkipList, " << threads
+            << " host threads, zipfian 90/10 read/update, best of 3\n\n";
+  hu::Table e2e({"batching", "Mops/s"});
+  double off = 0, on = 0;
+  for (int r = 0; r < 3; ++r) {
+    off = std::max(off, run_end_to_end(false, threads, e2e_keys, opt.ops));
+    on = std::max(on, run_end_to_end(true, threads, e2e_keys, opt.ops));
+  }
+  e2e.new_row().add_cell("off").add_num(off, 3);
+  e2e.new_row().add_cell("on").add_num(on, 3);
+  if (opt.csv) e2e.print_csv(std::cout); else e2e.print(std::cout);
+  std::cout << "\nend-to-end speedup: " << (on / off) << "x\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo's docs resolve.
+
+Scans every tracked *.md file for [text](target) links, skips external
+(http/https/mailto) and pure-anchor targets, strips #fragments, and
+verifies the remaining paths exist relative to the linking file. Exits
+non-zero listing every broken link. CI runs this in the doc-lint job; run
+locally as `python3 scripts/check_doc_links.py` from anywhere in the repo.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+# Inline links only; reference-style links are not used in this repo.
+# Matches [text](target) but not images' surrounding ! (images are links
+# too for existence purposes, so no need to distinguish).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def repo_root() -> str:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return out.stdout.strip()
+
+
+def tracked_markdown(root: str) -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        check=True,
+        capture_output=True,
+        text=True,
+        cwd=root,
+    )
+    return [line for line in out.stdout.splitlines() if line]
+
+
+def main() -> int:
+    root = repo_root()
+    broken = []
+    for md in tracked_markdown(root):
+        md_path = os.path.join(root, md)
+        with open(md_path, encoding="utf-8") as f:
+            text = f.read()
+        # Drop fenced code blocks: shell snippets legitimately contain
+        # [text](target)-shaped strings (e.g. awk, test expressions).
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for target in LINK_RE.findall(text):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md_path), path))
+            if not os.path.exists(resolved):
+                broken.append(f"{md}: ({target}) -> {os.path.relpath(resolved, root)}")
+    if broken:
+        print("broken markdown links:")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"doc links OK across {len(tracked_markdown(root))} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,10 @@ class HybridBTree {
     // already retraverses root-down; past the budget the retry loop also
     // backs off exponentially and `host.retry_budget_exhausted` is bumped.
     std::uint32_t retry_budget = 8;
+    // Key-sorted batch apply on the combiner (NmpCore::set_batch_handler):
+    // each scan pass is served in ascending key order with an NmpBTree
+    // traversal finger.
+    bool batching = true;
   };
 
   /// Split-point rule (§3.4): the largest host portion whose cumulative top
@@ -109,6 +113,18 @@ class HybridBTree {
           p, [bt, seq_retries](const nmp::Request& req, nmp::Response& resp) {
             apply(*bt, *seq_retries, req, resp);
           });
+      if (config.batching) {
+        auto* finger_hits = &telemetry::counter(tn::kBatchFingerHits,
+                                                static_cast<std::int32_t>(p));
+        set_.set_batch_handler(p, [bt, seq_retries, finger_hits](
+                                      nmp::BatchOp* ops, std::size_t n) {
+          NmpBTree::Finger fg;
+          for (std::size_t i = 0; i < n; ++i) {
+            apply(*bt, *seq_retries, *ops[i].req, *ops[i].resp, &fg);
+          }
+          finger_hits->add(fg.hits);
+        });
+      }
     }
     build(keys, values);
     set_.start();
@@ -556,28 +572,33 @@ class HybridBTree {
   // --- NMP-side dispatch (combiner thread) ------------------------------------
 
   static void apply(NmpBTree& bt, telemetry::Counter& seq_retries,
-                    const nmp::Request& req, nmp::Response& resp) {
+                    const nmp::Request& req, nmp::Response& resp,
+                    NmpBTree::Finger* fg = nullptr) {
     NmpBTree::OpResult res;
     auto* begin = static_cast<NmpBNode*>(req.node);
     const auto pseq = static_cast<std::uint32_t>(req.aux);
     switch (req.op) {
       case nmp::OpCode::kRead:
-        res = bt.read(begin, pseq, req.key);
+        res = bt.read(begin, pseq, req.key, fg);
         break;
       case nmp::OpCode::kUpdate:
-        res = bt.update(begin, pseq, req.key, req.value);
+        res = bt.update(begin, pseq, req.key, req.value, fg);
         break;
       case nmp::OpCode::kInsert:
-        res = bt.insert(begin, pseq, req.key, req.value);
+        res = bt.insert(begin, pseq, req.key, req.value, fg);
         break;
       case nmp::OpCode::kRemove:
-        res = bt.remove(begin, pseq, req.key);
+        res = bt.remove(begin, pseq, req.key, fg);
         break;
       case nmp::OpCode::kResumeInsert:
         res = bt.resume_insert(req.node, pseq);
+        // Completing an escalated split rewires nodes the finger may have
+        // cached (the node-count snapshot catches the split, but stay safe).
+        if (fg != nullptr) fg->reset();
         break;
       case nmp::OpCode::kUnlockPath:
         res = bt.unlock_path(req.node);
+        if (fg != nullptr) fg->reset();
         break;
       default:
         break;

@@ -71,6 +71,31 @@ class NmpBTree {
 
   std::size_t node_count() const { return nodes_.size(); }
 
+  /// Traversal finger for key-sorted batch application: the root-to-leaf
+  /// path of the most recent finger-aware operation, with each node's
+  /// inclusive key-range upper bound (derived from the separator chosen at
+  /// its parent). The next operation for a key >= the remembered key resumes
+  /// its descent at the deepest cached node whose range still covers the
+  /// key, instead of re-descending from the subtree root.
+  ///
+  /// Validity: resuming requires the same begin node (a batch may span
+  /// several pushed-down subtrees of one partition), an unchanged node count
+  /// (any split — including one by the previous batch op — moves keys and
+  /// separators, so the cached bounds would lie), and an ascending key.
+  /// Removes (free-at-empty, never merge) and non-splitting inserts keep the
+  /// cached path exact. The caller must reset() across batches and after
+  /// RESUME_INSERT / UNLOCK_PATH.
+  struct Finger {
+    NmpBNode* path[kBTreeMaxLevels] = {};  // path[l] = visited node, level l
+    Key upper[kBTreeMaxLevels] = {};       // inclusive upper bound of path[l]
+    bool bounded[kBTreeMaxLevels] = {};    // false: rightmost, no upper bound
+    Key key = 0;
+    bool valid = false;
+    std::size_t nodes = 0;   // node_count() snapshot (split invalidation)
+    std::uint64_t hits = 0;  // descents resumed below the subtree root
+    void reset() { valid = false; }
+  };
+
   /// Result of applying one offloaded operation.
   struct OpResult {
     bool ok = false;
@@ -95,10 +120,11 @@ class NmpBTree {
     return false;
   }
 
-  OpResult read(NmpBNode* begin, std::uint32_t parent_seq, Key key) {
+  OpResult read(NmpBNode* begin, std::uint32_t parent_seq, Key key,
+                Finger* fg = nullptr) {
     OpResult r;
     if (boundary_check(begin, parent_seq)) { r.retry = true; return r; }
-    NmpBNode* leaf = descend(begin, key);
+    NmpBNode* leaf = descend(begin, key, fg);
     for (int i = 0; i < leaf->slotuse; ++i) {
       if (leaf->keys[i] == key) {
         r.ok = true;
@@ -109,10 +135,11 @@ class NmpBTree {
     return r;
   }
 
-  OpResult update(NmpBNode* begin, std::uint32_t parent_seq, Key key, Value value) {
+  OpResult update(NmpBNode* begin, std::uint32_t parent_seq, Key key,
+                  Value value, Finger* fg = nullptr) {
     OpResult r;
     if (boundary_check(begin, parent_seq)) { r.retry = true; return r; }
-    NmpBNode* leaf = descend(begin, key);
+    NmpBNode* leaf = descend(begin, key, fg);
     for (int i = 0; i < leaf->slotuse; ++i) {
       if (leaf->keys[i] == key) {
         leaf->values[i] = value;
@@ -123,10 +150,11 @@ class NmpBTree {
     return r;
   }
 
-  OpResult remove(NmpBNode* begin, std::uint32_t parent_seq, Key key) {
+  OpResult remove(NmpBNode* begin, std::uint32_t parent_seq, Key key,
+                  Finger* fg = nullptr) {
     OpResult r;
     if (boundary_check(begin, parent_seq)) { r.retry = true; return r; }
-    NmpBNode* leaf = descend(begin, key);
+    NmpBNode* leaf = descend(begin, key, fg);
     if (leaf->locked) {
       // A pending escalated insert prepared a split around this leaf; the
       // removal would change slotuse under it (§3.4). Abort and retry.
@@ -147,17 +175,25 @@ class NmpBTree {
     return r;
   }
 
-  OpResult insert(NmpBNode* begin, std::uint32_t parent_seq, Key key, Value value) {
+  OpResult insert(NmpBNode* begin, std::uint32_t parent_seq, Key key,
+                  Value value, Finger* fg = nullptr) {
     OpResult r;
     if (boundary_check(begin, parent_seq)) { r.retry = true; return r; }
-    // Descend recording the path (Listing 5 lines 9-12).
+    // Descend recording the path (Listing 5 lines 9-12). With a finger, the
+    // recorded root-to-leaf path *is* the locking path below.
     NmpBNode* path[kBTreeMaxLevels];
-    NmpBNode* curr = begin;
-    while (curr->level > 0) {
-      path[curr->level] = curr;
-      curr = curr->children[curr->find_child_index(key)];
+    NmpBNode* curr;
+    if (fg != nullptr) {
+      curr = descend(begin, key, fg);
+      for (int lvl = 0; lvl <= top_level_; ++lvl) path[lvl] = fg->path[lvl];
+    } else {
+      curr = begin;
+      while (curr->level > 0) {
+        path[curr->level] = curr;
+        curr = curr->children[curr->find_child_index(key)];
+      }
+      path[0] = curr;
     }
-    path[0] = curr;
     // Duplicate check before acquiring anything.
     for (int i = 0; i < curr->slotuse; ++i) {
       if (curr->keys[i] == key) return r;  // ok = false
@@ -285,6 +321,48 @@ class NmpBTree {
   NmpBNode* descend(NmpBNode* begin, Key key) const {
     NmpBNode* curr = begin;
     while (curr->level > 0) curr = curr->children[curr->find_child_index(key)];
+    return curr;
+  }
+
+  /// Finger-aware descent: resumes at the deepest cached node whose key
+  /// range still covers `key` (see Finger for the validity conditions),
+  /// records the traversed path/bounds into `fg`, and leaves it primed for
+  /// the next ascending key. A null `fg` degrades to plain descend().
+  NmpBNode* descend(NmpBNode* begin, Key key, Finger* fg) {
+    if (fg == nullptr) return descend(begin, key);
+    NmpBNode* curr = begin;
+    // `begin` covers its whole host-routed range; treat it as unbounded —
+    // a key outside that range would have arrived with a different begin.
+    Key upper = 0;
+    bool bounded = false;
+    if (fg->valid && fg->nodes == nodes_.size() && key >= fg->key &&
+        fg->path[top_level_] == begin) {
+      int lvl = 0;
+      while (lvl < top_level_ && fg->bounded[lvl] && key > fg->upper[lvl]) {
+        ++lvl;
+      }
+      curr = fg->path[lvl];
+      upper = fg->upper[lvl];
+      bounded = fg->bounded[lvl];
+      if (lvl < top_level_) ++fg->hits;
+    }
+    fg->path[curr->level] = curr;
+    fg->upper[curr->level] = upper;
+    fg->bounded[curr->level] = bounded;
+    while (curr->level > 0) {
+      const int i = curr->find_child_index(key);
+      if (i < curr->slotuse) {
+        upper = curr->keys[i];  // child i covers (keys[i-1], keys[i]]
+        bounded = true;
+      }
+      curr = curr->children[i];
+      fg->path[curr->level] = curr;
+      fg->upper[curr->level] = upper;
+      fg->bounded[curr->level] = bounded;
+    }
+    fg->key = key;
+    fg->valid = true;
+    fg->nodes = nodes_.size();
     return curr;
   }
 

@@ -5,13 +5,22 @@
 // NMP cores; host threads never traverse nodes. Every operation is offloaded
 // through the publication list, and the owning NMP core executes the full
 // top-to-bottom traversal from its partition's head sentinel.
+//
+// With `Config::batching` (default on) the combiner serves each scan pass as
+// one key-sorted batch: operations are applied in ascending key order with a
+// SeqSkipList::Finger, so each op resumes its predecessor search from the
+// previous op's position instead of re-descending from the partition head.
+// Finger reuse is counted in the per-partition `nmp.batch_finger_hits`
+// telemetry counter.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "hybrids/ds/lockfree_skiplist.hpp"  // random_height
 #include "hybrids/ds/seq_skiplist.hpp"
 #include "hybrids/nmp/partition_set.hpp"
+#include "hybrids/telemetry/registry.hpp"
 #include "hybrids/types.hpp"
 #include "hybrids/util/cache_aligned.hpp"
 #include "hybrids/util/rng.hpp"
@@ -27,6 +36,7 @@ class NmpSkipList {
     std::uint32_t max_threads = 8;
     std::uint32_t slots_per_thread = 4;  // non-blocking in-flight bound
     std::uint64_t seed = 1;
+    bool batching = true;  // key-sorted batch apply with a traversal finger
   };
 
   explicit NmpSkipList(const Config& config)
@@ -41,6 +51,14 @@ class NmpSkipList {
       set_.set_handler(p, [list](const nmp::Request& req, nmp::Response& resp) {
         apply(*list, req, resp);
       });
+      if (config.batching) {
+        telemetry::Counter* finger_hits = &telemetry::counter(
+            telemetry::names::kBatchFingerHits, static_cast<std::int32_t>(p));
+        set_.set_batch_handler(
+            p, [list, finger_hits](nmp::BatchOp* ops, std::size_t n) {
+              apply_batch(*list, ops, n, finger_hits);
+            });
+      }
     }
     rngs_ = std::vector<util::CacheAligned<util::Xoshiro256>>(config.max_threads);
     for (std::uint32_t t = 0; t < config.max_threads; ++t) {
@@ -111,6 +129,69 @@ class NmpSkipList {
     return true;
   }
 
+  /// Combiner-side application of one request. With a non-null `fg` the
+  /// predecessor search goes through SeqSkipList::find_finger (key-sorted
+  /// batch path); with null it behaves exactly like the one-at-a-time
+  /// handler. Public so the batching ablation bench can drive the combiner
+  /// work loop directly, without the runtime around it.
+  static void apply(SeqSkipList& list, const nmp::Request& req,
+                    nmp::Response& resp, SeqSkipList::Finger* fg = nullptr) {
+    SeqSkipList::Node* preds[SeqSkipList::kMaxLevels];
+    SeqSkipList::Node* succs[SeqSkipList::kMaxLevels];
+    auto locate = [&](Key key) {
+      return fg != nullptr ? list.find_finger(key, list.head(), preds, succs, *fg)
+                           : list.find(key, list.head(), preds, succs);
+    };
+    switch (req.op) {
+      case nmp::OpCode::kRead: {
+        SeqSkipList::Node* n = locate(req.key);
+        resp.ok = n != nullptr;
+        if (n != nullptr) resp.value = n->value;
+        break;
+      }
+      case nmp::OpCode::kUpdate: {
+        SeqSkipList::Node* n = locate(req.key);
+        resp.ok = n != nullptr;
+        if (n != nullptr) {
+          n->value = req.value;
+          ++n->version;
+        }
+        break;
+      }
+      case nmp::OpCode::kInsert: {
+        SeqSkipList::Node* found = locate(req.key);
+        resp.ok = found == nullptr;
+        resp.node = found != nullptr
+                        ? found
+                        : list.link(req.key, req.value,
+                                    static_cast<int>(req.aux), nullptr, preds,
+                                    succs);
+        break;
+      }
+      case nmp::OpCode::kRemove: {
+        SeqSkipList::Node* found = locate(req.key);
+        resp.ok = found != nullptr;
+        if (found != nullptr) list.unlink(found, preds);
+        break;
+      }
+      default:
+        resp.ok = false;
+        break;
+    }
+  }
+
+  /// Key-sorted batch apply (NmpCore::BatchHandler): threads one finger
+  /// through the whole ascending-key batch and accumulates its reuse count
+  /// into `finger_hits` (nullable).
+  static void apply_batch(SeqSkipList& list, nmp::BatchOp* ops, std::size_t n,
+                          telemetry::Counter* finger_hits) {
+    SeqSkipList::Finger fg;
+    for (std::size_t i = 0; i < n; ++i) {
+      apply(list, *ops[i].req, *ops[i].resp, &fg);
+    }
+    if (finger_hits != nullptr) finger_hits->add(fg.hits);
+  }
+
  private:
   static nmp::Request make_request(nmp::OpCode op, Key key, Value value,
                                    std::uint64_t height) {
@@ -120,41 +201,6 @@ class NmpSkipList {
     r.value = value;
     r.aux = height;
     return r;
-  }
-
-  static void apply(SeqSkipList& list, const nmp::Request& req,
-                    nmp::Response& resp) {
-    switch (req.op) {
-      case nmp::OpCode::kRead: {
-        SeqSkipList::Node* n = list.read(req.key, list.head());
-        resp.ok = n != nullptr;
-        if (n != nullptr) resp.value = n->value;
-        break;
-      }
-      case nmp::OpCode::kUpdate: {
-        SeqSkipList::Node* n = list.read(req.key, list.head());
-        resp.ok = n != nullptr;
-        if (n != nullptr) {
-          n->value = req.value;
-          ++n->version;
-        }
-        break;
-      }
-      case nmp::OpCode::kInsert: {
-        auto [node, existed] =
-            list.insert(req.key, req.value, static_cast<int>(req.aux), nullptr,
-                        list.head());
-        resp.ok = !existed;
-        resp.node = node;
-        break;
-      }
-      case nmp::OpCode::kRemove:
-        resp.ok = list.remove(req.key, list.head());
-        break;
-      default:
-        resp.ok = false;
-        break;
-    }
   }
 
   Config config_;

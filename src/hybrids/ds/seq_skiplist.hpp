@@ -21,6 +21,8 @@ namespace hybrids::ds {
 
 class SeqSkipList {
  public:
+  static constexpr int kMaxLevels = 32;
+
   struct Node {
     Key key;
     Value value;
@@ -88,6 +90,67 @@ class SeqSkipList {
     return found;
   }
 
+  /// Traversal finger for key-sorted batch application: the predecessor
+  /// array of the most recent find_finger() call. A subsequent find for a
+  /// key >= the remembered key resumes each level from the cached
+  /// predecessor instead of walking down from `begin` — in an ascending
+  /// batch the per-op search distance collapses to the key gap between
+  /// consecutive operations.
+  ///
+  /// Validity: the cached preds all satisfy pred->key < remembered key (or
+  /// are `begin`), so for any target key >= remembered key they are legal
+  /// level starting points. The caller must apply operations in ascending
+  /// key order between resets: ops after the snapshot only touch keys >= the
+  /// remembered key, so no cached pred can have been unlinked (a removal's
+  /// own preds — which exclude the removed node — overwrite the finger
+  /// before any later op runs). find_finger relies on this and adopts
+  /// cached preds without inspecting them.
+  struct Finger {
+    Node* preds[kMaxLevels];
+    Key key = 0;
+    bool valid = false;
+    std::uint64_t hits = 0;  // finds that reused at least one cached pred
+    void reset() { valid = false; }
+  };
+
+  /// find() variant that consults and then updates `fg`. Identical results
+  /// to find(); only the traversal start points differ.
+  Node* find_finger(Key key, Node* begin, Node** preds, Node** succs,
+                    Finger& fg) const {
+    assert(!begin->marked);
+    const bool use = fg.valid && key >= fg.key;
+    Node* pred = begin;
+    Node* found = nullptr;
+    bool moved = false;  // walk advanced past the cached position
+    bool reused = false;
+    for (int lvl = max_height_ - 1; lvl >= 0; --lvl) {
+      if (use && !moved) {
+        // Until the walk first advances, the carried-down pred is the cached
+        // pred of the previous (smaller) key, and the deeper cached pred is
+        // at least as close to the target — adopt it without inspecting it
+        // (every cached pred is a legal start, see Finger). Once the walk
+        // has moved, the carried pred sits at or past the cached key and the
+        // cache can no longer help.
+        pred = fg.preds[lvl];
+        reused |= pred != begin;
+      }
+      Node* curr = pred->next[lvl];
+      while (curr != nullptr && curr->key < key) {
+        pred = curr;
+        curr = curr->next[lvl];
+        moved = true;
+      }
+      preds[lvl] = pred;
+      succs[lvl] = curr;
+      if (found == nullptr && curr != nullptr && curr->key == key) found = curr;
+    }
+    for (int lvl = 0; lvl < max_height_; ++lvl) fg.preds[lvl] = preds[lvl];
+    fg.key = key;
+    fg.valid = true;
+    if (reused) ++fg.hits;
+    return found;
+  }
+
   /// Read: returns the node holding `key` (or null). The caller extracts
   /// value/host_ptr as needed.
   Node* read(Key key, Node* begin) const {
@@ -110,6 +173,37 @@ class SeqSkipList {
     bool existed;
   };
 
+  /// Links a new (key, value) node into position given the preds/succs of a
+  /// find for `key` that came back empty. Height is clamped to max_height;
+  /// links bottom-up. Shared by insert() and the batch-apply path (which
+  /// locates via find_finger).
+  Node* link(Key key, Value value, int height, void* host_ptr, Node** preds,
+             Node** succs) {
+    if (height > max_height_) height = max_height_;
+    assert(height >= 1);
+    Node* node = alloc_node(key, value, height, host_ptr);
+    for (int lvl = 0; lvl < height; ++lvl) {
+      node->next[lvl] = succs[lvl];
+      preds[lvl]->next[lvl] = node;
+    }
+    ++size_;
+    return node;
+  }
+
+  /// Unlinks `found` (located by a find for its key that filled `preds`):
+  /// marks it logically deleted first (§3.3 stale-begin detection), unlinks
+  /// every level, and retires the memory (freed at destruction so stale host
+  /// references remain valid to *inspect*). Shared by remove() and the
+  /// batch-apply path.
+  void unlink(Node* found, Node** preds) {
+    found->marked = true;  // logical deletion first (§3.3)
+    for (int lvl = found->height - 1; lvl >= 0; --lvl) {
+      if (preds[lvl]->next[lvl] == found) preds[lvl]->next[lvl] = found->next[lvl];
+    }
+    retired_.push_back(found);
+    --size_;
+  }
+
   /// Inserts (key, value) with `height` NMP-side levels (clamped to
   /// max_height), linking bottom-up. `host_ptr` is the host counterpart for
   /// tall nodes (null otherwise).
@@ -120,31 +214,16 @@ class SeqSkipList {
     if (Node* found = find(key, begin, preds, succs)) {
       return {found, true};
     }
-    if (height > max_height_) height = max_height_;
-    assert(height >= 1);
-    Node* node = alloc_node(key, value, height, host_ptr);
-    for (int lvl = 0; lvl < height; ++lvl) {
-      node->next[lvl] = succs[lvl];
-      preds[lvl]->next[lvl] = node;
-    }
-    ++size_;
-    return {node, false};
+    return {link(key, value, height, host_ptr, preds, succs), false};
   }
 
-  /// Removes `key` if present: marks the node logically deleted, unlinks it
-  /// from every level, and retires its memory (freed at destruction so that
-  /// stale host references remain valid to *inspect*).
+  /// Removes `key` if present (see unlink for the retire semantics).
   bool remove(Key key, Node* begin) {
     Node* preds[kMaxLevels];
     Node* succs[kMaxLevels];
     Node* found = find(key, begin, preds, succs);
     if (found == nullptr) return false;
-    found->marked = true;  // logical deletion first (§3.3)
-    for (int lvl = found->height - 1; lvl >= 0; --lvl) {
-      if (preds[lvl]->next[lvl] == found) preds[lvl]->next[lvl] = found->next[lvl];
-    }
-    retired_.push_back(found);
-    --size_;
+    unlink(found, preds);
     return true;
   }
 
@@ -204,8 +283,6 @@ class SeqSkipList {
     }
     return true;
   }
-
-  static constexpr int kMaxLevels = 32;
 
  private:
   static Node* alloc_node(Key key, Value value, int height, void* host_ptr) {

@@ -1,5 +1,6 @@
 #include "hybrids/nmp/nmp_core.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "hybrids/nmp/fault.hpp"
@@ -35,9 +36,15 @@ NmpCore::NmpCore(std::uint32_t id, std::uint32_t slot_count, Handler handler)
   metrics_.service = &telemetry::latency(tn::kServiceNs, p);
   metrics_.occupancy = &telemetry::latency(tn::kScanOccupancy, p);
   metrics_.batch = &telemetry::latency(tn::kCombinerBatch, p);
+  metrics_.batch_size = &telemetry::latency(tn::kBatchSize, p);
 }
 
 NmpCore::~NmpCore() { stop(); }
+
+void NmpCore::set_batch_handler(BatchHandler handler) {
+  assert(!started_);
+  batch_handler_ = std::move(handler);
+}
 
 void NmpCore::start() {
   if (started_) return;
@@ -118,10 +125,31 @@ bool NmpCore::wait_done_for(std::uint32_t index,
   }
 }
 
+void NmpCore::complete(const Picked& picked, std::uint64_t service_ns) {
+  PubSlot& s = *picked.slot;
+  // Fault hook: delayed response between handler and completion store.
+  fault::maybe_stall(fault::Kind::kDelayedResponse, id_);
+  s.status.store(PubSlot::kDone, std::memory_order_release);
+  s.status.notify_all();
+  served_.fetch_add(1, std::memory_order_relaxed);
+  if constexpr (telemetry::kEnabled) {
+    metrics_.queue_wait->record(
+        static_cast<double>(picked.pickup_ns - picked.posted_ns));
+    metrics_.service->record(static_cast<double>(service_ns));
+    metrics_.served_total->inc();
+    if (picked.op < kOpCodeCount) metrics_.served_op[picked.op]->inc();
+  }
+}
+
 void NmpCore::run() {
   // Flat-combining loop: repeatedly scan the publication list in slot order
   // and serve pending requests. The NMP core is the *only* thread that runs
-  // handler_, so everything it touches in the partition is race-free.
+  // handler_ / batch_handler_, so everything they touch in the partition is
+  // race-free.
+  std::vector<Picked> picked;
+  std::vector<BatchOp> batch;
+  picked.reserve(slots_.size());
+  batch.reserve(slots_.size());
   while (true) {
     // Fault hook: a stalled combiner sleeps before scanning, starving its
     // partition for the stall window (watchdog territory).
@@ -137,54 +165,90 @@ void NmpCore::run() {
       }
       if (occupied > 0) metrics_.occupancy->record(occupied);
     }
+    // Collection: pick up every kPending slot. Request metadata is captured
+    // here, before any kDone store — once a slot is done its owning host
+    // thread may take() and re-post, overwriting req/posted_ns concurrently.
+    // A request stays exclusively combiner-owned from this acquire load
+    // until its own completion store, so batch sorting and the batch handler
+    // may read it with plain accesses.
     std::uint32_t served_this_pass = 0;
+    picked.clear();
     for (auto& wrapped : slots_) {
       PubSlot& s = *wrapped;
-      if (s.status.load(std::memory_order_acquire) == PubSlot::kPending) {
-        // Capture request metadata before the kDone store: once the slot is
-        // done the owning host thread may take() and re-post, overwriting
-        // req/posted_ns concurrently.
-        const std::uint64_t t0 = telemetry::now_ns();
-        const std::uint64_t posted_ns = s.posted_ns;
-        const auto op = static_cast<std::size_t>(s.req.op);
-        // Fault hooks: spurious protocol responses are injected *instead of*
-        // running the handler, so no partition state changes and the host's
-        // mandated recovery (retry / LOCK_PATH fallback) re-executes the
-        // operation from scratch — linearizability is preserved by
-        // construction. Spurious lock_path is only meaningful for inserts
-        // (the only op the host protocol answers with an escalation).
-        // RESUME_INSERT / UNLOCK_PATH are exempt: they complete an escalation
-        // whose NMP path is genuinely locked, so swallowing them would leave
-        // the partition wedged forever rather than exercising a retry path.
-        bool injected = false;
-        const bool injectable = s.req.op != OpCode::kResumeInsert &&
-                                s.req.op != OpCode::kUnlockPath;
-        if (fault::kCompiledIn && injectable && fault::FaultInjector::armed()) {
-          if (fault::FaultInjector::fire(fault::Kind::kSpuriousRetry, id_)) {
-            s.resp.retry = true;
-            injected = true;
-          } else if (s.req.op == OpCode::kInsert &&
-                     fault::FaultInjector::fire(fault::Kind::kSpuriousLockPath,
-                                                id_)) {
-            s.resp.lock_path = true;
-            s.resp.node = nullptr;
-            injected = true;
-          }
+      if (s.status.load(std::memory_order_acquire) != PubSlot::kPending) {
+        continue;
+      }
+      const std::uint64_t t0 = telemetry::now_ns();
+      Picked p{&s, t0, s.posted_ns, static_cast<std::size_t>(s.req.op)};
+      // Fault hooks: spurious protocol responses are injected *instead of*
+      // running the handler, so no partition state changes and the host's
+      // mandated recovery (retry / LOCK_PATH fallback) re-executes the
+      // operation from scratch — linearizability is preserved by
+      // construction. Spurious lock_path is only meaningful for inserts
+      // (the only op the host protocol answers with an escalation).
+      // RESUME_INSERT / UNLOCK_PATH are exempt: they complete an escalation
+      // whose NMP path is genuinely locked, so swallowing them would leave
+      // the partition wedged forever rather than exercising a retry path.
+      bool injected = false;
+      const bool injectable = s.req.op != OpCode::kResumeInsert &&
+                              s.req.op != OpCode::kUnlockPath;
+      if (fault::kCompiledIn && injectable && fault::FaultInjector::armed()) {
+        if (fault::FaultInjector::fire(fault::Kind::kSpuriousRetry, id_)) {
+          s.resp.retry = true;
+          injected = true;
+        } else if (s.req.op == OpCode::kInsert &&
+                   fault::FaultInjector::fire(fault::Kind::kSpuriousLockPath,
+                                              id_)) {
+          s.resp.lock_path = true;
+          s.resp.node = nullptr;
+          injected = true;
         }
-        if (!injected) handler_(s.req, s.resp);
-        // Fault hook: delayed response between handler and completion store.
-        fault::maybe_stall(fault::Kind::kDelayedResponse, id_);
-        s.status.store(PubSlot::kDone, std::memory_order_release);
-        s.status.notify_all();
-        served_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (injected) {
+        // Injected responses complete immediately (no handler ran).
+        complete(p, 0);
         ++served_this_pass;
-        if constexpr (telemetry::kEnabled) {
-          metrics_.queue_wait->record(static_cast<double>(t0 - posted_ns));
-          metrics_.service->record(
-              static_cast<double>(telemetry::now_ns() - t0));
-          metrics_.served_total->inc();
-          if (op < kOpCodeCount) metrics_.served_op[op]->inc();
-        }
+      } else {
+        picked.push_back(p);
+      }
+    }
+    if (batch_handler_ && picked.size() > 1) {
+      // Batch apply: sort the collected requests by key (stable, so equal
+      // keys keep publication-list order), hand the whole span to the batch
+      // handler, then publish completions in original slot order. Hosts see
+      // exactly the one-at-a-time protocol; only the apply order inside the
+      // pass changes, which is a valid linearization of concurrent ops.
+      batch.clear();
+      for (const Picked& p : picked) {
+        batch.push_back(BatchOp{&p.slot->req, &p.slot->resp});
+      }
+      // Equal keys tiebreak on the request address: ops were collected in
+      // slot-index order and slots live in one array, so pointer order IS
+      // publication-list order. This keeps the sort stable without
+      // std::stable_sort's per-call temp-buffer allocation (combiner passes
+      // are often only a handful of ops).
+      std::sort(batch.begin(), batch.end(),
+                [](const BatchOp& a, const BatchOp& b) {
+                  return a.req->key != b.req->key ? a.req->key < b.req->key
+                                                  : a.req < b.req;
+                });
+      const std::uint64_t apply0 = telemetry::now_ns();
+      batch_handler_(batch.data(), batch.size());
+      // Per-op service time is the batch apply amortized over its size —
+      // the quantity the finger is meant to shrink.
+      const std::uint64_t per_op =
+          (telemetry::now_ns() - apply0) / picked.size();
+      if constexpr (telemetry::kEnabled) {
+        metrics_.batch_size->record(static_cast<double>(picked.size()));
+      }
+      for (const Picked& p : picked) complete(p, per_op);
+      served_this_pass += static_cast<std::uint32_t>(picked.size());
+    } else {
+      for (const Picked& p : picked) {
+        const std::uint64_t h0 = telemetry::now_ns();
+        handler_(p.slot->req, p.slot->resp);
+        complete(p, telemetry::now_ns() - h0);
+        ++served_this_pass;
       }
     }
     if (served_this_pass > 0) {

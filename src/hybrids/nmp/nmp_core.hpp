@@ -27,15 +27,35 @@ namespace hybrids::nmp {
 /// The `handler` is invoked on the combiner thread for every pending request,
 /// in slot order (flat combining). It must only touch partition-local state
 /// plus the request/response structs; it runs with no locks held.
+///
+/// With a batch handler additionally installed (set_batch_handler), a scan
+/// pass that finds two or more pending requests is served as one key-sorted
+/// batch instead: the combiner collects every kPending slot, sorts the
+/// requests by key (stable, so equal keys keep slot order), and invokes the
+/// batch handler once over the whole span. This lets partition-local
+/// structures amortize traversal work across key-adjacent operations with a
+/// finger (see NmpSkipList / NmpBTree) — the combiner loop is the throughput
+/// ceiling of the hybrid design, so work saved here is end-to-end win.
+/// Responses are then published (kDone + notify) in original slot order, so
+/// hosts observe exactly the protocol of the one-at-a-time path. Passes with
+/// a single pending request always use the plain handler; so do cores with
+/// no batch handler registered.
 class NmpCore {
  public:
   using Handler = std::function<void(const Request&, Response&)>;
+  /// Invoked on the combiner thread with `count >= 2` operations sorted by
+  /// ascending request key. Must write every `ops[i].resp` before returning;
+  /// the core publishes them afterwards. Same restrictions as Handler.
+  using BatchHandler = std::function<void(BatchOp* ops, std::size_t count)>;
 
   NmpCore(std::uint32_t id, std::uint32_t slot_count, Handler handler);
   ~NmpCore();
 
   NmpCore(const NmpCore&) = delete;
   NmpCore& operator=(const NmpCore&) = delete;
+
+  /// Installs the optional batch handler. Must be called before start().
+  void set_batch_handler(BatchHandler handler);
 
   /// Launches the combiner thread. Idempotent.
   void start();
@@ -89,12 +109,27 @@ class NmpCore {
     telemetry::LatencyRecorder* service;     // handler execution, ns
     telemetry::LatencyRecorder* occupancy;   // pending slots at scan start
     telemetry::LatencyRecorder* batch;       // requests served per scan pass
+    telemetry::LatencyRecorder* batch_size;  // ops per batch-handler call
+  };
+
+  /// One request picked up by a scan pass, with the metadata that must be
+  /// captured before the kDone store (the owning host thread may take() and
+  /// re-post the slot the instant it observes completion).
+  struct Picked {
+    PubSlot* slot;
+    std::uint64_t pickup_ns;  // telemetry::now_ns() at collection
+    std::uint64_t posted_ns;
+    std::size_t op;           // OpCode as index, captured pre-completion
   };
 
   void run();
+  /// Publishes one served slot: delayed-response fault hook, kDone release
+  /// store + notify, served accounting, per-op telemetry.
+  void complete(const Picked& picked, std::uint64_t service_ns);
 
   std::uint32_t id_;
   Handler handler_;
+  BatchHandler batch_handler_;
   std::vector<util::CacheAligned<PubSlot>> slots_;
   std::atomic<std::uint64_t> pending_{0};  // monotone post counter (futex word)
   std::atomic<std::uint64_t> posts_{0};    // requests posted (excludes stop bumps)

@@ -37,6 +37,7 @@ PartitionSet::PartitionSet(const PartitionConfig& config) : config_(config) {
   for (std::uint32_t p = 0; p < config_.partitions; ++p) {
     cores_.push_back(std::make_unique<NmpCore>(p, slots, NmpCore::Handler{}));
   }
+  batch_handlers_.resize(config_.partitions);
   async_busy_.assign(config_.partitions, std::vector<std::uint8_t>(slots, 0));
   watch_.assign(config_.partitions, WatchState{});
   degraded_ = std::make_unique<std::atomic<bool>[]>(config_.partitions);
@@ -62,9 +63,18 @@ PartitionSet::~PartitionSet() { stop(); }
 
 void PartitionSet::set_handler(std::uint32_t p, NmpCore::Handler handler) {
   assert(!started_);
-  // Rebuild the core with the handler installed (cores are cheap pre-start).
+  // Rebuild the core with the handler installed (cores are cheap pre-start),
+  // then re-apply any batch handler the rebuild discarded.
   const std::uint32_t slots = cores_[p]->slot_count();
   cores_[p] = std::make_unique<NmpCore>(p, slots, std::move(handler));
+  if (batch_handlers_[p]) cores_[p]->set_batch_handler(batch_handlers_[p]);
+}
+
+void PartitionSet::set_batch_handler(std::uint32_t p,
+                                     NmpCore::BatchHandler handler) {
+  assert(!started_);
+  batch_handlers_[p] = std::move(handler);
+  cores_[p]->set_batch_handler(batch_handlers_[p]);
 }
 
 void PartitionSet::start() {

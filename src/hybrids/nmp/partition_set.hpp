@@ -16,7 +16,8 @@ namespace hybrids::nmp {
 
 /// Configuration for a PartitionSet. `slots_per_thread` bounds the number of
 /// in-flight non-blocking calls a single host thread may have against one
-/// partition (the paper's hybrid-nonblocking4 uses 4).
+/// partition (the paper's hybrid-nonblocking4 uses 4); the resulting
+/// publication-list layout is documented once, at PartitionSet::thread_base.
 ///
 /// The watchdog monitors per-core served() progress: a core with posted but
 /// unserved requests and no progress across one interval is re-kicked (futex
@@ -57,6 +58,11 @@ class PartitionSet {
   /// partitions before start().
   void set_handler(std::uint32_t p, NmpCore::Handler handler);
 
+  /// Installs the optional key-sorted batch handler for partition `p` (see
+  /// NmpCore::set_batch_handler). Must be called before start(); survives a
+  /// later set_handler() on the same partition in either order.
+  void set_batch_handler(std::uint32_t p, NmpCore::BatchHandler handler);
+
   void start();
   void stop();
 
@@ -79,9 +85,9 @@ class PartitionSet {
   }
 
   /// Blocking call: posts `r` to partition `p` on behalf of `thread_id` and
-  /// waits for the response. Always uses the thread's slot 0, which is
-  /// reserved for blocking calls (so blocking and non-blocking calls from the
-  /// same thread cannot collide).
+  /// waits for the response. Uses the thread's blocking slot (see thread_base
+  /// for the layout), so blocking and non-blocking calls from the same thread
+  /// cannot collide.
   Response call(std::uint32_t p, std::uint32_t thread_id, const Request& r);
 
   /// Non-blocking call: posts `r` and returns a handle, or an invalid handle
@@ -94,9 +100,18 @@ class PartitionSet {
   Response retrieve(const OpHandle& h);
 
  private:
-  // Slot layout per partition: thread t owns slots
-  // [t * (1 + slots_per_thread), (t+1) * (1 + slots_per_thread)):
-  // slot 0 of the range is the blocking slot, the rest are async slots.
+  // Publication-list slot layout (the one canonical description; everything
+  // else refers here). Each partition's list has
+  //   max_threads * (1 + slots_per_thread)
+  // slots. Host thread t owns the contiguous range
+  //   [t * (1 + slots_per_thread), (t + 1) * (1 + slots_per_thread)).
+  // The first slot of the range — index thread_base(t) — is the thread's
+  // *blocking* slot, used exclusively by call(). The remaining
+  // slots_per_thread slots are its *async* slots, handed out by call_async()
+  // and tracked in async_busy_. Because every slot has exactly one owning
+  // thread and the blocking slot is disjoint from the async window, a
+  // thread's blocking and non-blocking calls never collide and no slot is
+  // ever contended between host threads.
   std::uint32_t thread_base(std::uint32_t thread_id) const {
     return thread_id * (1 + config_.slots_per_thread);
   }
@@ -105,6 +120,9 @@ class PartitionSet {
 
   PartitionConfig config_;
   std::vector<std::unique_ptr<NmpCore>> cores_;
+  // Batch handlers are kept here as well as in the cores: set_handler()
+  // rebuilds a core from scratch, so its batch handler must be re-applied.
+  std::vector<NmpCore::BatchHandler> batch_handlers_;
   // In-flight flags for async slots, indexed [partition][slot]; only the
   // owning host thread touches its entries.
   std::vector<std::vector<std::uint8_t>> async_busy_;

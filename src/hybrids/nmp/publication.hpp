@@ -87,6 +87,16 @@ struct Response {
   std::uint64_t aux = 0;   // skiplist update: value version for host mirror
 };
 
+/// One entry of a key-sorted combiner batch (see NmpCore::BatchHandler): a
+/// view into a publication slot mid-service. The slot stays kPending for the
+/// whole batch apply — the combiner owns `*req` and `*resp` exclusively until
+/// it later publishes kDone — so a batch handler may read requests and write
+/// responses through these pointers with plain (non-atomic) accesses.
+struct BatchOp {
+  const Request* req = nullptr;
+  Response* resp = nullptr;
+};
+
 /// One publication-list slot. Padded to a cache line so host threads never
 /// false-share; `status` carries the valid-flag handshake.
 ///
@@ -101,7 +111,13 @@ struct Response {
 ///     kPending therefore sees the complete request.
 ///  2. Only the combiner moves kPending -> kDone, after plain-writing
 ///     `resp`. Its release store (plus notify) publishes the response to
-///     the host's acquire load in done()/wait_done().
+///     the host's acquire load in done()/wait_done(). With a batch handler
+///     installed (NmpCore::set_batch_handler) the combiner may serve a whole
+///     scan pass as one key-sorted batch: every collected slot's `resp` is
+///     written during the batch apply, and only afterwards are the kDone
+///     stores issued, one per slot in publication-list (slot-index) order.
+///     The state machine is unchanged — each slot still goes kPending ->
+///     kDone exactly once, via its own release store.
 ///  3. Only the owning host thread moves kDone -> kEmpty (take()). The
 ///     release store is what allows the *same* thread's next post() to
 ///     plain-write `req` without racing the combiner: the combiner never

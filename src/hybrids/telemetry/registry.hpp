@@ -6,8 +6,9 @@
 // hold the returned reference, which stays valid for the process lifetime.
 //
 // Canonical metric names are declared in `names` below so the runtime, the
-// simulator transport, and the exporters agree on spelling; see the
-// "Telemetry & metrics" section of README.md for the full catalogue.
+// simulator transport, and the exporters agree on spelling. The reference
+// catalogue (kind, unit, layer, when each fires) is docs/METRICS.md;
+// tests/metrics_doc_test.cpp keeps it consistent with this header.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +36,8 @@ inline constexpr const char* kQueueWaitNs = "queue_wait_ns";
 inline constexpr const char* kServiceNs = "service_ns";
 inline constexpr const char* kScanOccupancy = "scan_occupancy";
 inline constexpr const char* kCombinerBatch = "combiner_batch";
+inline constexpr const char* kBatchSize = "nmp.batch_size";
+inline constexpr const char* kBatchFingerHits = "nmp.batch_finger_hits";
 inline constexpr const char* kWaitTimeoutTotal = "wait_timeout_total";
 inline constexpr const char* kWatchdogFired = "watchdog_fired";
 inline constexpr const char* kPartitionDegraded = "partition_degraded";

@@ -28,6 +28,7 @@
 
 #include "hybrids/ds/hybrid_btree.hpp"
 #include "hybrids/ds/hybrid_skiplist.hpp"
+#include "hybrids/ds/nmp_skiplist.hpp"
 #include "hybrids/nmp/fault.hpp"
 #include "hybrids/telemetry/registry.hpp"
 #include "hybrids/types.hpp"
@@ -178,6 +179,82 @@ void run_skiplist_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
 }
 
 // ---------------------------------------------------------------------------
+// NMP skiplist chaos (key-sorted batch apply)
+//
+// The prior-work NMP skiplist serves scan passes as key-sorted finger
+// batches (Config::batching), so this run stresses the batch-apply path
+// specifically. Only the transport fault kinds apply: the baseline's host
+// side implements no retry/LOCK_PATH protocol, so the spurious-response
+// kinds (which *require* host recovery) are meaningless against it — those
+// are covered with batching by the hybrid B+ tree runs below.
+
+void run_nmp_skiplist_chaos(const fault::Config& fc,
+                            std::uint32_t ops_per_thread) {
+  ds::NmpSkipList::Config cfg;
+  cfg.total_height = 12;
+  cfg.partitions = 4;
+  cfg.partition_width = 1024;  // keys stay < 4 * 1024
+  cfg.max_threads = kThreads;
+  cfg.slots_per_thread = 2;
+  cfg.seed = fc.seed;
+  cfg.batching = true;
+  ds::NmpSkipList list(cfg);
+
+  std::vector<std::map<Key, Value>> oracles(kThreads);
+  {
+    ArmedScope armed(fc);
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        util::Xoshiro256 rng(fc.seed * 0x9E3779B97F4A7C15ULL + 0xFACE + t);
+        std::map<Key, Value>& oracle = oracles[t];
+        for (std::uint32_t i = 0; i < ops_per_thread; ++i) {
+          const Key key = 1 + kThreads * rng.next_below(kKeysPerThread) + t;
+          const auto val = static_cast<Value>(rng.next_below(1u << 30)) | 1u;
+          switch (rng.next_below(100)) {
+            case 0 ... 39: {  // read
+              Value out = 0;
+              const bool ok = list.read(key, out, t);
+              const auto it = oracle.find(key);
+              EXPECT_EQ(ok, it != oracle.end()) << "read presence, key " << key;
+              if (ok && it != oracle.end()) {
+                EXPECT_EQ(out, it->second) << "read value, key " << key;
+              }
+              break;
+            }
+            case 40 ... 64: {  // insert
+              const bool ok = list.insert(key, val, t);
+              const bool expect = oracle.emplace(key, val).second;
+              EXPECT_EQ(ok, expect) << "insert, key " << key;
+              break;
+            }
+            case 65 ... 84: {  // remove
+              const bool ok = list.remove(key, t);
+              EXPECT_EQ(ok, oracle.erase(key) != 0) << "remove, key " << key;
+              break;
+            }
+            default: {  // update
+              const bool ok = list.update(key, val, t);
+              const auto it = oracle.find(key);
+              EXPECT_EQ(ok, it != oracle.end()) << "update, key " << key;
+              if (it != oracle.end()) it->second = val;
+              break;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  EXPECT_TRUE(list.validate());
+  std::size_t expected = 0;
+  for (const auto& oracle : oracles) expected += oracle.size();
+  EXPECT_EQ(list.size(), expected);
+}
+
+// ---------------------------------------------------------------------------
 // B+ tree chaos
 
 void run_btree_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
@@ -280,6 +357,25 @@ TEST(ChaosSkipList, AllFaultKindsTogether) {
   run_skiplist_chaos(fault::Config::all(chaos_seed(), 0.02),
                      /*ops_per_thread=*/1200);
 }
+
+TEST(ChaosNmpSkipListBatching, TransportFaultKinds) {
+  // Batch-apply path under the transport faults (see run_nmp_skiplist_chaos
+  // for why the spurious-response kinds are excluded here).
+  const std::uint64_t seed = chaos_seed();
+  constexpr fault::Kind kTransportKinds[] = {
+      fault::Kind::kCombinerStall,
+      fault::Kind::kDelayedResponse,
+      fault::Kind::kLostWakeup,
+  };
+  for (fault::Kind k : kTransportKinds) {
+    SCOPED_TRACE(fault::kind_name(k));
+    run_nmp_skiplist_chaos(one_kind(seed, k, 0.05), /*ops_per_thread=*/600);
+  }
+}
+
+// Note: the hybrid B+ tree constructs with Config::batching = true, so every
+// ChaosBTree scenario below — all five fault kinds, in isolation and
+// together — runs with key-sorted combiner batching enabled.
 
 TEST(ChaosBTree, EachFaultKindInIsolation) {
   const std::uint64_t seed = chaos_seed();

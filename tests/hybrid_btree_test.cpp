@@ -3,8 +3,10 @@
 // calls, and the NMP-side partition structure in isolation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "hybrids/ds/hybrid_btree.hpp"
@@ -122,6 +124,74 @@ TEST(NmpBTree, UnlockPathRollsBack) {
   EXPECT_FALSE(leaf->locked);
   // The insert did not happen.
   EXPECT_FALSE(bt.read(leaf, 0, 100).ok);
+}
+
+TEST(NmpBTree, FingerBatchesMatchPlainDescent) {
+  // Two identical two-level partitions; one served with a per-batch finger
+  // (the combiner's key-sorted batch path), one with plain root descents.
+  // Results and final contents must match op for op.
+  hd::NmpBTree with_finger(1);
+  hd::NmpBTree plain(1);
+  hd::NmpBNode* roots[2];
+  for (int i = 0; i < 2; ++i) {
+    hd::NmpBTree& bt = i == 0 ? with_finger : plain;
+    roots[i] = bt.make_node(1);
+    roots[i]->children[0] = bt.make_node(0);
+    roots[i]->slotuse = 0;
+  }
+  hu::Xoshiro256 rng(13);
+  std::uint64_t total_hits = 0;
+  for (int pass = 0; pass < 300; ++pass) {
+    // Ascending-key batch of mixed ops, as NmpCore would present it.
+    std::vector<std::pair<int, Key>> batch;  // (op, key)
+    Key k = 0;
+    const std::size_t n = 2 + rng.next_below(10);
+    for (std::size_t i = 0; i < n; ++i) {
+      k += 1 + static_cast<Key>(rng.next_below(40));
+      // 80-key universe: leaves stop splitting once their range holds fewer
+      // than a leaf's capacity of possible keys, so the root (14 slots)
+      // never fills and no batch op ever escalates with LOCK_PATH.
+      batch.emplace_back(static_cast<int>(rng.next_below(4)), k % 80 + 1);
+    }
+    std::sort(batch.begin(), batch.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    hd::NmpBTree::Finger fg;
+    for (const auto& [op, key] : batch) {
+      const Value val = key * 3 + 1;
+      hd::NmpBTree::OpResult ra, rb;
+      switch (op) {
+        case 0:
+          ra = with_finger.read(roots[0], 0, key, &fg);
+          rb = plain.read(roots[1], 0, key);
+          break;
+        case 1:
+          ra = with_finger.update(roots[0], 0, key, val, &fg);
+          rb = plain.update(roots[1], 0, key, val);
+          break;
+        case 2:
+          ra = with_finger.insert(roots[0], 0, key, val, &fg);
+          rb = plain.insert(roots[1], 0, key, val);
+          break;
+        default:
+          ra = with_finger.remove(roots[0], 0, key, &fg);
+          rb = plain.remove(roots[1], 0, key);
+          break;
+      }
+      ASSERT_EQ(ra.ok, rb.ok) << "pass " << pass << " op " << op << " key " << key;
+      ASSERT_EQ(ra.retry, rb.retry) << "pass " << pass << " key " << key;
+      ASSERT_EQ(ra.lock_path, rb.lock_path) << "pass " << pass << " key " << key;
+      ASSERT_EQ(ra.value, rb.value) << "pass " << pass << " key " << key;
+      // This test keeps the key universe small enough that the partition
+      // top never splits; an escalation would diverge the twins.
+      ASSERT_FALSE(ra.lock_path);
+    }
+    total_hits += fg.hits;
+    ASSERT_EQ(with_finger.count_keys(roots[0]), plain.count_keys(roots[1]))
+        << "pass " << pass;
+  }
+  EXPECT_GT(total_hits, 0u);
+  EXPECT_TRUE(with_finger.validate_subtree(roots[0], 0, ~Key{0}, true));
+  EXPECT_TRUE(plain.validate_subtree(roots[1], 0, ~Key{0}, true));
 }
 
 // ---------- HybridBTree ----------

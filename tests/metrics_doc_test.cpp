@@ -1,0 +1,124 @@
+// Keeps docs/METRICS.md and telemetry/registry.hpp's canonical name list in
+// lock-step, in both directions:
+//
+//  * every name constant declared in telemetry::names must appear as a
+//    metric row in docs/METRICS.md (prefix constants like `served_` must
+//    appear in templated form, e.g. `served_<op>`);
+//  * every metric row in docs/METRICS.md must correspond to a declared name
+//    constant (exactly, or as an instantiation of a declared prefix).
+//
+// The files are read from the source tree via HYBRIDS_SOURCE_DIR (a compile
+// definition set in tests/CMakeLists.txt), so the check runs wherever the
+// tests run — locally and in CI's doc-lint job — with no extra tooling.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+const std::string kRegistryPath =
+    std::string(HYBRIDS_SOURCE_DIR) + "/src/hybrids/telemetry/registry.hpp";
+const std::string kDocPath =
+    std::string(HYBRIDS_SOURCE_DIR) + "/docs/METRICS.md";
+
+/// Metric name constants from the `names` namespace in registry.hpp.
+/// Constants whose value ends in '_' are name *prefixes* (completed at
+/// registration time with an opcode / fault-kind suffix).
+struct RegistryNames {
+  std::set<std::string> exact;
+  std::set<std::string> prefixes;
+};
+
+RegistryNames registry_names() {
+  RegistryNames out;
+  const std::string src = read_file(kRegistryPath);
+  const std::regex decl(R"(inline constexpr const char\* k\w+ = \"([^\"]+)\";)");
+  for (auto it = std::sregex_iterator(src.begin(), src.end(), decl);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (!name.empty() && name.back() == '_') {
+      out.prefixes.insert(name);
+    } else {
+      out.exact.insert(name);
+    }
+  }
+  return out;
+}
+
+/// Metric names documented in METRICS.md: the backticked first cell of every
+/// table row (lines shaped `| `name` | ...`).
+std::vector<std::string> documented_names() {
+  std::vector<std::string> out;
+  const std::string doc = read_file(kDocPath);
+  const std::regex row(R"(^\| `([^`]+)` \|)");
+  std::istringstream lines(doc);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::smatch m;
+    if (std::regex_search(line, m, row)) out.push_back(m[1].str());
+  }
+  return out;
+}
+
+/// `served_<op>` documents the prefix `served_`.
+bool is_template_of(const std::string& doc_name, const std::string& prefix) {
+  return doc_name.size() > prefix.size() + 1 &&
+         doc_name.compare(0, prefix.size(), prefix) == 0 &&
+         doc_name[prefix.size()] == '<' && doc_name.back() == '>';
+}
+
+TEST(MetricsDoc, EveryRegistryNameIsDocumented) {
+  const RegistryNames names = registry_names();
+  ASSERT_GT(names.exact.size(), 10u) << "registry parse failed: " << kRegistryPath;
+  const std::vector<std::string> doc = documented_names();
+  ASSERT_FALSE(doc.empty()) << "no metric table rows found in " << kDocPath;
+  for (const std::string& name : names.exact) {
+    bool found = false;
+    for (const std::string& d : doc) found |= d == name;
+    EXPECT_TRUE(found) << "metric `" << name
+                       << "` (registry.hpp) missing from docs/METRICS.md";
+  }
+  for (const std::string& prefix : names.prefixes) {
+    bool found = false;
+    for (const std::string& d : doc) found |= is_template_of(d, prefix);
+    EXPECT_TRUE(found) << "metric prefix `" << prefix
+                       << "` (registry.hpp) has no templated row (e.g. `"
+                       << prefix << "<suffix>`) in docs/METRICS.md";
+  }
+}
+
+TEST(MetricsDoc, EveryDocumentedNameExistsInRegistry) {
+  const RegistryNames names = registry_names();
+  for (const std::string& d : documented_names()) {
+    bool known = names.exact.count(d) > 0;
+    for (const std::string& prefix : names.prefixes) {
+      known |= is_template_of(d, prefix);
+    }
+    EXPECT_TRUE(known) << "docs/METRICS.md documents `" << d
+                       << "`, which registry.hpp does not declare";
+  }
+}
+
+TEST(MetricsDoc, NoDuplicateRows) {
+  const std::vector<std::string> doc = documented_names();
+  std::set<std::string> seen;
+  for (const std::string& d : doc) {
+    EXPECT_TRUE(seen.insert(d).second)
+        << "docs/METRICS.md documents `" << d << "` twice";
+  }
+}
+
+}  // namespace

@@ -133,6 +133,104 @@ TEST(NmpCore, WaitDoneForTimesOutAgainstStalledHandler) {
   core.stop();
 }
 
+TEST(NmpCore, BatchHandlerSeesKeySortedOpsAndRoutesResponsesBySlot) {
+  // Posting before start() is the deterministic way to form a batch: all
+  // slots are kPending when the combiner's first scan pass runs, so it must
+  // collect them into a single batch-handler call.
+  std::vector<hn::Key> order;
+  std::size_t calls = 0;
+  hn::NmpCore core(0, 4, [](const hn::Request&, hn::Response& resp) {
+    resp.ok = true;  // legacy handler must not run in this test
+    resp.value = 0xDEAD;
+  });
+  core.set_batch_handler([&](hn::BatchOp* ops, std::size_t n) {
+    ++calls;
+    for (std::size_t i = 0; i < n; ++i) {
+      order.push_back(ops[i].req->key);
+      ops[i].resp->ok = true;
+      ops[i].resp->value = ops[i].req->key * 2;
+      // Mid-batch, every collected slot must still be kPending: completions
+      // are only published after the whole batch is applied.
+      for (std::uint32_t s = 0; s < core.slot_count(); ++s) {
+        EXPECT_NE(core.slot(s).status.load(), hn::PubSlot::kDone);
+      }
+    }
+  });
+  const hn::Key keys[4] = {30, 10, 40, 20};
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    hn::Request r;
+    r.op = hn::OpCode::kNop;
+    r.key = keys[s];
+    core.post(s, r);
+  }
+  core.start();
+  for (std::uint32_t s = 0; s < 4; ++s) core.wait_done(s);
+  core.stop();
+  // The batch was applied in ascending key order...
+  ASSERT_EQ(calls, 1u);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<hn::Key>{10, 20, 30, 40}));
+  // ...but each response landed in its op's original slot.
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    hn::Response resp = core.slot(s).take();
+    EXPECT_TRUE(resp.ok);
+    EXPECT_EQ(resp.value, keys[s] * 2);
+  }
+  if constexpr (ht::kEnabled) {
+    EXPECT_GE(ht::snapshot().histogram_total(ht::names::kBatchSize).count(), 1u);
+  }
+}
+
+TEST(NmpCore, SinglePendingRequestUsesLegacyHandler) {
+  // A pass with exactly one pending request must go through the plain
+  // handler, with or without a batch handler installed.
+  std::atomic<bool> batch_ran{false};
+  hn::NmpCore core(0, 4, [](const hn::Request& req, hn::Response& resp) {
+    resp.ok = true;
+    resp.value = req.key + 1;
+  });
+  core.set_batch_handler([&](hn::BatchOp*, std::size_t) {
+    batch_ran.store(true);
+  });
+  hn::Request r;
+  r.op = hn::OpCode::kNop;
+  r.key = 7;
+  core.post(0, r);
+  core.start();
+  core.wait_done(0);
+  hn::Response resp = core.slot(0).take();
+  EXPECT_TRUE(resp.ok);
+  EXPECT_EQ(resp.value, 8u);
+  core.stop();
+  EXPECT_FALSE(batch_ran.load());
+}
+
+TEST(NmpCore, EqualKeysKeepSlotOrderInBatch) {
+  // stable_sort: ops on the same key must reach the batch handler in
+  // publication-list (slot) order, so a same-key insert/remove pair keeps
+  // its host-observable semantics.
+  std::vector<hn::Value> order;
+  hn::NmpCore core(0, 4,
+                   [](const hn::Request&, hn::Response& resp) { resp.ok = true; });
+  core.set_batch_handler([&](hn::BatchOp* ops, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      order.push_back(ops[i].req->value);
+      ops[i].resp->ok = true;
+    }
+  });
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    hn::Request r;
+    r.op = hn::OpCode::kNop;
+    r.key = s < 2 ? 5u : 3u;  // slots 2,3 sort before slots 0,1
+    r.value = s;              // slot index, to observe ordering
+    core.post(s, r);
+  }
+  core.start();
+  for (std::uint32_t s = 0; s < 4; ++s) core.wait_done(s);
+  core.stop();
+  EXPECT_EQ(order, (std::vector<hn::Value>{2, 3, 0, 1}));
+}
+
 TEST(NmpCore, RestartAfterStop) {
   hn::NmpCore core(3, 2, [](const hn::Request&, hn::Response& resp) { resp.ok = true; });
   core.start();
@@ -379,6 +477,43 @@ TEST(PartitionSet, TelemetryServedCountsSumToTotalOps) {
   EXPECT_EQ(snap.histogram_total(ht::names::kQueueWaitNs).count(), kTotalOps);
   EXPECT_EQ(snap.counter_total(ht::names::kCallBlocking), kTotalOps);
   ht::reset_all();
+}
+
+TEST(PartitionSet, BatchHandlerSurvivesHandlerRebuild) {
+  // set_handler() rebuilds the NmpCore; a batch handler installed *before*
+  // that rebuild must still be in effect afterwards (and vice versa).
+  auto set = make_set(1, 1, 4);
+  std::atomic<std::uint64_t> batched_ops{0};
+  set.set_batch_handler(0, [&](hn::BatchOp* ops, std::size_t n) {
+    batched_ops.fetch_add(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ops[i].resp->ok = true;
+      ops[i].resp->value = ops[i].req->key * 10;
+    }
+  });
+  set.set_handler(0, [](const hn::Request& req, hn::Response& resp) {
+    resp.ok = true;
+    resp.value = req.key * 10;
+  });
+  // Fill the thread's async window before start() so the first scan pass
+  // serves all four requests as one batch.
+  std::vector<hn::OpHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    hn::Request r;
+    r.op = hn::OpCode::kNop;
+    r.key = static_cast<hn::Key>(4 - i);
+    hn::OpHandle h = set.call_async(0, 0, r);
+    ASSERT_TRUE(h.valid);
+    handles.push_back(h);
+  }
+  set.start();
+  for (int i = 0; i < 4; ++i) {
+    hn::Response resp = set.retrieve(handles[static_cast<std::size_t>(i)]);
+    EXPECT_TRUE(resp.ok);
+    EXPECT_EQ(resp.value, static_cast<hn::Value>((4 - i) * 10));
+  }
+  set.stop();
+  EXPECT_EQ(batched_ops.load(), 4u);
 }
 
 TEST(PartitionSet, ConcurrentMixedBlockingAndAsync) {

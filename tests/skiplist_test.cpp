@@ -3,6 +3,7 @@
 // the hybrid skiplist (paper §3.3).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <thread>
@@ -106,6 +107,97 @@ TEST(SeqSkipList, MatchesReferenceModel) {
   }
   EXPECT_EQ(list.size(), model.size());
   EXPECT_TRUE(list.validate());
+}
+
+TEST(SeqSkipList, FingerFindMatchesPlainFind) {
+  // find_finger must return exactly what find returns — same found node and
+  // the same preds/succs arrays — across ascending-key sequences, which is
+  // the access pattern the combiner's key-sorted batches produce.
+  constexpr int kHeight = 8;
+  hd::SeqSkipList list(kHeight);
+  hu::Xoshiro256 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const Key k = static_cast<Key>(rng.next_below(5000));
+    list.insert(k, k, hd::random_height(rng, kHeight), nullptr, list.head());
+  }
+  for (int round = 0; round < 200; ++round) {
+    hd::SeqSkipList::Finger fg;
+    // Ascending probe sequence with repeats (equal keys stay legal).
+    std::vector<Key> probes;
+    Key k = 0;
+    for (int i = 0; i < 32; ++i) {
+      k += static_cast<Key>(rng.next_below(300));
+      probes.push_back(k);
+      if (rng.next_below(4) == 0) probes.push_back(k);
+    }
+    for (Key probe : probes) {
+      hd::SeqSkipList::Node* preds[hd::SeqSkipList::kMaxLevels];
+      hd::SeqSkipList::Node* succs[hd::SeqSkipList::kMaxLevels];
+      hd::SeqSkipList::Node* fpreds[hd::SeqSkipList::kMaxLevels];
+      hd::SeqSkipList::Node* fsuccs[hd::SeqSkipList::kMaxLevels];
+      hd::SeqSkipList::Node* plain = list.find(probe, list.head(), preds, succs);
+      hd::SeqSkipList::Node* fingered =
+          list.find_finger(probe, list.head(), fpreds, fsuccs, fg);
+      ASSERT_EQ(fingered, plain) << "key " << probe;
+      for (int lvl = 0; lvl < kHeight; ++lvl) {
+        ASSERT_EQ(fpreds[lvl], preds[lvl]) << "pred lvl " << lvl << " key " << probe;
+        ASSERT_EQ(fsuccs[lvl], succs[lvl]) << "succ lvl " << lvl << " key " << probe;
+      }
+    }
+    EXPECT_GT(fg.hits, 0u);  // long ascending runs must actually reuse it
+  }
+}
+
+TEST(NmpSkipList, BatchApplyMatchesSequentialApply) {
+  // The combiner's batch path (apply_batch: ascending order + finger) must
+  // produce exactly the responses and final structure of the one-at-a-time
+  // handler applied in the same order. Mixed ops, duplicate keys included.
+  constexpr int kHeight = 8;
+  hd::SeqSkipList batched(kHeight);
+  hd::SeqSkipList sequential(kHeight);
+  hu::Xoshiro256 rng(11);
+  for (int pass = 0; pass < 400; ++pass) {
+    const std::size_t n = 2 + rng.next_below(15);
+    std::vector<hybrids::nmp::Request> reqs(n);
+    std::vector<hybrids::nmp::Response> resp_a(n), resp_b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      reqs[i].op = static_cast<hybrids::nmp::OpCode>(rng.next_below(4));
+      reqs[i].key = static_cast<Key>(rng.next_below(3000));
+      reqs[i].value = static_cast<Value>(rng.next());
+      reqs[i].aux = 1 + rng.next_below(kHeight);  // insert tower height
+    }
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return reqs[a].key < reqs[b].key;
+    });
+    std::vector<hybrids::nmp::BatchOp> ops(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ops[i] = {&reqs[idx[i]], &resp_a[idx[i]]};
+    }
+    hd::NmpSkipList::apply_batch(batched, ops.data(), n, nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      hd::NmpSkipList::apply(sequential, reqs[idx[i]], resp_b[idx[i]]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(resp_a[i].ok, resp_b[i].ok) << "pass " << pass << " op " << i;
+      ASSERT_EQ(resp_a[i].value, resp_b[i].value) << "pass " << pass << " op " << i;
+    }
+    ASSERT_EQ(batched.size(), sequential.size()) << "pass " << pass;
+  }
+  EXPECT_TRUE(batched.validate());
+  EXPECT_TRUE(sequential.validate());
+  // Identical level-0 contents.
+  const hd::SeqSkipList::Node* a = batched.head()->next[0];
+  const hd::SeqSkipList::Node* b = sequential.head()->next[0];
+  while (a != nullptr && b != nullptr) {
+    ASSERT_EQ(a->key, b->key);
+    ASSERT_EQ(a->value, b->value);
+    a = a->next[0];
+    b = b->next[0];
+  }
+  EXPECT_EQ(a, nullptr);
+  EXPECT_EQ(b, nullptr);
 }
 
 // ---------- LfSkipList ----------
