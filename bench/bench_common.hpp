@@ -14,6 +14,10 @@
 //                        with -DHYBRIDS_FAULTS=ON; rejected otherwise)
 //   --fault-rate=P       per-kind injection probability (default 0.01;
 //                        only meaningful together with --fault-seed)
+//   --scan-max=N         maximum requested range-scan length (scan benches)
+//
+// Unknown options are a hard error (exit 2), so a typo like --trheads=8
+// can't silently run the bench with defaults.
 #pragma once
 
 #include <cctype>
@@ -37,6 +41,7 @@ struct Options {
   std::uint64_t ops = 4000;
   std::uint64_t warmup = 2000;
   std::vector<std::uint32_t> threads;
+  std::uint32_t scan_max = 100;  // max requested range-scan length (YCSB-E)
   bool full = false;
   bool csv = false;
   std::string stats_json;               // empty: no JSON export
@@ -84,6 +89,13 @@ inline Options parse_options(int argc, char** argv) {
                      "--threads=1,2,4,8)\n";
         std::exit(2);
       }
+    } else if (const char* v = value_of("--scan-max=")) {
+      opt.scan_max = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (opt.scan_max == 0) {
+        std::cerr << "error: --scan-max must be a positive integer, got '" << v
+                  << "'\n";
+        std::exit(2);
+      }
     } else if (const char* v = value_of("--stats-json=")) {
       opt.stats_json = v;
     } else if (const char* v = value_of("--stats-interval=")) {
@@ -128,9 +140,15 @@ inline Options parse_options(int argc, char** argv) {
                    "on stderr\n"
                    "  --fault-seed=N       arm the fault injector with seed N "
                    "(HYBRIDS_FAULTS builds only)\n"
+                   "  --scan-max=N         max range-scan length (scan "
+                   "benches, default 100)\n"
                    "  --fault-rate=P       per-kind injection probability "
                    "(default 0.01)\n";
       std::exit(0);
+    } else {
+      std::cerr << "error: unknown option '" << arg
+                << "' (see --help for the supported flags)\n";
+      std::exit(2);
     }
   }
   return opt;

@@ -101,6 +101,8 @@ class HybridBTree {
     lock_path_ = &telemetry::counter(tn::kLockPathTotal);
     resume_insert_ = &telemetry::counter(tn::kResumeInsertTotal);
     unlock_path_ = &telemetry::counter(tn::kUnlockPathTotal);
+    scan_hops_ = &telemetry::counter(tn::kScanPartitionHops);
+    scan_retry_ = &telemetry::counter(tn::kScanRetry);
     partitions_.reserve(config.partitions);
     for (std::uint32_t p = 0; p < config.partitions; ++p) {
       partitions_.push_back(std::make_unique<NmpBTree>(config.nmp_levels - 1));
@@ -109,18 +111,26 @@ class HybridBTree {
       // so the combiner hot path never touches the registry map.
       auto* seq_retries = &telemetry::counter(tn::kRetryParentSeqnum,
                                               static_cast<std::int32_t>(p));
-      set_.set_handler(
-          p, [bt, seq_retries](const nmp::Request& req, nmp::Response& resp) {
-            apply(*bt, *seq_retries, req, resp);
-          });
+      auto* scan_len = &telemetry::latency(tn::kScanLen,
+                                           static_cast<std::int32_t>(p));
+      set_.set_handler(p, [bt, seq_retries, scan_len](const nmp::Request& req,
+                                                      nmp::Response& resp) {
+        apply(*bt, *seq_retries, req, resp);
+        if (req.op == nmp::OpCode::kScan && !resp.retry) {
+          scan_len->record(resp.value);
+        }
+      });
       if (config.batching) {
         auto* finger_hits = &telemetry::counter(tn::kBatchFingerHits,
                                                 static_cast<std::int32_t>(p));
-        set_.set_batch_handler(p, [bt, seq_retries, finger_hits](
+        set_.set_batch_handler(p, [bt, seq_retries, finger_hits, scan_len](
                                       nmp::BatchOp* ops, std::size_t n) {
           NmpBTree::Finger fg;
           for (std::size_t i = 0; i < n; ++i) {
             apply(*bt, *seq_retries, *ops[i].req, *ops[i].resp, &fg);
+            if (ops[i].req->op == nmp::OpCode::kScan && !ops[i].resp->retry) {
+              scan_len->record(ops[i].resp->value);
+            }
           }
           finger_hits->add(fg.hits);
         });
@@ -144,9 +154,17 @@ class HybridBTree {
   struct Frame {
     HostBNode* path[kBTreeMaxLevels] = {};
     std::uint32_t seqs[kBTreeMaxLevels] = {};
+    // Inclusive key-range upper bound of path[lvl] (the divider chosen at
+    // its parent); bnd[lvl] == false means rightmost spine, no upper bound.
+    // Recorded together with seqs[lvl], so the same seqlock validation that
+    // vouches for the path vouches for the bounds.
+    Key uppers[kBTreeMaxLevels] = {};
+    bool bnd[kBTreeMaxLevels] = {};
     int root_level = 0;
     NmpRef begin{};                // begin-NMP-traversal node + partition tag
     std::uint32_t partition = 0;
+    Key upper = 0;        // inclusive upper bound of the begin subtree
+    bool bounded = false; // false: begin is the rightmost subtree
   };
 
   // ----- blocking operations ------------------------------------------------
@@ -213,6 +231,59 @@ class HybridBTree {
       }
       // Host-side locking failed; the NMP path was unlocked on our behalf.
     }
+  }
+
+  /// Range scan: fills `out` with up to `count` (key, value) pairs with key
+  /// >= `start`, ascending. Each kScan chunk traverses the host portion to
+  /// the begin subtree covering the current key and offloads with the
+  /// observed parent seqnum; a seqnum mismatch (the subtree was split by an
+  /// earlier-queued insert) retries the chunk under the usual retry budget.
+  /// The chunk exhausts a begin subtree at the continuation key, then the
+  /// host stitches onward at the subtree's inclusive upper bound + 1 — the
+  /// bound the traversal read under the parent's seqlock, so the next
+  /// subtree holds exactly the keys above it.
+  ///
+  /// Each chunk is individually atomic (combiner-serialized); the stitched
+  /// whole is not a snapshot. Chunks cover strictly ascending disjoint key
+  /// ranges, so the result is sorted with no duplicates, every key >= start,
+  /// and every returned pair was present at some point during the scan.
+  /// Returns the number of entries written.
+  std::size_t scan(Key start, std::size_t count, ScanEntry* out,
+                   std::uint32_t tid) {
+    std::size_t filled = 0;
+    Key cur = start;
+    RetryBudget budget(*this);
+    bool have_part = false;
+    std::uint32_t last_part = 0;
+    while (filled < count) {
+      Frame frame;
+      if (!traverse(cur, frame)) continue;
+      const std::size_t want = count - filled < nmp::kScanChunk
+                                   ? count - filled
+                                   : nmp::kScanChunk;
+      nmp::Request r = make_request(nmp::OpCode::kScan, cur,
+                                    static_cast<Value>(want), frame);
+      r.host_node = out + filled;
+      nmp::Response resp = set_.call(frame.partition, tid, r);
+      if (resp.retry) {
+        scan_retry_->inc();
+        budget.note_retry();
+        continue;
+      }
+      if (have_part && frame.partition != last_part) scan_hops_->inc();
+      have_part = true;
+      last_part = frame.partition;
+      filled += resp.value;
+      if (resp.has_more) {
+        cur = static_cast<Key>(resp.aux);
+        continue;
+      }
+      // Begin subtree exhausted: continue right above its key range.
+      if (!frame.bounded) break;  // rightmost subtree — nothing further
+      if (frame.upper == ~Key{0}) break;
+      cur = frame.upper + 1;
+    }
+    return filled;
   }
 
   // ----- non-blocking operations (§3.5) --------------------------------------
@@ -352,12 +423,23 @@ class HybridBTree {
     frame.root_level = root->level;
     frame.path[root->level] = root;
     frame.seqs[root->level] = root_seq;
+    frame.uppers[root->level] = 0;
+    frame.bnd[root->level] = false;  // the root covers the whole key space
 
     int lvl = root->level;
     HostBNode* curr = root;
     while (lvl > last_host_level_) {
       const int idx = curr->find_child_index(key);
       HostBNode* child = curr->load_child(idx);
+      // Child idx covers (keys[idx-1], keys[idx]]; the rightmost child
+      // inherits the parent's bound. Read racily, validated below together
+      // with the child pointer by the same seq_unchanged check.
+      Key child_upper = frame.uppers[lvl];
+      bool child_bnd = frame.bnd[lvl];
+      if (idx < curr->load_slotuse()) {
+        child_upper = curr->load_key(idx);
+        child_bnd = true;
+      }
       if (!curr->seq_unchanged(frame.seqs[lvl])) {
         if (!climb(frame, lvl, curr)) return false;
         continue;
@@ -365,6 +447,8 @@ class HybridBTree {
       const std::uint32_t child_seq = child->wait_even_seq();
       frame.path[lvl - 1] = child;
       frame.seqs[lvl - 1] = child_seq;
+      frame.uppers[lvl - 1] = child_upper;
+      frame.bnd[lvl - 1] = child_bnd;
       if (curr->seq_unchanged(frame.seqs[lvl])) {
         --lvl;
         curr = child;
@@ -375,10 +459,18 @@ class HybridBTree {
     // Select the NMP child reference under the last host node's seqlock.
     const int idx = curr->find_child_index(key);
     const std::uintptr_t bits = curr->load_child_bits(idx);
+    Key sel_upper = frame.uppers[lvl];
+    bool sel_bnd = frame.bnd[lvl];
+    if (idx < curr->load_slotuse()) {
+      sel_upper = curr->load_key(idx);
+      sel_bnd = true;
+    }
     if (!curr->seq_unchanged(frame.seqs[lvl])) return false;
     frame.begin = NmpRef{};
     frame.begin = ref_from_bits(bits);
     frame.partition = frame.begin.tag();
+    frame.upper = sel_upper;
+    frame.bounded = sel_bnd;
     return true;
   }
 
@@ -590,6 +682,15 @@ class HybridBTree {
       case nmp::OpCode::kRemove:
         res = bt.remove(begin, pseq, req.key, fg);
         break;
+      case nmp::OpCode::kScan: {
+        std::uint32_t max = static_cast<std::uint32_t>(req.value);
+        if (max > nmp::kScanChunk) {
+          max = static_cast<std::uint32_t>(nmp::kScanChunk);
+        }
+        res = bt.scan(begin, pseq, req.key, max,
+                      static_cast<ScanEntry*>(req.host_node), fg);
+        break;
+      }
       case nmp::OpCode::kResumeInsert:
         res = bt.resume_insert(req.node, pseq);
         // Completing an escalated split rewires nodes the finger may have
@@ -607,6 +708,8 @@ class HybridBTree {
     resp.ok = res.ok;
     resp.retry = res.retry;
     resp.lock_path = res.lock_path;
+    resp.has_more = res.has_more;        // kScan continuation
+    resp.aux = res.scan_next;
     if (res.lock_path) {
       resp.node = res.handle;
     } else if (res.new_top != nullptr) {
@@ -826,6 +929,9 @@ class HybridBTree {
   telemetry::Counter* lock_path_;
   telemetry::Counter* resume_insert_;
   telemetry::Counter* unlock_path_;
+  // Scan stitching: partition changes between chunks and retried chunks.
+  telemetry::Counter* scan_hops_;
+  telemetry::Counter* scan_retry_;
 };
 
 }  // namespace hybrids::ds

@@ -93,6 +93,8 @@ class HybridSkipList {
     host_read_hits_ = &telemetry::counter(tn::kHostReadHits);
     host_retry_ = &telemetry::counter(tn::kHostRetryTotal);
     retry_exhausted_ = &telemetry::counter(tn::kRetryBudgetExhausted);
+    scan_hops_ = &telemetry::counter(tn::kScanPartitionHops);
+    scan_retry_ = &telemetry::counter(tn::kScanRetry);
     lists_.reserve(config.partitions);
     for (std::uint32_t p = 0; p < config.partitions; ++p) {
       lists_.push_back(std::make_unique<SeqSkipList>(config.nmp_height));
@@ -105,9 +107,15 @@ class HybridSkipList {
                                         static_cast<std::int32_t>(p));
       auto* from_head = &telemetry::counter(tn::kBeginFromHead,
                                             static_cast<std::int32_t>(p));
-      set_.set_handler(p, [list, nmp_height, threshold, stale, from_head](
-                              const nmp::Request& req, nmp::Response& resp) {
+      auto* scan_len = &telemetry::latency(tn::kScanLen,
+                                           static_cast<std::int32_t>(p));
+      set_.set_handler(p, [list, nmp_height, threshold, stale, from_head,
+                           scan_len](const nmp::Request& req,
+                                     nmp::Response& resp) {
         apply(*list, nmp_height, threshold, *stale, *from_head, req, resp);
+        if (req.op == nmp::OpCode::kScan && !resp.retry) {
+          scan_len->record(resp.value);
+        }
       });
     }
     rngs_ = std::vector<util::CacheAligned<util::Xoshiro256>>(config.max_threads);
@@ -227,6 +235,59 @@ class HybridSkipList {
       }
       return r.ok;
     }
+  }
+
+  /// Range scan: fills `out` with up to `count` (key, value) pairs with key
+  /// >= `start`, ascending. Each kScan chunk is begun from the host
+  /// portion's bottom-level predecessor shortcut (like point operations);
+  /// the combiner reports a stale begin node via resp.retry and the chunk is
+  /// re-issued under the usual retry budget (force_head once exhausted).
+  /// Longer scans continue within a partition at the response's continuation
+  /// key and hop to the next partition when one is exhausted.
+  ///
+  /// Each chunk is individually atomic (combiner-serialized); the stitched
+  /// whole is not a snapshot. Guarantees: ascending keys with no duplicates
+  /// (chunks cover strictly ascending disjoint key ranges), every returned
+  /// key >= start, and every returned (key, value) was present at some point
+  /// during the scan. Returns the number of entries written.
+  std::size_t scan(Key start, std::size_t count, ScanEntry* out,
+                   std::uint32_t tid) {
+    std::size_t filled = 0;
+    Key cur = start;
+    std::uint32_t p = set_.partition_of(start);
+    RetryBudget budget(*this);
+    while (filled < count) {
+      const std::size_t want = count - filled < nmp::kScanChunk
+                                   ? count - filled
+                                   : nmp::kScanChunk;
+      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+      (void)host_.find(cur, preds, succs);
+      nmp::Request r =
+          make_request(nmp::OpCode::kScan, cur, static_cast<Value>(want), 0,
+                       preds[0], nullptr, p, budget.exhausted());
+      r.host_node = out + filled;
+      nmp::Response resp = set_.call(p, tid, r);
+      if (must_retry(resp)) {
+        scan_retry_->inc();
+        budget.note_retry();
+        continue;
+      }
+      filled += resp.value;
+      if (resp.has_more) {
+        cur = static_cast<Key>(resp.aux);
+        continue;
+      }
+      if (p + 1 >= config_.partitions) break;
+      ++p;
+      scan_hops_->inc();
+      // Partition p's keys all sit at or above its range base; continuing
+      // at max(cur, base) keeps the chunk sequence strictly ascending.
+      const Key base = static_cast<Key>(static_cast<std::uint64_t>(p) *
+                                        config_.partition_width);
+      if (base > cur) cur = base;
+    }
+    return filled;
   }
 
   /// Adaptive promotion (§7 extension): raise `key` — reported hot by its
@@ -543,8 +604,12 @@ class HybridSkipList {
                                         /*force_head=*/false));
   }
 
+ public:
   /// NMP-side of every operation (runs on the partition's combiner thread;
-  /// mirrors Listing 2, plus the §7 adaptive-promotion extension).
+  /// mirrors Listing 2, plus the §7 adaptive-promotion extension). Public so
+  /// protocol unit tests can drive the combiner side deterministically (e.g.
+  /// a kScan against a logically-deleted begin node) without the runtime
+  /// around it.
   static void apply(SeqSkipList& list, int nmp_height, std::uint32_t threshold,
                     telemetry::Counter& stale_retries,
                     telemetry::Counter& begin_from_head,
@@ -614,12 +679,26 @@ class HybridSkipList {
       case nmp::OpCode::kRemove:
         resp.ok = list.remove(req.key, begin);
         break;
+      case nmp::OpCode::kScan: {
+        std::uint32_t max = static_cast<std::uint32_t>(req.value);
+        if (max > nmp::kScanChunk) max = nmp::kScanChunk;
+        Key next = 0;
+        bool more = false;
+        resp.value = list.scan(req.key, max, begin,
+                               static_cast<ScanEntry*>(req.host_node), &next,
+                               &more);
+        resp.aux = next;
+        resp.has_more = more;
+        resp.ok = true;
+        break;
+      }
       default:
         resp.ok = false;
         break;
     }
   }
 
+ private:
   Config config_;
   LfSkipList host_;
   nmp::PartitionSet set_;
@@ -631,6 +710,9 @@ class HybridSkipList {
   telemetry::Counter* host_read_hits_;
   telemetry::Counter* host_retry_;
   telemetry::Counter* retry_exhausted_;
+  // Scan stitching: partition hops and per-chunk stale-begin retries.
+  telemetry::Counter* scan_hops_;
+  telemetry::Counter* scan_retry_;
 };
 
 }  // namespace hybrids::ds

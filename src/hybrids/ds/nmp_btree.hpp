@@ -101,10 +101,12 @@ class NmpBTree {
     bool ok = false;
     bool retry = false;
     bool lock_path = false;
-    Value value = 0;
+    bool has_more = false;   // kScan: subtree holds further keys >= scan_next
+    Value value = 0;         // read result; kScan: entries written
     void* handle = nullptr;  // pending-insert record (LOCK_PATH escalation)
     NmpBNode* new_top = nullptr;  // RESUME_INSERT: split-off top-level node
     Key up_key = 0;               // RESUME_INSERT: divider for the host
+    Key scan_next = 0;            // kScan: continuation key (if has_more)
   };
 
   /// Host-NMP boundary synchronization (Listing 5 lines 2-8). Returns true
@@ -172,6 +174,49 @@ class NmpBTree {
         return r;
       }
     }
+    return r;
+  }
+
+  /// kScan chunk: collects up to `max` (key, value) pairs with key >= `start`
+  /// from the subtree under `begin`, ascending, walking leaf to leaf via the
+  /// finger's cached per-level upper bounds (the next leaf holds exactly the
+  /// keys above the current leaf's inclusive bound). Reads mutate nothing, so
+  /// locked leaves — a pending escalated insert's path — are safe to visit,
+  /// same as read(). `has_more` is exact: when the chunk fills, the walk
+  /// peeks ahead for the next matching key and reports it as `scan_next`.
+  OpResult scan(NmpBNode* begin, std::uint32_t parent_seq, Key start,
+                std::uint32_t max, ScanEntry* out, Finger* fg = nullptr) {
+    OpResult r;
+    if (boundary_check(begin, parent_seq)) { r.retry = true; return r; }
+    Finger local;
+    if (fg == nullptr) fg = &local;
+    std::uint32_t n = 0;
+    Key cur = start;
+    for (;;) {
+      NmpBNode* leaf = descend(begin, cur, fg);
+      for (int i = 0; i < leaf->slotuse; ++i) {
+        if (leaf->keys[i] < cur) continue;
+        if (n == max) {
+          r.has_more = true;
+          r.scan_next = leaf->keys[i];
+          r.value = n;
+          r.ok = true;
+          return r;
+        }
+        out[n].key = leaf->keys[i];
+        out[n].value = leaf->values[i];
+        ++n;
+      }
+      // Leaf exhausted. The next leaf's keys start right above this leaf's
+      // inclusive upper bound; an unbounded level-0 entry means this was the
+      // subtree's rightmost leaf.
+      if (!fg->bounded[0]) break;
+      const Key upper = fg->upper[0];
+      if (upper == static_cast<Key>(~Key{0})) break;  // no keys above max Key
+      cur = upper + 1;
+    }
+    r.value = n;
+    r.ok = true;
     return r;
   }
 

@@ -48,15 +48,25 @@ class NmpSkipList {
     for (std::uint32_t p = 0; p < config.partitions; ++p) {
       lists_.push_back(std::make_unique<SeqSkipList>(config.total_height));
       SeqSkipList* list = lists_.back().get();
-      set_.set_handler(p, [list](const nmp::Request& req, nmp::Response& resp) {
-        apply(*list, req, resp);
-      });
+      telemetry::LatencyRecorder* scan_len =
+          &telemetry::latency(telemetry::names::kScanLen,
+                              static_cast<std::int32_t>(p));
+      set_.set_handler(
+          p, [list, scan_len](const nmp::Request& req, nmp::Response& resp) {
+            apply(*list, req, resp);
+            if (req.op == nmp::OpCode::kScan) scan_len->record(resp.value);
+          });
       if (config.batching) {
         telemetry::Counter* finger_hits = &telemetry::counter(
             telemetry::names::kBatchFingerHits, static_cast<std::int32_t>(p));
         set_.set_batch_handler(
-            p, [list, finger_hits](nmp::BatchOp* ops, std::size_t n) {
+            p, [list, finger_hits, scan_len](nmp::BatchOp* ops, std::size_t n) {
               apply_batch(*list, ops, n, finger_hits);
+              for (std::size_t i = 0; i < n; ++i) {
+                if (ops[i].req->op == nmp::OpCode::kScan) {
+                  scan_len->record(ops[i].resp->value);
+                }
+              }
             });
       }
     }
@@ -96,6 +106,40 @@ class NmpSkipList {
         .call(set_.partition_of(key), tid,
               make_request(nmp::OpCode::kRemove, key, 0, 0))
         .ok;
+  }
+
+  /// Range scan: fills `out` with up to `count` (key, value) pairs with key
+  /// >= `start`, ascending. Issues kScan chunks of at most kScanChunk
+  /// entries each, continuing within a partition at the response's
+  /// continuation key and hopping to the next partition when one is
+  /// exhausted. Returns the number of entries written.
+  std::size_t scan(Key start, std::size_t count, ScanEntry* out,
+                   std::uint32_t tid) {
+    std::size_t filled = 0;
+    Key cur = start;
+    std::uint32_t p = set_.partition_of(start);
+    while (filled < count) {
+      const std::size_t want = count - filled < nmp::kScanChunk
+                                   ? count - filled
+                                   : nmp::kScanChunk;
+      nmp::Request r =
+          make_request(nmp::OpCode::kScan, cur, static_cast<Value>(want), 0);
+      r.host_node = out + filled;
+      nmp::Response resp = set_.call(p, tid, r);
+      filled += resp.value;
+      if (resp.has_more) {
+        cur = static_cast<Key>(resp.aux);
+        continue;
+      }
+      if (p + 1 >= config_.partitions) break;
+      ++p;
+      // Partition p's keys all sit at or above its range base; continuing
+      // at max(cur, base) keeps the chunk sequence strictly ascending.
+      const Key base = static_cast<Key>(static_cast<std::uint64_t>(p) *
+                                        config_.partition_width);
+      if (base > cur) cur = base;
+    }
+    return filled;
   }
 
   /// Non-blocking variants (§3.5): returns an invalid handle when `tid`
@@ -172,6 +216,19 @@ class NmpSkipList {
         SeqSkipList::Node* found = locate(req.key);
         resp.ok = found != nullptr;
         if (found != nullptr) list.unlink(found, preds);
+        break;
+      }
+      case nmp::OpCode::kScan: {
+        std::uint32_t max = static_cast<std::uint32_t>(req.value);
+        if (max > nmp::kScanChunk) max = nmp::kScanChunk;
+        Key next = 0;
+        bool more = false;
+        resp.value = list.scan(req.key, max, list.head(),
+                               static_cast<ScanEntry*>(req.host_node), &next,
+                               &more, fg);
+        resp.aux = next;
+        resp.has_more = more;
+        resp.ok = true;
         break;
       }
       default:

@@ -151,6 +151,36 @@ class SeqSkipList {
     return found;
   }
 
+  /// Range scan: collects up to `max` live (key, value) pairs with key >=
+  /// `start` into `out`, walking level 0 from the position located by find()
+  /// (or find_finger() when `fg` is supplied — the batch path, so an
+  /// ascending batch of scans resumes instead of re-descending). Returns the
+  /// number of entries written; `*next` receives the first matching key NOT
+  /// returned and `*has_more` whether such a key exists. Reachable level-0
+  /// nodes are never marked (unlink marks before unlinking), so the walk
+  /// only ever reports live keys.
+  std::uint32_t scan(Key start, std::uint32_t max, Node* begin, ScanEntry* out,
+                     Key* next, bool* has_more, Finger* fg = nullptr) const {
+    Node* preds[kMaxLevels];
+    Node* succs[kMaxLevels];
+    if (fg != nullptr) {
+      (void)find_finger(start, begin, preds, succs, *fg);
+    } else {
+      (void)find(start, begin, preds, succs);
+    }
+    Node* curr = succs[0];  // first node with key >= start
+    std::uint32_t n = 0;
+    while (curr != nullptr && n < max) {
+      out[n].key = curr->key;
+      out[n].value = curr->value;
+      ++n;
+      curr = curr->next[0];
+    }
+    *has_more = curr != nullptr;
+    *next = curr != nullptr ? curr->key : 0;
+    return n;
+  }
+
   /// Read: returns the node holding `key` (or null). The caller extracts
   /// value/host_ptr as needed.
   Node* read(Key key, Node* begin) const {

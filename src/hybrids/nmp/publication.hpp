@@ -31,8 +31,9 @@ using hybrids::Value;
 
 /// Operation codes carried in a publication slot. kRead..kRemove are the
 /// data structure operations; kResumeInsert / kUnlockPath are the hybrid
-/// B+ tree's second-phase control commands (§3.4); kNop lets tests exercise
-/// the transport alone.
+/// B+ tree's second-phase control commands (§3.4); kScan is one chunk of a
+/// host-stitched range scan (see the field mapping below); kNop lets tests
+/// exercise the transport alone.
 enum class OpCode : std::uint8_t {
   kRead,
   kUpdate,
@@ -41,6 +42,7 @@ enum class OpCode : std::uint8_t {
   kResumeInsert,
   kUnlockPath,
   kPromote,  // adaptive extension (§7): raise a hot key into the host portion
+  kScan,     // partition-local range-scan chunk (up to kScanChunk entries)
   kNop,
 };
 
@@ -61,17 +63,39 @@ inline const char* op_code_name(OpCode op) noexcept {
     case OpCode::kResumeInsert: return "resume_insert";
     case OpCode::kUnlockPath: return "unlock_path";
     case OpCode::kPromote: return "promote";
+    case OpCode::kScan: return "scan";
     case OpCode::kNop: return "nop";
   }
   return "unknown";
 }
 
+/// Maximum number of ScanEntry pairs one kScan slot round-trip returns (the
+/// per-chunk cap, sized so a chunk stays within one publication-slot-sized
+/// transfer of the NMP core's scratchpad). Longer scans continue from the
+/// response's continuation key; scans that span partitions are stitched by
+/// the host (see the hybrid structures' scan()).
+inline constexpr std::size_t kScanChunk = 16;
+
+/// kScan field mapping (one chunk of a stitched range scan):
+///   Request:  key       = chunk start key (inclusive)
+///             value     = entries requested (combiner clamps to kScanChunk)
+///             node      = begin-NMP-traversal node, as for point ops
+///             host_node = host-owned ScanEntry output buffer; the combiner
+///                         plain-writes it before its kDone release store,
+///                         which the host's acquire load synchronizes with
+///             aux       = B+ tree: offloaded parent seqnum
+///   Response: value     = entries written to the buffer
+///             aux       = continuation key (first key NOT returned; valid
+///                         only when has_more)
+///             has_more  = more matching keys remain in this partition at
+///                         keys >= the continuation key
 struct Request {
   OpCode op = OpCode::kNop;
   Key key = 0;
-  Value value = 0;
+  Value value = 0;           // kScan: requested entry count for this chunk
   void* node = nullptr;      // begin-NMP-traversal node (null: partition head)
-  void* host_node = nullptr; // host-side counterpart (skiplist insert/update)
+  void* host_node = nullptr; // host-side counterpart (skiplist insert/update);
+                             // kScan: host-owned ScanEntry output buffer
   std::uint64_t aux = 0;     // skiplist: tower height; B+ tree: parent seqnum
 };
 
@@ -81,10 +105,12 @@ struct Response {
   bool lock_path = false;  // B+ tree: host must lock its path, then resume
   bool promote_hint = false;  // adaptive skiplist: key crossed the hotness
                               // threshold; host should issue kPromote
-  Value value = 0;         // read result
+  bool has_more = false;   // kScan: partition holds further keys >= aux
+  Value value = 0;         // read result; kScan: entries written
   void* node = nullptr;    // skiplist insert: node created in the partition;
                            // skiplist update: host_ptr of the updated node
-  std::uint64_t aux = 0;   // skiplist update: value version for host mirror
+  std::uint64_t aux = 0;   // skiplist update: value version for host mirror;
+                           // kScan: continuation key
 };
 
 /// One entry of a key-sorted combiner batch (see NmpCore::BatchHandler): a

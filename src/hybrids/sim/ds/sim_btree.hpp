@@ -319,7 +319,8 @@ class SimHostBTree {
       (void)co_await traverse(c, op.key, path, seqs, root_level);
       SimBNode* leaf = path[0];
       switch (op.type) {
-        case workload::OpType::kRead: {
+        case workload::OpType::kRead:
+        case workload::OpType::kScan: {  // simulator models scans as reads
           if (leaf->seq != seqs[0]) continue;  // leaf changed: retry
           (void)leaf->find_key_index(op.key);
           co_return;
@@ -564,6 +565,8 @@ class SimHybridBTree {
       case workload::OpType::kUpdate: prep.req.op = nmp::OpCode::kUpdate; break;
       case workload::OpType::kInsert: prep.req.op = nmp::OpCode::kInsert; break;
       case workload::OpType::kRemove: prep.req.op = nmp::OpCode::kRemove; break;
+      // The simulator does not model range scans; charge a point read.
+      case workload::OpType::kScan: prep.req.op = nmp::OpCode::kRead; break;
     }
     co_return prep;
   }

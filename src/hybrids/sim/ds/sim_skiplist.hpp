@@ -288,7 +288,8 @@ class SimLockFreeSkipList {
 
   Task<void> run_op(HostCtx& c, const workload::Op& op, util::Xoshiro256& rng) {
     switch (op.type) {
-      case workload::OpType::kRead: {
+      case workload::OpType::kRead:
+      case workload::OpType::kScan: {  // simulator models scans as reads
         (void)co_await region_.read(c, region_.head(), op.key);
         break;
       }
@@ -380,6 +381,8 @@ class SimNmpSkipList {
             rng, regions_[0]->max_height()));
         break;
       case workload::OpType::kRemove: r.op = nmp::OpCode::kRemove; break;
+      // The simulator does not model range scans; charge a point read.
+      case workload::OpType::kScan: r.op = nmp::OpCode::kRead; break;
     }
     return r;
   }
@@ -547,6 +550,8 @@ class SimHybridSkipList {
                 rng, host_.max_height() + nmp_height_));
         break;
       case workload::OpType::kRemove: prep.req.op = nmp::OpCode::kRemove; break;
+      // The simulator does not model range scans; charge a point read.
+      case workload::OpType::kScan: prep.req.op = nmp::OpCode::kRead; break;
     }
     // Begin-NMP-traversal shortcut (Listing 1 lines 14-15).
     if (preds[0] != host_.head() && partition_of(preds[0]->key) == prep.partition &&

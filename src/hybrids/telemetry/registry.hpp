@@ -38,6 +38,7 @@ inline constexpr const char* kScanOccupancy = "scan_occupancy";
 inline constexpr const char* kCombinerBatch = "combiner_batch";
 inline constexpr const char* kBatchSize = "nmp.batch_size";
 inline constexpr const char* kBatchFingerHits = "nmp.batch_finger_hits";
+inline constexpr const char* kScanLen = "nmp.scan_len";
 inline constexpr const char* kWaitTimeoutTotal = "wait_timeout_total";
 inline constexpr const char* kWatchdogFired = "watchdog_fired";
 inline constexpr const char* kPartitionDegraded = "partition_degraded";
@@ -53,6 +54,8 @@ inline constexpr const char* kLockPathTotal = "host.lock_path_total";
 inline constexpr const char* kResumeInsertTotal = "host.resume_insert_total";
 inline constexpr const char* kUnlockPathTotal = "host.unlock_path_total";
 inline constexpr const char* kRetryBudgetExhausted = "host.retry_budget_exhausted";
+inline constexpr const char* kScanPartitionHops = "host.scan_partition_hops";
+inline constexpr const char* kScanRetry = "host.scan_retry";
 inline constexpr const char* kFaultInjectedPrefix = "fault_injected_";  // + kind
 }  // namespace names
 

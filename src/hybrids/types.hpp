@@ -12,4 +12,12 @@ namespace hybrids {
 using Key = std::uint32_t;
 using Value = std::uint32_t;
 
+/// One (key, value) pair returned by a range scan. Scan responses are
+/// written by the NMP combiner directly into a host-owned array of these
+/// (see the kScan protocol notes in nmp/publication.hpp).
+struct ScanEntry {
+  Key key;
+  Value value;
+};
+
 }  // namespace hybrids

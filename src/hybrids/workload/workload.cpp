@@ -53,8 +53,11 @@ OpStream::OpStream(const WorkloadSpec& spec, std::uint32_t thread_id)
       mix_(spec.mix),
       dist_(spec.dist),
       insert_pattern_(spec.insert_pattern),
+      scan_len_dist_(spec.scan_len_dist),
+      max_scan_len_(spec.max_scan_len > 0 ? spec.max_scan_len : 1),
       rng_(spec.seed * 0x9E3779B97F4A7C15ULL + thread_id + 1),
-      zipf_(spec.initial_keys) {
+      zipf_(spec.initial_keys),
+      scan_len_zipf_(max_scan_len_) {
   tail_next_.reserve(spec.partitions);
   for (std::uint32_t p = 0; p < spec.partitions; ++p) {
     // Offset each thread's tail stream so threads do not collide on the
@@ -95,6 +98,14 @@ Key OpStream::choose_insert_key() {
   return static_cast<Key>(layout_.key_at(index) + 1);
 }
 
+std::uint32_t OpStream::choose_scan_len() {
+  if (scan_len_dist_ == ScanLenDist::kZipfian) {
+    // Rank 0 (the most popular) maps to the shortest scan, YCSB-style.
+    return static_cast<std::uint32_t>(scan_len_zipf_.next(rng_)) + 1;
+  }
+  return static_cast<std::uint32_t>(rng_.next_below(max_scan_len_)) + 1;
+}
+
 Op OpStream::next() {
   const double r = rng_.next_double();
   if (r < mix_.read) {
@@ -107,6 +118,9 @@ Op OpStream::next() {
   if (r < mix_.read + mix_.update + mix_.insert) {
     return {OpType::kInsert, choose_insert_key(),
             static_cast<Value>(rng_.next())};
+  }
+  if (r < mix_.read + mix_.update + mix_.insert + mix_.scan) {
+    return {OpType::kScan, choose_lookup_key(), 0, choose_scan_len()};
   }
   return {OpType::kRemove, choose_lookup_key(), 0};
 }

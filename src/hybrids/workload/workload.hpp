@@ -23,12 +23,13 @@ namespace hybrids::workload {
 using hybrids::Key;
 using hybrids::Value;
 
-enum class OpType : std::uint8_t { kRead, kUpdate, kInsert, kRemove };
+enum class OpType : std::uint8_t { kRead, kUpdate, kInsert, kRemove, kScan };
 
 struct Op {
   OpType type;
-  Key key;
+  Key key;    // kScan: start key (inclusive)
   Value value;
+  std::uint32_t scan_len = 0;  // kScan: number of entries requested
 };
 
 /// How keys for read/update/remove operations are chosen.
@@ -84,15 +85,24 @@ class KeyLayout {
   Key width_;
 };
 
-/// Operation mix as fractions; read + update + insert + remove must be ~1.
+/// Operation mix as fractions; read + update + insert + remove + scan must
+/// be ~1.
 struct OpMix {
   double read = 1.0;
   double update = 0.0;
   double insert = 0.0;
   double remove = 0.0;
+  double scan = 0.0;  // YCSB-E: range scans
 
   /// "X-Y-Z" naming used in the paper's figures (read-insert-remove %).
   std::string name() const;
+};
+
+/// How the requested length of each range scan is chosen (YCSB's
+/// maxscanlength / scanlengthdistribution knobs).
+enum class ScanLenDist : std::uint8_t {
+  kUniform,   // uniform over [1, max_scan_len]
+  kZipfian,   // zipfian over [1, max_scan_len]: short scans most common
 };
 
 struct WorkloadSpec {
@@ -101,6 +111,8 @@ struct WorkloadSpec {
   OpMix mix{};
   KeyDist dist = KeyDist::kScrambledZipfian;
   InsertPattern insert_pattern = InsertPattern::kUniform;
+  std::uint32_t max_scan_len = 100;  // YCSB-E default maxscanlength
+  ScanLenDist scan_len_dist = ScanLenDist::kUniform;
   std::uint64_t seed = 42;
 };
 
@@ -117,13 +129,17 @@ class OpStream {
  private:
   Key choose_lookup_key();
   Key choose_insert_key();
+  std::uint32_t choose_scan_len();
 
   KeyLayout layout_;
   OpMix mix_;
   KeyDist dist_;
   InsertPattern insert_pattern_;
+  ScanLenDist scan_len_dist_;
+  std::uint32_t max_scan_len_;
   util::Xoshiro256 rng_;
   ScrambledZipfianGenerator zipf_;
+  ZipfianGenerator scan_len_zipf_;  // plain zipfian: short lengths common
   std::vector<Key> tail_next_;  // per-partition next tail-insert key
   std::uint32_t tail_rr_ = 0;   // round-robin partition cursor for tail inserts
 };

@@ -31,6 +31,20 @@ WorkloadSpec ycsb_a(std::uint64_t initial_keys, std::uint32_t partitions,
   return zipfian_preset(initial_keys, 0.5, 0.5, partitions, seed);
 }
 
+WorkloadSpec ycsb_e(std::uint64_t initial_keys, std::uint32_t partitions,
+                    std::uint64_t seed, std::uint32_t max_scan_len) {
+  WorkloadSpec spec;
+  spec.initial_keys = initial_keys;
+  spec.partitions = partitions;
+  spec.mix = OpMix{0.0, 0.0, 0.05, 0.0, 0.95};
+  spec.dist = KeyDist::kScrambledZipfian;
+  spec.insert_pattern = InsertPattern::kUniform;
+  spec.max_scan_len = max_scan_len;
+  spec.scan_len_dist = ScanLenDist::kZipfian;
+  spec.seed = seed;
+  return spec;
+}
+
 WorkloadSpec sensitivity(std::uint64_t initial_keys, int read_pct,
                          int insert_pct, int remove_pct, bool split_heavy,
                          std::uint32_t partitions, std::uint64_t seed) {

@@ -18,6 +18,13 @@ WorkloadSpec ycsb_b(std::uint64_t initial_keys, std::uint32_t partitions = 8,
 WorkloadSpec ycsb_a(std::uint64_t initial_keys, std::uint32_t partitions = 8,
                     std::uint64_t seed = 42);
 
+/// YCSB core workload E: 95% range scans / 5% inserts. Scan start keys are
+/// scrambled-zipfian; scan lengths are zipfian over [1, max_scan_len]
+/// (YCSB's scanlengthdistribution=zipfian, short scans most common).
+/// Inserts use the uniform pattern (odd keys inside the loaded region).
+WorkloadSpec ycsb_e(std::uint64_t initial_keys, std::uint32_t partitions = 8,
+                    std::uint64_t seed = 42, std::uint32_t max_scan_len = 100);
+
 /// Sensitivity mix "X-Y-Z" of §5.2: X% reads, Y% inserts, Z% removes with
 /// uniformly distributed keys. `split_heavy` selects the B+ tree insert
 /// pattern that targets the last leaf of each NMP partition (maximum node

@@ -5,7 +5,11 @@
 // Threads operate on disjoint key stripes (key % kThreads == tid), so every
 // op has exactly one correct answer and the oracle check is exact — any
 // divergence (a lost insert, a phantom remove, a stale read) fails the test
-// rather than hiding in a statistical tolerance.
+// rather than hiding in a statistical tolerance. Stitched range scans ride
+// in every mix: they cross stripes, so their results are checked
+// structurally (ascending, in-range, bounded) plus exactly against the
+// scanning thread's own stripe (see check_chaos_scan), and their completion
+// under injected spurious retries proves the scan retry loop terminates.
 //
 // What each fault kind proves when the oracle still matches at the end:
 //  * combiner_stall      — watchdog/bounded waits ride out a wedged core.
@@ -107,6 +111,44 @@ class ArmedScope {
   std::uint64_t before_[fault::kKindCount] = {};
 };
 
+/// Oracle check for a chaos scan. Cross-stripe churn means the full result
+/// can't be compared against any single thread's oracle, but two classes of
+/// checks stay exact: (a) structural — strictly ascending keys, all >= start,
+/// at most the requested length; (b) the scanning thread's own stripe — no
+/// other thread mutates it and the scanner itself is busy scanning, so own
+/// stripe membership is frozen for the scan's whole duration. Within the
+/// covered window ([start, last returned key] for a full result, [start, inf)
+/// for a short one) every own-stripe oracle key must appear with its exact
+/// value, and no unknown own-stripe key may appear. The scan returning at
+/// all is itself part of the property: retry responses (stale begin nodes,
+/// injected spurious retries) must not loop a chunk forever.
+void check_chaos_scan(const std::vector<ScanEntry>& buf, std::size_t n,
+                      std::size_t len, Key start,
+                      const std::map<Key, Value>& oracle,
+                      std::uint32_t stripe_mod, std::uint32_t stripe) {
+  ASSERT_LE(n, len);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j > 0) {
+      EXPECT_LT(buf[j - 1].key, buf[j].key) << "scan not ascending at " << j;
+    }
+    EXPECT_GE(buf[j].key, start) << "scan result below start key";
+    if (buf[j].key % stripe_mod == stripe) {
+      const auto it = oracle.find(buf[j].key);
+      ASSERT_NE(it, oracle.end())
+          << "scan returned unknown own-stripe key " << buf[j].key;
+      EXPECT_EQ(buf[j].value, it->second) << "scan value, key " << buf[j].key;
+    }
+  }
+  const Key end = (n == len && n > 0) ? buf[n - 1].key : ~Key{0};
+  std::size_t j = 0;
+  for (auto it = oracle.lower_bound(start);
+       it != oracle.end() && it->first <= end; ++it) {
+    while (j < n && buf[j].key < it->first) ++j;
+    ASSERT_TRUE(j < n && buf[j].key == it->first)
+        << "scan missed own-stripe key " << it->first;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Skiplist chaos
 
@@ -136,7 +178,15 @@ void run_skiplist_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
           const Key key = 1 + kThreads * rng.next_below(kKeysPerThread) + t;
           const auto val = static_cast<Value>(rng.next_below(1u << 30)) | 1u;
           switch (rng.next_below(100)) {
-            case 0 ... 39: {  // read
+            case 0 ... 9: {  // stitched range scan
+              const std::size_t len = 1 + rng.next_below(48);
+              std::vector<ScanEntry> buf(len);
+              const std::size_t n = list.scan(key, len, buf.data(), t);
+              check_chaos_scan(buf, n, len, key, oracle, kThreads,
+                               (1 + t) % kThreads);
+              break;
+            }
+            case 10 ... 39: {  // read
               Value out = 0;
               const bool ok = list.read(key, out, t);
               const auto it = oracle.find(key);
@@ -213,7 +263,15 @@ void run_nmp_skiplist_chaos(const fault::Config& fc,
           const Key key = 1 + kThreads * rng.next_below(kKeysPerThread) + t;
           const auto val = static_cast<Value>(rng.next_below(1u << 30)) | 1u;
           switch (rng.next_below(100)) {
-            case 0 ... 39: {  // read
+            case 0 ... 9: {  // stitched range scan (batched with point ops)
+              const std::size_t len = 1 + rng.next_below(48);
+              std::vector<ScanEntry> buf(len);
+              const std::size_t n = list.scan(key, len, buf.data(), t);
+              check_chaos_scan(buf, n, len, key, oracle, kThreads,
+                               (1 + t) % kThreads);
+              break;
+            }
+            case 10 ... 39: {  // read
               Value out = 0;
               const bool ok = list.read(key, out, t);
               const auto it = oracle.find(key);
@@ -294,7 +352,14 @@ void run_btree_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
           const Key key = 4 * (1 + rng.next_below(kKeysPerThread)) + t;
           const auto val = static_cast<Value>(rng.next_below(1u << 30)) | 1u;
           switch (rng.next_below(100)) {
-            case 0 ... 39: {  // read
+            case 0 ... 9: {  // stitched range scan
+              const std::size_t len = 1 + rng.next_below(48);
+              std::vector<ScanEntry> buf(len);
+              const std::size_t n = tree.scan(key, len, buf.data(), t);
+              check_chaos_scan(buf, n, len, key, oracle, kThreads, t);
+              break;
+            }
+            case 10 ... 39: {  // read
               Value out = 0;
               const bool ok = tree.read(key, out, t);
               const auto it = oracle.find(key);

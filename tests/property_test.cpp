@@ -42,10 +42,11 @@ TEST_P(HybridSkipListGeometry, MatchesReferenceModel) {
   hd::HybridSkipList list(cfg);
 
   std::map<Key, Value> model;
+  std::vector<hybrids::ScanEntry> buf;
   hu::Xoshiro256 rng(total * 1000 + nmp * 10 + partitions);
   for (int i = 0; i < 6000; ++i) {
     Key k = static_cast<Key>(rng.next_below(1u << 14));
-    switch (rng.next_below(4)) {
+    switch (rng.next_below(5)) {
       case 0: {
         Value v = static_cast<Value>(rng.next());
         ASSERT_EQ(list.insert(k, v, 0), model.emplace(k, v).second);
@@ -59,6 +60,21 @@ TEST_P(HybridSkipListGeometry, MatchesReferenceModel) {
         bool present = model.count(k) > 0;
         ASSERT_EQ(list.update(k, v, 0), present);
         if (present) model[k] = v;
+        break;
+      }
+      case 3: {
+        // Stitched range scan vs the model's lower_bound slice, exact match.
+        const std::size_t len = rng.next_below(40);
+        buf.assign(len > 0 ? len : 1, {});
+        const std::size_t n = list.scan(k, len, buf.data(), 0);
+        auto it = model.lower_bound(k);
+        for (std::size_t j = 0; j < n; ++j, ++it) {
+          ASSERT_NE(it, model.end()) << "scan overran model at " << k;
+          ASSERT_EQ(buf[j].key, it->first) << "start=" << k << " j=" << j;
+          ASSERT_EQ(buf[j].value, it->second) << "start=" << k << " j=" << j;
+        }
+        ASSERT_TRUE(n == len || it == model.end())
+            << "scan undershot: start=" << k << " got " << n << "/" << len;
         break;
       }
       default: {
@@ -109,9 +125,10 @@ TEST_P(HybridBTreeGeometry, MatchesReferenceModel) {
   ASSERT_TRUE(tree.validate());
 
   hu::Xoshiro256 rng(nmp_levels * 100 + partitions);
+  std::vector<hybrids::ScanEntry> buf;
   for (int i = 0; i < 8000; ++i) {
     Key k = static_cast<Key>(rng.next_below(20000));
-    switch (rng.next_below(4)) {
+    switch (rng.next_below(5)) {
       case 0: {
         Value v = static_cast<Value>(rng.next());
         ASSERT_EQ(tree.insert(k, v, 0), model.emplace(k, v).second) << k;
@@ -125,6 +142,21 @@ TEST_P(HybridBTreeGeometry, MatchesReferenceModel) {
         bool present = model.count(k) > 0;
         ASSERT_EQ(tree.update(k, v, 0), present) << k;
         if (present) model[k] = v;
+        break;
+      }
+      case 3: {
+        // Stitched range scan vs the model's lower_bound slice, exact match.
+        const std::size_t len = rng.next_below(40);
+        buf.assign(len > 0 ? len : 1, {});
+        const std::size_t n = tree.scan(k, len, buf.data(), 0);
+        auto it = model.lower_bound(k);
+        for (std::size_t j = 0; j < n; ++j, ++it) {
+          ASSERT_NE(it, model.end()) << "scan overran model at " << k;
+          ASSERT_EQ(buf[j].key, it->first) << "start=" << k << " j=" << j;
+          ASSERT_EQ(buf[j].value, it->second) << "start=" << k << " j=" << j;
+        }
+        ASSERT_TRUE(n == len || it == model.end())
+            << "scan undershot: start=" << k << " got " << n << "/" << len;
         break;
       }
       default: {

@@ -86,7 +86,7 @@ TEST(Counter, AddTakesArbitraryDeltas) {
   ht::Counter c;
   c.add(5);
   c.add(37);
-  if constexpr (ht::kEnabled) EXPECT_EQ(c.value(), 42u);
+  if constexpr (ht::kEnabled) { EXPECT_EQ(c.value(), 42u); }
 }
 
 TEST(LatencyRecorder, SnapshotDuringConcurrentWritesIsConsistent) {
