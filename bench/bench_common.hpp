@@ -16,6 +16,13 @@
 //                        only meaningful together with --fault-seed)
 //   --scan-max=N         maximum requested range-scan length (scan benches)
 //
+// micro_library_bench (google-benchmark, not parse_options) additionally
+// accepts --pool=arena|malloc: `arena` (the default) backs structure nodes
+// with the memory layer's partition arenas and sharded node pools, `malloc`
+// flips mem::set_arena_enabled(false) before any structure is built so every
+// node comes from plain aligned operator new/delete. The 2x2 arena/prefetch
+// sweep lives in ablate_memlayer.
+//
 // Unknown options are a hard error (exit 2), so a typo like --trheads=8
 // can't silently run the bench with defaults.
 #pragma once

@@ -3,14 +3,24 @@
 // build machine — useful for regression tracking of the implementations
 // themselves. (Architecture claims are evaluated on the simulator benches;
 // on a single-CPU CI box, thread scaling here is not meaningful.)
+//
+// In addition to google-benchmark's own flags, accepts
+//   --pool=arena|malloc   back structure nodes with the memory layer's
+//                         arenas/pools (default) or plain aligned
+//                         operator new/delete (see bench_common.hpp)
+// which is stripped before benchmark::Initialize sees the argument list.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <memory>
 
 #include "hybrids/ds/hybrid_btree.hpp"
 #include "hybrids/ds/hybrid_skiplist.hpp"
 #include "hybrids/ds/lockfree_skiplist.hpp"
 #include "hybrids/ds/seqlock_btree.hpp"
+#include "hybrids/mem/memlayer.hpp"
 #include "hybrids/util/rng.hpp"
 #include "hybrids/workload/workload.hpp"
 
@@ -120,6 +130,38 @@ void BM_HybridBTree_Read(benchmark::State& state) {
 }
 BENCHMARK(BM_HybridBTree_Read);
 
+/// Consumes a leading --pool=arena|malloc argument (anywhere in argv) and
+/// applies it to the runtime arena toggle; every structure constructed by the
+/// benches above then captures the chosen mode. Exits with status 2 on a
+/// malformed value, matching bench_common's hard-error policy.
+int handle_pool_flag(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--pool=", 7) == 0) {
+      const char* v = argv[i] + 7;
+      if (std::strcmp(v, "arena") == 0) {
+        hybrids::mem::set_arena_enabled(true);
+      } else if (std::strcmp(v, "malloc") == 0) {
+        hybrids::mem::set_arena_enabled(false);
+      } else {
+        std::cerr << "error: --pool must be 'arena' or 'malloc', got '" << v
+                  << "'\n";
+        std::exit(2);
+      }
+      continue;  // strip: google-benchmark must not see it
+    }
+    argv[out++] = argv[i];
+  }
+  return out;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  argc = handle_pool_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

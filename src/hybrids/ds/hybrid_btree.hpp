@@ -25,6 +25,8 @@
 
 #include "hybrids/ds/btree_nodes.hpp"
 #include "hybrids/ds/nmp_btree.hpp"
+#include "hybrids/mem/memlayer.hpp"
+#include "hybrids/mem/node_pool.hpp"
 #include "hybrids/nmp/partition_set.hpp"
 #include "hybrids/telemetry/registry.hpp"
 #include "hybrids/types.hpp"
@@ -431,6 +433,11 @@ class HybridBTree {
     while (lvl > last_host_level_) {
       const int idx = curr->find_child_index(key);
       HostBNode* child = curr->load_child(idx);
+      // Stream the child's three lines in behind the seqlock validation
+      // below; prefetch never faults, so a torn child pointer is safe to
+      // hint. Only host levels are hinted — at the boundary the child slots
+      // hold tagged NMP refs, not addresses.
+      mem::prefetch_object(child, sizeof(HostBNode));
       // Child idx covers (keys[idx-1], keys[idx]]; the rightmost child
       // inherits the parent's bound. Read racily, validated below together
       // with the child pointer by the same seq_unchanged check.
@@ -626,8 +633,7 @@ class HybridBTree {
         ++n;
       }
       const int mid = n / 2;
-      auto* right = new HostBNode();
-      right->level = node->level;
+      HostBNode* right = new_host_node(node->level);
       right->seqnum.store(node->seqnum.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
       for (int i = 0; i < mid; ++i) {
@@ -652,8 +658,7 @@ class HybridBTree {
   }
 
   void grow_root(HostBNode* old_root, Key up_key, std::uintptr_t right_bits) {
-    auto* new_root = new HostBNode();
-    new_root->level = static_cast<std::uint16_t>(old_root->level + 1);
+    HostBNode* new_root = new_host_node(old_root->level + 1);
     new_root->slotuse = 1;
     new_root->keys[0] = up_key;
     new_root->children[0] = old_root;
@@ -775,8 +780,7 @@ class HybridBTree {
       std::vector<HostRef> upper;
       std::size_t j = 0;
       while (j < level_refs.size()) {
-        auto* node = new HostBNode();
-        node->level = level;
+        HostBNode* node = new_host_node(level);
         int c = 0;
         while (c < inner_fill && j < level_refs.size()) {
           node->children[c] = reinterpret_cast<HostBNode*>(level_refs[j].bits);
@@ -915,9 +919,20 @@ class HybridBTree {
     if (static_cast<int>(node->level) > last_host_level_) {
       for (int i = 0; i <= node->slotuse; ++i) destroy_host(node->children[i]);
     }
-    delete node;
+    node->~HostBNode();
+    pool_.deallocate(node, sizeof(HostBNode));
   }
 
+  HostBNode* new_host_node(int level) {
+    HostBNode* n = new (pool_.allocate(sizeof(HostBNode))) HostBNode;
+    n->level = static_cast<std::uint16_t>(level);
+    return n;
+  }
+
+  // Host node pool: split siblings and grown roots cluster near their
+  // neighbors. Nothing is freed before destroy_host(), so no grace period.
+  // Declared before root_ so it outlives the destructor's node walk.
+  mem::NodePool pool_;
   Config config_;
   int last_host_level_;
   nmp::PartitionSet set_;

@@ -18,6 +18,20 @@
 // Ordering invariants (§3.3): insertions apply NMP-portion first, then host
 // portion; removals apply host portion first, then NMP portion — preserving
 // the skiplist property (level i is a subset of level i-1) across the split.
+//
+// Memory: host towers are pool-backed and recycled through an EBR grace
+// period (see lockfree_skiplist.hpp), which adds two rules here. (1) Every
+// window that reads fields of a host node returned by find() — deriving the
+// begin-node shortcut, serving a cache-hit read — runs under a mem::EbrGuard
+// that is dropped *before* the blocking NMP call, so a parked host thread
+// never stalls reclamation. (2) The update path must not dereference the
+// host-node address echoed back in a response (the tower may have been
+// removed and recycled in flight); refresh_mirror() re-finds the live node
+// by key and only writes if it is the very tower the combiner saw. Residual
+// same-address ABA (tower recycled into a new tower for the same key) is
+// harmless because value versions come from the partition's monotonic
+// counter: the new incarnation's mirror is seeded strictly above any stale
+// in-flight version, so update_versioned() discards the stale write.
 #pragma once
 
 #include <cassert>
@@ -28,6 +42,7 @@
 
 #include "hybrids/ds/lockfree_skiplist.hpp"
 #include "hybrids/ds/seq_skiplist.hpp"
+#include "hybrids/mem/ebr.hpp"
 #include "hybrids/nmp/partition_set.hpp"
 #include "hybrids/telemetry/registry.hpp"
 #include "hybrids/types.hpp"
@@ -131,17 +146,23 @@ class HybridSkipList {
 
   bool read(Key key, Value& out, std::uint32_t tid) {
     RetryBudget budget(*this);
+    const std::uint32_t part = set_.partition_of(key);
     while (true) {
-      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-      if (host_.find(key, preds, succs)) {
-        // Tall node: the value is mirrored host-side; serve from cache.
-        host_read_hits_->inc();
-        out = succs[0]->value_now();
-        return true;
+      nmp::Request req;
+      {
+        mem::EbrGuard guard;  // spans find + every pred0/succ0 field read
+        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+        if (host_.find(key, preds, succs)) {
+          // Tall node: the value is mirrored host-side; serve from cache.
+          host_read_hits_->inc();
+          out = succs[0]->value_now();
+          return true;
+        }
+        req = make_request(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr,
+                           part, budget.exhausted());
       }
-      nmp::Response r = offload(nmp::OpCode::kRead, key, 0, 0, preds[0],
-                                nullptr, tid, budget.exhausted());
+      nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
         budget.note_retry();
         continue;
@@ -154,23 +175,26 @@ class HybridSkipList {
 
   bool update(Key key, Value value, std::uint32_t tid) {
     RetryBudget budget(*this);
+    const std::uint32_t part = set_.partition_of(key);
     while (true) {
-      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-      (void)host_.find(key, preds, succs);
-      // Updates always go through the NMP portion (the authoritative copy);
-      // the response tells us which host mirror to refresh, and with which
-      // version, so racing updates converge (§3.3 insert/update interplay).
-      nmp::Response r = offload(nmp::OpCode::kUpdate, key, value, 0, preds[0],
-                                nullptr, tid, budget.exhausted());
+      nmp::Request req;
+      {
+        mem::EbrGuard guard;
+        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+        (void)host_.find(key, preds, succs);
+        // Updates always go through the NMP portion (the authoritative
+        // copy); the response tells us which host mirror to refresh, and
+        // with which version, so racing updates converge (§3.3).
+        req = make_request(nmp::OpCode::kUpdate, key, value, 0, preds[0],
+                           nullptr, part, budget.exhausted());
+      }
+      nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
         budget.note_retry();
         continue;
       }
-      if (r.ok && r.node != nullptr) {
-        LfSkipList::update_versioned(static_cast<LfSkipList::Node*>(r.node),
-                                     static_cast<std::uint32_t>(r.aux), value);
-      }
+      if (r.ok) refresh_mirror(key, r, value);
       if (r.promote_hint) try_promote(key, tid);
       return r.ok;
     }
@@ -178,34 +202,46 @@ class HybridSkipList {
 
   bool insert(Key key, Value value, std::uint32_t tid) {
     RetryBudget budget(*this);
+    const std::uint32_t part = set_.partition_of(key);
     while (true) {
-      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-      if (host_.find(key, preds, succs)) return false;  // tall node present
       const int height = random_height(*rngs_[tid], config_.total_height);
       LfSkipList::Node* hnode = nullptr;
-      if (height > config_.nmp_height) {
-        hnode = host_.make_node(key, value, height - config_.nmp_height);
+      nmp::Request req;
+      {
+        mem::EbrGuard guard;
+        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+        if (host_.find(key, preds, succs)) return false;  // tall node present
+        if (height > config_.nmp_height) {
+          hnode = host_.make_node(key, value, height - config_.nmp_height);
+        }
+        req = make_request(nmp::OpCode::kInsert, key, value,
+                           static_cast<std::uint64_t>(height), preds[0], hnode,
+                           part, budget.exhausted());
       }
       // NMP portion first (linearization point: bottom-level link, which
       // lives in the NMP partition).
-      nmp::Response r = offload(nmp::OpCode::kInsert, key, value,
-                                static_cast<std::uint64_t>(height), preds[0],
-                                hnode, tid, budget.exhausted());
+      nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
         budget.note_retry();
-        if (hnode != nullptr) LfSkipList::free_unlinked(hnode);
+        if (hnode != nullptr) host_.free_unlinked(hnode);
         continue;
       }
       if (!r.ok) {
-        if (hnode != nullptr) LfSkipList::free_unlinked(hnode);
+        if (hnode != nullptr) host_.free_unlinked(hnode);
         return false;  // key already present
       }
       if (hnode != nullptr) {
         hnode->payload = r.node;  // NMP counterpart (begin-node shortcut)
+        // Seed the mirror at the insert-time version (r.aux) before linking:
+        // if this tower's memory was previously a removed tower for the same
+        // key, any stale in-flight refresh carries a strictly older version
+        // and update_versioned discards it.
+        LfSkipList::update_versioned(hnode, static_cast<std::uint32_t>(r.aux),
+                                     value);
         if (!host_.insert_node(hnode)) {
           // Cannot happen while the NMP insert above owns the key; defensive.
-          LfSkipList::free_unlinked(hnode);
+          host_.free_unlinked(hnode);
         }
       }
       return true;
@@ -214,21 +250,27 @@ class HybridSkipList {
 
   bool remove(Key key, std::uint32_t tid) {
     RetryBudget budget(*this);
+    const std::uint32_t part = set_.partition_of(key);
     while (true) {
-      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-      if (host_.find(key, preds, succs)) {
-        // Host portion first (removals proceed top-down across the split).
-        if (!host_.remove(key)) {
-          // A concurrent remover won the host race; it owns the NMP removal.
-          return false;
+      nmp::Request req;
+      {
+        mem::EbrGuard guard;
+        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+        if (host_.find(key, preds, succs)) {
+          // Host portion first (removals proceed top-down across the split).
+          if (!host_.remove(key)) {
+            // A concurrent remover won the host race; it owns the NMP side.
+            return false;
+          }
+          // Re-derive the begin node: the old pred may have been the
+          // victim's neighborhood; a fresh find gives a clean window.
+          continue;
         }
-        // Re-derive the begin node: the old pred may have been the victim's
-        // neighborhood; a fresh find gives a clean window.
-        continue;
+        req = make_request(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr,
+                           part, budget.exhausted());
       }
-      nmp::Response r = offload(nmp::OpCode::kRemove, key, 0, 0, preds[0],
-                                nullptr, tid, budget.exhausted());
+      nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
         budget.note_retry();
         continue;
@@ -260,12 +302,15 @@ class HybridSkipList {
       const std::size_t want = count - filled < nmp::kScanChunk
                                    ? count - filled
                                    : nmp::kScanChunk;
-      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-      (void)host_.find(cur, preds, succs);
-      nmp::Request r =
-          make_request(nmp::OpCode::kScan, cur, static_cast<Value>(want), 0,
-                       preds[0], nullptr, p, budget.exhausted());
+      nmp::Request r;
+      {
+        mem::EbrGuard guard;
+        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+        (void)host_.find(cur, preds, succs);
+        r = make_request(nmp::OpCode::kScan, cur, static_cast<Value>(want), 0,
+                         preds[0], nullptr, p, budget.exhausted());
+      }
       r.host_node = out + filled;
       nmp::Response resp = set_.call(p, tid, r);
       if (must_retry(resp)) {
@@ -306,13 +351,19 @@ class HybridSkipList {
     }
     const int host_h = random_height(*rngs_[tid], config_.host_height());
     LfSkipList::Node* hnode = host_.make_node(key, 0, host_h);
-    LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-    LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-    (void)host_.find(key, preds, succs);
-    nmp::Response r =
-        offload(nmp::OpCode::kPromote, key, 0, 0, preds[0], hnode, tid);
+    const std::uint32_t part = set_.partition_of(key);
+    nmp::Request req;
+    {
+      mem::EbrGuard guard;
+      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+      (void)host_.find(key, preds, succs);
+      req = make_request(nmp::OpCode::kPromote, key, 0, 0, preds[0], hnode,
+                         part, /*force_head=*/false);
+    }
+    nmp::Response r = set_.call(part, tid, req);
     if (!r.ok) {  // key vanished or was already promoted meanwhile
-      LfSkipList::free_unlinked(hnode);
+      host_.free_unlinked(hnode);
       promoted_.fetch_sub(1, std::memory_order_relaxed);
       return;
     }
@@ -323,7 +374,7 @@ class HybridSkipList {
                                  r.value);
     hnode->payload = r.node;
     if (!host_.insert_node(hnode)) {
-      LfSkipList::free_unlinked(hnode);
+      host_.free_unlinked(hnode);
       promoted_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
@@ -353,46 +404,59 @@ class HybridSkipList {
   };
 
   Ticket read_async(Key key, std::uint32_t tid) {
-    LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-    LfSkipList::Node* succs[LfSkipList::kMaxLevels];
     Ticket t;
     t.op = nmp::OpCode::kRead;
     t.key = key;
     t.tid = tid;
-    if (host_.find(key, preds, succs)) {
-      host_read_hits_->inc();
-      t.state = Ticket::State::kImmediate;
-      t.ok = true;
-      t.value = succs[0]->value_now();
-      return t;
+    const std::uint32_t part = set_.partition_of(key);
+    nmp::Request req;
+    {
+      mem::EbrGuard guard;
+      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+      if (host_.find(key, preds, succs)) {
+        host_read_hits_->inc();
+        t.state = Ticket::State::kImmediate;
+        t.ok = true;
+        t.value = succs[0]->value_now();
+        return t;
+      }
+      req = make_request(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr,
+                         part, /*force_head=*/false);
     }
-    t.handle = offload_async(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr, tid);
+    t.handle = set_.call_async(part, tid, req);
     t.state = t.handle.valid ? Ticket::State::kPending : Ticket::State::kRejected;
     return t;
   }
 
   Ticket insert_async(Key key, Value value, std::uint32_t tid) {
-    LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-    LfSkipList::Node* succs[LfSkipList::kMaxLevels];
     Ticket t;
     t.op = nmp::OpCode::kInsert;
     t.key = key;
     t.new_value = value;
     t.tid = tid;
-    if (host_.find(key, preds, succs)) {
-      t.state = Ticket::State::kImmediate;
-      t.ok = false;
-      return t;
+    const std::uint32_t part = set_.partition_of(key);
+    nmp::Request req;
+    {
+      mem::EbrGuard guard;
+      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+      if (host_.find(key, preds, succs)) {
+        t.state = Ticket::State::kImmediate;
+        t.ok = false;
+        return t;
+      }
+      const int height = random_height(*rngs_[tid], config_.total_height);
+      if (height > config_.nmp_height) {
+        t.hnode = host_.make_node(key, value, height - config_.nmp_height);
+      }
+      req = make_request(nmp::OpCode::kInsert, key, value,
+                         static_cast<std::uint64_t>(height), preds[0], t.hnode,
+                         part, /*force_head=*/false);
     }
-    const int height = random_height(*rngs_[tid], config_.total_height);
-    if (height > config_.nmp_height) {
-      t.hnode = host_.make_node(key, value, height - config_.nmp_height);
-    }
-    t.handle = offload_async(nmp::OpCode::kInsert, key, value,
-                             static_cast<std::uint64_t>(height), preds[0],
-                             t.hnode, tid);
+    t.handle = set_.call_async(part, tid, req);
     if (!t.handle.valid) {
-      if (t.hnode != nullptr) LfSkipList::free_unlinked(t.hnode);
+      if (t.hnode != nullptr) host_.free_unlinked(t.hnode);
       t.hnode = nullptr;
       t.state = Ticket::State::kRejected;
     } else {
@@ -402,36 +466,49 @@ class HybridSkipList {
   }
 
   Ticket remove_async(Key key, std::uint32_t tid) {
-    LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-    LfSkipList::Node* succs[LfSkipList::kMaxLevels];
     Ticket t;
     t.op = nmp::OpCode::kRemove;
     t.key = key;
     t.tid = tid;
-    if (host_.find(key, preds, succs)) {
-      if (!host_.remove(key)) {
-        t.state = Ticket::State::kImmediate;
-        t.ok = false;
-        return t;
+    const std::uint32_t part = set_.partition_of(key);
+    nmp::Request req;
+    {
+      mem::EbrGuard guard;
+      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+      if (host_.find(key, preds, succs)) {
+        if (!host_.remove(key)) {
+          t.state = Ticket::State::kImmediate;
+          t.ok = false;
+          return t;
+        }
+        (void)host_.find(key, preds, succs);  // refresh window post-removal
       }
-      (void)host_.find(key, preds, succs);  // refresh window post-removal
+      req = make_request(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr,
+                         part, /*force_head=*/false);
     }
-    t.handle = offload_async(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr, tid);
+    t.handle = set_.call_async(part, tid, req);
     t.state = t.handle.valid ? Ticket::State::kPending : Ticket::State::kRejected;
     return t;
   }
 
   Ticket update_async(Key key, Value value, std::uint32_t tid) {
-    LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-    LfSkipList::Node* succs[LfSkipList::kMaxLevels];
     Ticket t;
     t.op = nmp::OpCode::kUpdate;
     t.key = key;
     t.new_value = value;
     t.tid = tid;
-    (void)host_.find(key, preds, succs);
-    t.handle = offload_async(nmp::OpCode::kUpdate, key, value, 0, preds[0],
-                             nullptr, tid);
+    const std::uint32_t part = set_.partition_of(key);
+    nmp::Request req;
+    {
+      mem::EbrGuard guard;
+      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+      (void)host_.find(key, preds, succs);
+      req = make_request(nmp::OpCode::kUpdate, key, value, 0, preds[0],
+                         nullptr, part, /*force_head=*/false);
+    }
+    t.handle = set_.call_async(part, tid, req);
     t.state = t.handle.valid ? Ticket::State::kPending : Ticket::State::kRejected;
     return t;
   }
@@ -471,27 +548,25 @@ class HybridSkipList {
         return r.ok;
       case nmp::OpCode::kUpdate:
         if (retry) return update(t.key, t.new_value, t.tid);
-        if (r.ok && r.node != nullptr) {
-          LfSkipList::update_versioned(static_cast<LfSkipList::Node*>(r.node),
-                                       static_cast<std::uint32_t>(r.aux),
-                                       t.new_value);
-        }
+        if (r.ok) refresh_mirror(t.key, r, t.new_value);
         if (r.promote_hint) try_promote(t.key, t.tid);
         return r.ok;
       case nmp::OpCode::kInsert:
         if (retry) {
-          if (t.hnode != nullptr) LfSkipList::free_unlinked(t.hnode);
+          if (t.hnode != nullptr) host_.free_unlinked(t.hnode);
           t.hnode = nullptr;
           return insert(t.key, t.new_value, t.tid);
         }
         if (!r.ok) {
-          if (t.hnode != nullptr) LfSkipList::free_unlinked(t.hnode);
+          if (t.hnode != nullptr) host_.free_unlinked(t.hnode);
           t.hnode = nullptr;
           return false;
         }
         if (t.hnode != nullptr) {
           t.hnode->payload = r.node;
-          if (!host_.insert_node(t.hnode)) LfSkipList::free_unlinked(t.hnode);
+          LfSkipList::update_versioned(
+              t.hnode, static_cast<std::uint32_t>(r.aux), t.new_value);
+          if (!host_.insert_node(t.hnode)) host_.free_unlinked(t.hnode);
           t.hnode = nullptr;
         }
         return true;
@@ -536,6 +611,12 @@ class HybridSkipList {
   /// Number of nodes in the host-managed portion (for split-sizing tests).
   std::size_t host_size() const { return host_.size(); }
 
+  /// Host towers awaiting their reclamation grace period (bounded under
+  /// churn; see LfSkipList). Tests drain with host_reclaim() — each call
+  /// also advances the epoch, so a few quiescent calls empty the set.
+  std::size_t host_retired_count() const { return host_.retired_count(); }
+  std::size_t host_reclaim() { return host_.reclaim_retired(); }
+
  private:
   /// Per-operation stale-begin-node retry bookkeeping. Within the budget,
   /// retries re-derive the host shortcut; once exhausted() the operation
@@ -567,6 +648,27 @@ class HybridSkipList {
     return r.retry || r.lock_path;
   }
 
+  /// Refreshes the host-side value mirror named by an NMP update response.
+  /// Never dereferences r.node: the tower it names may have been removed and
+  /// recycled while the response was in flight. Instead re-find the key's
+  /// live host node under a guard and only install the versioned value if it
+  /// is the very tower the combiner saw. If the address was recycled into a
+  /// *new* tower for the same key, the identity check passes vacuously but
+  /// the write is still discarded: the new mirror was seeded at a version
+  /// above r.aux (versions are partition-monotonic across re-inserts).
+  void refresh_mirror(Key key, const nmp::Response& r, Value value) {
+    if (r.node == nullptr) return;
+    mem::EbrGuard guard;
+    LfSkipList::Node* n = host_.get_node(key);
+    if (n == static_cast<LfSkipList::Node*>(r.node)) {
+      LfSkipList::update_versioned(n, static_cast<std::uint32_t>(r.aux),
+                                   value);
+    }
+  }
+
+  /// Caller must hold a mem::EbrGuard spanning the host_.find() that
+  /// produced `pred0` through this call: the shortcut derivation reads
+  /// pred0's key and payload.
   nmp::Request make_request(nmp::OpCode op, Key key, Value value,
                             std::uint64_t aux, LfSkipList::Node* pred0,
                             LfSkipList::Node* hnode, std::uint32_t part,
@@ -585,23 +687,6 @@ class HybridSkipList {
       r.node = pred0->payload;
     }
     return r;
-  }
-
-  nmp::Response offload(nmp::OpCode op, Key key, Value value, std::uint64_t aux,
-                        LfSkipList::Node* pred0, LfSkipList::Node* hnode,
-                        std::uint32_t tid, bool force_head = false) {
-    const std::uint32_t part = set_.partition_of(key);
-    return set_.call(part, tid, make_request(op, key, value, aux, pred0, hnode,
-                                             part, force_head));
-  }
-
-  nmp::OpHandle offload_async(nmp::OpCode op, Key key, Value value,
-                              std::uint64_t aux, LfSkipList::Node* pred0,
-                              LfSkipList::Node* hnode, std::uint32_t tid) {
-    const std::uint32_t part = set_.partition_of(key);
-    return set_.call_async(part, tid,
-                           make_request(op, key, value, aux, pred0, hnode, part,
-                                        /*force_head=*/false));
   }
 
  public:
@@ -650,7 +735,10 @@ class HybridSkipList {
         resp.ok = n != nullptr;
         if (n != nullptr) {
           n->value = req.value;
-          ++n->version;
+          // Partition-monotonic version (not ++n->version): versions for a
+          // key stay totally ordered across remove/re-insert, which the host
+          // mirror-refresh relies on once towers are pool-recycled.
+          n->version = list.next_version();
           resp.node = n->host_ptr;  // host refreshes its mirror (if tall)
           resp.aux = n->version;
         }
@@ -674,6 +762,13 @@ class HybridSkipList {
             list.insert(req.key, req.value, height, req.host_node, begin);
         resp.ok = !existed;
         resp.node = node;
+        if (!existed && req.host_node != nullptr) {
+          // Host-mirrored insert: stamp a fresh version and echo it so the
+          // host seeds the mirror strictly above any stale in-flight refresh
+          // for a previous incarnation of this key.
+          node->version = list.next_version();
+          resp.aux = node->version;
+        }
         break;
       }
       case nmp::OpCode::kRemove:

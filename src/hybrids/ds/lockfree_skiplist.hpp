@@ -4,11 +4,18 @@
 //
 // Next pointers are marked pointers updated by CAS: the low bit marks the
 // *source node* as logically deleted at that level. find() helps by snipping
-// marked nodes; contains()/get() are wait-free traversals. Removed nodes are
-// pushed to an internal Treiber retire stack and reclaimed only at
-// destruction, so concurrent traversals never touch freed memory (classic
-// deferred reclamation; epoch/hazard schemes are future work and orthogonal
-// to the paper's claims).
+// marked nodes; contains()/get() are wait-free traversals.
+//
+// Reclamation: towers come from a sharded slab pool (mem/node_pool.hpp).
+// Removed towers are stamped with the current epoch and pushed on a Treiber
+// retire stack; remove() periodically drains the stack, recycling every
+// tower whose epoch-based grace period (mem/ebr.hpp) has elapsed back into
+// the pool freelists — so the retired set stays bounded under churn instead
+// of growing until destruction. Every public operation pins an EbrGuard for
+// its pointer-chasing window; callers that keep using returned Node pointers
+// after a call returns (the hybrid skiplist's host shortcut derivation) must
+// hold their own guard around the whole window — guards are reentrant.
+// Chunk memory is only returned to the OS by the destructor.
 #pragma once
 
 #include <atomic>
@@ -16,6 +23,9 @@
 #include <cstdint>
 #include <new>
 
+#include "hybrids/mem/ebr.hpp"
+#include "hybrids/mem/memlayer.hpp"
+#include "hybrids/mem/node_pool.hpp"
 #include "hybrids/types.hpp"
 #include "hybrids/util/rng.hpp"
 
@@ -51,6 +61,7 @@ class LfSkipList {
     std::uint16_t height;
     void* payload;                     // hybrid host levels: nmp_ptr counterpart
     std::atomic<Node*> retire_next;    // Treiber retire-stack link
+    std::uint64_t retire_epoch;        // EBR stamp, set once at retire()
     std::atomic<std::uintptr_t> next[1];  // marked-pointer bits, `height` slots
 
     Node(const Node&) = delete;
@@ -111,6 +122,7 @@ class LfSkipList {
   /// preds/succs must have max_height() slots. The head sentinel may appear
   /// as a pred; succs may be null (tail).
   bool find(Key key, Node** preds, Node** succs) {
+    mem::EbrGuard guard;
   retry:
     while (true) {
       Node* pred = head_;
@@ -119,6 +131,9 @@ class LfSkipList {
         while (true) {
           if (curr == nullptr) break;
           std::uintptr_t succ_bits = curr->next[lvl].load(std::memory_order_acquire);
+          // One-ahead prefetch: pull the successor's line while this node's
+          // key compare (and any helping) resolves.
+          mem::prefetch_read(unmark(succ_bits));
           while (is_marked(succ_bits)) {
             // curr is logically deleted at lvl: snip it out of pred's chain.
             std::uintptr_t expected = make_bits(curr, false);
@@ -141,6 +156,12 @@ class LfSkipList {
         }
         preds[lvl] = pred;
         succs[lvl] = curr;
+        // Level-descent prefetch: pred's line is hot, the next level's first
+        // successor usually is not yet.
+        if (lvl > 0) {
+          mem::prefetch_read(
+              unmark(pred->next[lvl - 1].load(std::memory_order_relaxed)));
+        }
       }
       return succs[0] != nullptr && succs[0]->key == key;
     }
@@ -149,12 +170,14 @@ class LfSkipList {
   /// Wait-free lookup (no helping): returns the node for `key` if present
   /// and not marked at the bottom level, else null.
   Node* get_node(Key key) const {
+    mem::EbrGuard guard;
     Node* pred = head_;
     Node* curr = nullptr;
     for (int lvl = max_height_ - 1; lvl >= 0; --lvl) {
       curr = unmark(pred->next[lvl].load(std::memory_order_acquire));
       while (curr != nullptr) {
         std::uintptr_t succ_bits = curr->next[lvl].load(std::memory_order_acquire);
+        mem::prefetch_read(unmark(succ_bits));
         if (is_marked(succ_bits)) {
           curr = unmark(succ_bits);  // skip logically deleted node
           continue;
@@ -174,6 +197,7 @@ class LfSkipList {
   }
 
   bool get(Key key, Value& out) const {
+    mem::EbrGuard guard;  // spans the value read after get_node returns
     const Node* n = get_node(key);
     if (n == nullptr) return false;
     out = n->value_now();
@@ -191,7 +215,8 @@ class LfSkipList {
     return alloc_node(key, value, height, payload);
   }
 
-  static void free_unlinked(Node* n) { free_node(n); }
+  /// Releases a node that never became reachable (no grace period needed).
+  void free_unlinked(Node* n) { free_node(n); }
 
   /// Inserts (key, value) with a tower of `height` levels; `payload` is an
   /// opaque per-node pointer fixed before the node becomes reachable (the
@@ -206,6 +231,7 @@ class LfSkipList {
   /// Links a pre-allocated node. Fails (without freeing `node`) if the key
   /// is already present.
   bool insert_node(Node* node) {
+    mem::EbrGuard guard;
     const Key key = node->key;
     const int height = node->height;
     Node* preds[kMaxLevels];
@@ -255,6 +281,7 @@ class LfSkipList {
 
   /// Updates the value for `key` in place; fails if absent.
   bool update(Key key, Value value) {
+    mem::EbrGuard guard;  // spans the store after get_node returns
     Node* n = get_node(key);
     if (n == nullptr) return false;
     n->value.store(pack_value(0, value), std::memory_order_release);
@@ -279,6 +306,7 @@ class LfSkipList {
   /// Removes `key`. The thread whose CAS marks the bottom level wins; losers
   /// (and absent keys) return false.
   bool remove(Key key) {
+    mem::EbrGuard guard;
     Node* preds[kMaxLevels];
     Node* succs[kMaxLevels];
     while (true) {
@@ -302,6 +330,7 @@ class LfSkipList {
                                                     std::memory_order_acquire)) {
           (void)find(key, preds, succs);  // snip victim everywhere
           retire(victim);
+          maybe_reclaim();
           return true;
         }
       }
@@ -348,26 +377,78 @@ class LfSkipList {
 
   static constexpr int kMaxLevels = 32;
 
+  /// Retired towers currently awaiting their grace period (approximate under
+  /// concurrency; exact when quiescent). Bounded under churn: remove()
+  /// drains eligible towers back into the pool every kDrainInterval retires.
+  std::size_t retired_count() const {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Drains every retired tower whose EBR grace period has elapsed into the
+  /// pool freelists; advances the epoch first so steady-state churn makes
+  /// progress. Safe to call from any thread (single drainer at a time;
+  /// losers return 0). Returns the number of towers recycled.
+  std::size_t reclaim_retired() {
+    if (draining_.exchange(true, std::memory_order_acquire)) return 0;
+    mem::Ebr::try_advance();
+    Node* list = retired_.exchange(nullptr, std::memory_order_acq_rel);
+    Node* keep_head = nullptr;
+    Node* keep_tail = nullptr;
+    std::size_t freed = 0;
+    while (list != nullptr) {
+      Node* nx = list->retire_next.load(std::memory_order_relaxed);
+      if (mem::Ebr::safe(list->retire_epoch)) {
+        free_node(list);
+        ++freed;
+      } else {
+        list->retire_next.store(keep_head, std::memory_order_relaxed);
+        keep_head = list;
+        if (keep_tail == nullptr) keep_tail = list;
+      }
+      list = nx;
+    }
+    if (keep_head != nullptr) {
+      Node* h = retired_.load(std::memory_order_relaxed);
+      do {
+        keep_tail->retire_next.store(h, std::memory_order_relaxed);
+      } while (!retired_.compare_exchange_weak(h, keep_head,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+    }
+    retired_count_.fetch_sub(freed, std::memory_order_relaxed);
+    draining_.store(false, std::memory_order_release);
+    return freed;
+  }
+
+  /// The backing pool (test/introspection hook).
+  mem::NodePool& pool() { return pool_; }
+
  private:
-  static Node* alloc_node(Key key, Value value, int height, void* payload) {
-    const std::size_t bytes = sizeof(Node) + static_cast<std::size_t>(height - 1) *
-                                                 sizeof(std::atomic<std::uintptr_t>);
-    void* mem = ::operator new(bytes);
-    Node* n = static_cast<Node*>(mem);
+  static std::size_t node_bytes(int height) {
+    return sizeof(Node) + static_cast<std::size_t>(height - 1) *
+                              sizeof(std::atomic<std::uintptr_t>);
+  }
+
+  Node* alloc_node(Key key, Value value, int height, void* payload) {
+    void* raw = pool_.allocate(node_bytes(height));
+    Node* n = static_cast<Node*>(raw);
     n->key = key;
     new (&n->value) std::atomic<std::uint64_t>(pack_value(0, value));
     n->height = static_cast<std::uint16_t>(height);
     n->payload = payload;
     new (&n->retire_next) std::atomic<Node*>(nullptr);
+    n->retire_epoch = 0;
     for (int i = 0; i < height; ++i) {
       new (&n->next[i]) std::atomic<std::uintptr_t>(0);
     }
     return n;
   }
 
-  static void free_node(Node* n) { ::operator delete(n); }
+  void free_node(Node* n) { pool_.deallocate(n, node_bytes(n->height)); }
 
   void retire(Node* n) {
+    n->retire_epoch = mem::Ebr::current();
+    retired_count_.fetch_add(1, std::memory_order_relaxed);
     Node* head = retired_.load(std::memory_order_relaxed);
     do {
       n->retire_next.store(head, std::memory_order_relaxed);
@@ -375,9 +456,24 @@ class LfSkipList {
                                              std::memory_order_relaxed));
   }
 
+  /// Amortized reclamation: one drain attempt per kDrainInterval retires.
+  void maybe_reclaim() {
+    if (retire_ticks_.fetch_add(1, std::memory_order_relaxed) %
+            kDrainInterval ==
+        kDrainInterval - 1) {
+      (void)reclaim_retired();
+    }
+  }
+
+  static constexpr std::uint32_t kDrainInterval = 32;
+
+  mem::NodePool pool_;  // declared first: destroyed after the node walks
   int max_height_;
   Node* head_;
   std::atomic<Node*> retired_{nullptr};
+  std::atomic<std::size_t> retired_count_{0};
+  std::atomic<std::uint32_t> retire_ticks_{0};
+  std::atomic<bool> draining_{false};
 };
 
 }  // namespace hybrids::ds

@@ -18,11 +18,13 @@
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "hybrids/ds/btree_nodes.hpp"
+#include "hybrids/mem/arena.hpp"
+#include "hybrids/mem/memlayer.hpp"
 #include "hybrids/types.hpp"
 
 namespace hybrids::ds {
@@ -60,16 +62,23 @@ class NmpBTree {
 
   int top_level() const { return top_level_; }
 
-  /// Allocates a node owned by this partition. Node memory is stable for
-  /// the lifetime of the partition (host threads hold references).
+  /// Allocates a node owned by this partition, from the partition's bump
+  /// arena (nodes pack into contiguous 64B-aligned chunks — one node is
+  /// exactly three cache lines). Node memory is stable for the lifetime of
+  /// the partition (host threads hold references); the tree never frees
+  /// individual nodes (free-at-empty never merges), so the arena's freelists
+  /// are unused here and everything is released by the destructor.
   NmpBNode* make_node(int level) {
-    nodes_.emplace_back();
-    NmpBNode* n = &nodes_.back();
+    NmpBNode* n = new (arena_.allocate(sizeof(NmpBNode))) NmpBNode;
     n->level = static_cast<std::uint16_t>(level);
+    ++node_count_;
     return n;
   }
 
-  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t node_count() const { return node_count_; }
+
+  /// The partition's arena (test/introspection hook).
+  const mem::PartitionArena& arena() const { return arena_; }
 
   /// Traversal finger for key-sorted batch application: the root-to-leaf
   /// path of the most recent finger-aware operation, with each node's
@@ -236,6 +245,7 @@ class NmpBTree {
       while (curr->level > 0) {
         path[curr->level] = curr;
         curr = curr->children[curr->find_child_index(key)];
+        mem::prefetch_object(curr, sizeof(NmpBNode));
       }
       path[0] = curr;
     }
@@ -365,7 +375,13 @@ class NmpBTree {
 
   NmpBNode* descend(NmpBNode* begin, Key key) const {
     NmpBNode* curr = begin;
-    while (curr->level > 0) curr = curr->children[curr->find_child_index(key)];
+    while (curr->level > 0) {
+      NmpBNode* child = curr->children[curr->find_child_index(key)];
+      // Stream in all three of the child's cache lines behind the demand
+      // load of its first, so the key scan never stalls per line.
+      mem::prefetch_object(child, sizeof(NmpBNode));
+      curr = child;
+    }
     return curr;
   }
 
@@ -380,7 +396,7 @@ class NmpBTree {
     // a key outside that range would have arrived with a different begin.
     Key upper = 0;
     bool bounded = false;
-    if (fg->valid && fg->nodes == nodes_.size() && key >= fg->key &&
+    if (fg->valid && fg->nodes == node_count_ && key >= fg->key &&
         fg->path[top_level_] == begin) {
       int lvl = 0;
       while (lvl < top_level_ && fg->bounded[lvl] && key > fg->upper[lvl]) {
@@ -401,13 +417,16 @@ class NmpBTree {
         bounded = true;
       }
       curr = curr->children[i];
+      // The finger bookkeeping below gives the later lines a few cycles of
+      // distance before the child's keys are scanned.
+      mem::prefetch_object(curr, sizeof(NmpBNode));
       fg->path[curr->level] = curr;
       fg->upper[curr->level] = upper;
       fg->bounded[curr->level] = bounded;
     }
     fg->key = key;
     fg->valid = true;
-    fg->nodes = nodes_.size();
+    fg->nodes = node_count_;
     return curr;
   }
 
@@ -545,8 +564,9 @@ class NmpBTree {
     }
   }
 
+  mem::PartitionArena arena_;  // declared before any node allocation use
   int top_level_;
-  std::deque<NmpBNode> nodes_;
+  std::size_t node_count_ = 0;  // drives Finger split-invalidation
   std::vector<std::unique_ptr<PendingInsert>> pending_;
 };
 

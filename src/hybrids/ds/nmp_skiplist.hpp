@@ -198,7 +198,9 @@ class NmpSkipList {
         resp.ok = n != nullptr;
         if (n != nullptr) {
           n->value = req.value;
-          ++n->version;
+          // Same versioning discipline as the hybrid's combiner: monotonic
+          // over the list, not per node (stays ordered across re-inserts).
+          n->version = list.next_version();
         }
         break;
       }

@@ -5,9 +5,27 @@
 // Exactly one NMP core (combiner thread) ever touches an instance, so no
 // internal synchronization is needed. What *is* needed is the paper's
 // stale-begin-node detection: a removed node is first marked logically
-// deleted and never has its memory reused while the structure lives, so an
-// offloaded operation whose begin-NMP-traversal node was removed by an
-// earlier-queued operation can detect the mark and request a host retry.
+// deleted, so an offloaded operation whose begin-NMP-traversal node was
+// removed by an earlier-queued operation can detect the mark and request a
+// host retry.
+//
+// Memory layout: nodes come from a per-partition bump+freelist arena
+// (mem/arena.hpp) owned by this instance — single-owner, no locks, towers
+// packed into contiguous 64B-aligned chunks. Removed nodes split into two
+// retire classes:
+//  - host_ptr == nullptr (short nodes): no host thread can ever hold a
+//    reference — begin-NMP-traversal candidates are exclusively the payloads
+//    of host-managed (tall) nodes — so their memory recycles through the
+//    arena freelist immediately.
+//  - host_ptr != nullptr (tall nodes): a host thread may still inspect the
+//    node for stale-begin detection, so the memory is parked on retired_
+//    until destruction, exactly the paper's never-reuse rule. Tall nodes are
+//    a ~2^-nmp_height fraction of removals, so the parked set stays small.
+//
+// Versions are drawn from a per-list monotonic counter (next_version())
+// rather than bumped per node: any two versions the host ever compares for
+// one key are then totally ordered even across remove/re-insert of that key,
+// which the hybrid's host mirror update relies on.
 #pragma once
 
 #include <cassert>
@@ -15,6 +33,8 @@
 #include <new>
 #include <vector>
 
+#include "hybrids/mem/arena.hpp"
+#include "hybrids/mem/memlayer.hpp"
 #include "hybrids/types.hpp"
 
 namespace hybrids::ds {
@@ -63,6 +83,15 @@ class SeqSkipList {
   Node* head() const { return head_; }
   std::size_t size() const { return size_; }
 
+  /// Next value version, strictly greater than any previously issued by this
+  /// list. Callers (the combiner apply paths) stamp it on every update,
+  /// promotion, and host-mirrored insert, so host mirror writes for a key
+  /// can never be re-ordered by a remove/re-insert of that key.
+  std::uint32_t next_version() { return ++version_counter_; }
+
+  /// The partition's arena (test/introspection hook).
+  const mem::PartitionArena& arena() const { return arena_; }
+
   /// True if `node` (a begin-NMP-traversal candidate captured by a host
   /// thread) has since been removed; the caller must then abort with a retry
   /// per §3.3. Only meaningful for nodes owned by this structure.
@@ -79,13 +108,21 @@ class SeqSkipList {
     Node* found = nullptr;
     for (int lvl = max_height_ - 1; lvl >= 0; --lvl) {
       Node* curr = pred->next[lvl];
-      while (curr != nullptr && curr->key < key) {
+      while (curr != nullptr) {
+        // One-ahead prefetch: start pulling the successor's line while the
+        // key compare on the current node resolves.
+        Node* nxt = curr->next[lvl];
+        mem::prefetch_read(nxt);
+        if (curr->key >= key) break;
         pred = curr;
-        curr = curr->next[lvl];
+        curr = nxt;
       }
       preds[lvl] = pred;
       succs[lvl] = curr;
       if (found == nullptr && curr != nullptr && curr->key == key) found = curr;
+      // Level-descent prefetch: pred's line is resident, its next-level
+      // successor's is usually not yet.
+      if (lvl > 0) mem::prefetch_read(pred->next[lvl - 1]);
     }
     return found;
   }
@@ -135,14 +172,18 @@ class SeqSkipList {
         reused |= pred != begin;
       }
       Node* curr = pred->next[lvl];
-      while (curr != nullptr && curr->key < key) {
+      while (curr != nullptr) {
+        Node* nxt = curr->next[lvl];
+        mem::prefetch_read(nxt);
+        if (curr->key >= key) break;
         pred = curr;
-        curr = curr->next[lvl];
+        curr = nxt;
         moved = true;
       }
       preds[lvl] = pred;
       succs[lvl] = curr;
       if (found == nullptr && curr != nullptr && curr->key == key) found = curr;
+      if (lvl > 0) mem::prefetch_read(pred->next[lvl - 1]);
     }
     for (int lvl = 0; lvl < max_height_; ++lvl) fg.preds[lvl] = preds[lvl];
     fg.key = key;
@@ -171,6 +212,10 @@ class SeqSkipList {
     Node* curr = succs[0];  // first node with key >= start
     std::uint32_t n = 0;
     while (curr != nullptr && n < max) {
+      // Scan-continuation prefetch: pull the next level-0 node (and, on the
+      // last entry of the chunk, the node the continuation key comes from)
+      // while this entry is copied out.
+      mem::prefetch_read(curr->next[0]);
       out[n].key = curr->key;
       out[n].value = curr->value;
       ++n;
@@ -187,11 +232,15 @@ class SeqSkipList {
     Node* pred = begin;
     for (int lvl = max_height_ - 1; lvl >= 0; --lvl) {
       Node* curr = pred->next[lvl];
-      while (curr != nullptr && curr->key < key) {
+      while (curr != nullptr) {
+        Node* nxt = curr->next[lvl];
+        mem::prefetch_read(nxt);
+        if (curr->key >= key) break;
         pred = curr;
-        curr = curr->next[lvl];
+        curr = nxt;
       }
       if (curr != nullptr && curr->key == key) return curr;
+      if (lvl > 0) mem::prefetch_read(pred->next[lvl - 1]);
     }
     return nullptr;
   }
@@ -221,17 +270,23 @@ class SeqSkipList {
   }
 
   /// Unlinks `found` (located by a find for its key that filled `preds`):
-  /// marks it logically deleted first (§3.3 stale-begin detection), unlinks
-  /// every level, and retires the memory (freed at destruction so stale host
-  /// references remain valid to *inspect*). Shared by remove() and the
-  /// batch-apply path.
+  /// marks it logically deleted first (§3.3 stale-begin detection) and
+  /// unlinks every level. Short nodes (host_ptr == nullptr) are recycled
+  /// through the arena on the spot — no host thread can hold a reference to
+  /// them (see the retire-class note at the top of this file). Tall nodes
+  /// are parked on retired_ until destruction so stale host references
+  /// remain valid to *inspect*. Shared by remove() and the batch-apply path.
   void unlink(Node* found, Node** preds) {
     found->marked = true;  // logical deletion first (§3.3)
     for (int lvl = found->height - 1; lvl >= 0; --lvl) {
       if (preds[lvl]->next[lvl] == found) preds[lvl]->next[lvl] = found->next[lvl];
     }
-    retired_.push_back(found);
     --size_;
+    if (found->host_ptr == nullptr) {
+      free_node(found);
+    } else {
+      retired_.push_back(found);
+    }
   }
 
   /// Inserts (key, value) with `height` NMP-side levels (clamped to
@@ -269,19 +324,22 @@ class SeqSkipList {
     Node* found = find(key, head_, preds, succs);
     if (found == nullptr || found->height == max_height_) return nullptr;
     Node* nn = alloc_node(key, found->value, max_height_, host_ptr);
-    // Bump the version so the host can seed its mirror at a version strictly
-    // above any pre-promotion update, and future updates strictly above that.
-    nn->version = found->version + 1;
+    // Stamp a fresh version so the host can seed its mirror at a version
+    // strictly above any pre-promotion update, and future updates strictly
+    // above that (next_version() is monotonic over the whole list).
+    nn->version = next_version();
     nn->hits = found->hits;
     found->marked = true;
     for (int l = found->height - 1; l >= 0; --l) {
       if (preds[l]->next[l] == found) preds[l]->next[l] = found->next[l];
     }
-    retired_.push_back(found);
     for (int l = 0; l < max_height_; ++l) {
       nn->next[l] = l < found->height ? found->next[l] : succs[l];
       preds[l]->next[l] = nn;
     }
+    // The replaced node is always short (full-height nodes are not promoted)
+    // and so host-unreferenced: recycle it immediately.
+    free_node(found);
     return nn;  // size unchanged: one node replaced another
   }
 
@@ -315,11 +373,14 @@ class SeqSkipList {
   }
 
  private:
-  static Node* alloc_node(Key key, Value value, int height, void* host_ptr) {
+  static std::size_t node_bytes(int height) {
     const std::size_t bytes =
         sizeof(Node) + static_cast<std::size_t>(height - 1) * sizeof(Node*);
-    void* mem = ::operator new(bytes < sizeof(Node) ? sizeof(Node) : bytes);
-    Node* n = static_cast<Node*>(mem);
+    return bytes < sizeof(Node) ? sizeof(Node) : bytes;
+  }
+
+  Node* alloc_node(Key key, Value value, int height, void* host_ptr) {
+    Node* n = static_cast<Node*>(arena_.allocate(node_bytes(height)));
     n->key = key;
     n->value = value;
     n->version = 0;
@@ -330,11 +391,13 @@ class SeqSkipList {
     return n;
   }
 
-  static void free_node(Node* n) { ::operator delete(n); }
+  void free_node(Node* n) { arena_.deallocate(n, node_bytes(n->height)); }
 
+  mem::PartitionArena arena_;  // declared before head_: alloc_node needs it
   int max_height_;
   Node* head_;
   std::size_t size_ = 0;
+  std::uint32_t version_counter_ = 0;
   std::vector<Node*> retired_;
 };
 

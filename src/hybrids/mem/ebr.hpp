@@ -1,0 +1,145 @@
+// Minimal epoch-based reclamation (EBR) domain for the host-side lock-free
+// structures.
+//
+// Why it exists: the lock-free skiplist's remove path unlinks a tower and
+// pushes it on a Treiber retire stack, but concurrent wait-free traversals
+// may still hold references to it, so the tower's memory historically could
+// only be freed at destructor time — unbounded growth under churn. EBR gives
+// a cheap grace period: a tower retired in epoch `e` can be handed back to
+// the node pool once the global epoch has advanced to `e + 2`, because by
+// then every critical section that could have obtained a reference has
+// exited (the classic three-epoch argument: advancing e -> e+1 requires all
+// pinned threads to sit at e; advancing again requires them all at e+1, so
+// no section pinned at or before e is still running).
+//
+// Protocol for participants:
+//  - Wrap every window that dereferences host lock-free nodes in an
+//    EbrGuard. Guards are reentrant and thread-local; only the outermost one
+//    pins (one seq_cst store on entry, one release store on exit).
+//  - Never hold a guard across a blocking wait (e.g. an NMP offload): a
+//    pinned-but-parked thread stalls reclamation for everyone. Pins are for
+//    pointer-chasing windows, not for whole operations.
+//  - Retirers stamp Ebr::current() on the node at retire time and test
+//    Ebr::safe(stamp) before reuse, calling Ebr::try_advance() to make
+//    progress. Threads that never enter guards never block advancement:
+//    only records pinned at a stale epoch do.
+//
+// Thread records are appended to a global intrusive list on first guard use
+// and recycled when the owning thread exits (marked free, reused by the next
+// new thread), so the list length is bounded by the peak number of
+// concurrently live guard-using threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hybrids::mem {
+
+class Ebr {
+ public:
+  /// Epochs start at 1; 0 is the quiescent sentinel in thread records.
+  static constexpr std::uint64_t kQuiescent = 0;
+
+  struct Rec {
+    std::atomic<std::uint64_t> pinned{kQuiescent};
+    std::atomic<bool> in_use{true};
+    Rec* next = nullptr;   // immutable after publication
+    unsigned depth = 0;    // guard nesting; owner thread only
+  };
+
+  static std::uint64_t current() noexcept {
+    return epoch().load(std::memory_order_acquire);
+  }
+
+  /// True when memory retired under `retire_epoch` can no longer be reached
+  /// by any guarded traversal.
+  static bool safe(std::uint64_t retire_epoch) noexcept {
+    return current() >= retire_epoch + 2;
+  }
+
+  /// Advance the global epoch if every registered, pinned thread has caught
+  /// up with it. Safe to call from any thread at any time; lock-free.
+  static void try_advance() noexcept {
+    std::uint64_t e = epoch().load(std::memory_order_acquire);
+    for (Rec* r = head().load(std::memory_order_acquire); r != nullptr;
+         r = r->next) {
+      if (!r->in_use.load(std::memory_order_acquire)) continue;
+      const std::uint64_t p = r->pinned.load(std::memory_order_acquire);
+      if (p != kQuiescent && p != e) return;  // someone is still in epoch e-1
+    }
+    epoch().compare_exchange_strong(e, e + 1, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed);
+  }
+
+  /// The calling thread's record (registered on first use, recycled on
+  /// thread exit).
+  static Rec* rec() noexcept {
+    thread_local Holder holder;
+    return holder.rec;
+  }
+
+ private:
+  struct Holder {
+    Rec* rec;
+    Holder() : rec(acquire_rec()) {}
+    ~Holder() {
+      rec->pinned.store(kQuiescent, std::memory_order_release);
+      rec->in_use.store(false, std::memory_order_release);
+    }
+  };
+
+  static std::atomic<std::uint64_t>& epoch() noexcept {
+    static std::atomic<std::uint64_t> e{1};
+    return e;
+  }
+  static std::atomic<Rec*>& head() noexcept {
+    static std::atomic<Rec*> h{nullptr};
+    return h;
+  }
+
+  static Rec* acquire_rec() {
+    for (Rec* r = head().load(std::memory_order_acquire); r != nullptr;
+         r = r->next) {
+      bool expected = false;
+      if (!r->in_use.load(std::memory_order_acquire) &&
+          r->in_use.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+        r->depth = 0;
+        return r;
+      }
+    }
+    Rec* r = new Rec;  // leaked at process exit by design (records are tiny
+                       // and must outlive any thread that might scan them)
+    Rec* h = head().load(std::memory_order_acquire);
+    do {
+      r->next = h;
+    } while (!head().compare_exchange_weak(h, r, std::memory_order_acq_rel,
+                                           std::memory_order_acquire));
+    return r;
+  }
+};
+
+/// RAII pin on the current epoch. Reentrant per thread.
+class EbrGuard {
+ public:
+  EbrGuard() noexcept : rec_(Ebr::rec()) {
+    if (rec_->depth++ == 0) {
+      // seq_cst: the pin must be globally visible before any shared load in
+      // the critical section, so try_advance() on other threads cannot miss
+      // an active pin and advance past us.
+      rec_->pinned.store(Ebr::current(), std::memory_order_seq_cst);
+    }
+  }
+  ~EbrGuard() {
+    if (--rec_->depth == 0) {
+      rec_->pinned.store(Ebr::kQuiescent, std::memory_order_release);
+    }
+  }
+  EbrGuard(const EbrGuard&) = delete;
+  EbrGuard& operator=(const EbrGuard&) = delete;
+
+ private:
+  Ebr::Rec* rec_;
+};
+
+}  // namespace hybrids::mem

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "hybrids/mem/memlayer.hpp"
 #include "hybrids/nmp/fault.hpp"
 #include "hybrids/util/backoff.hpp"
 #include "hybrids/util/futex.hpp"
@@ -173,8 +174,13 @@ void NmpCore::run() {
     // may read it with plain accesses.
     std::uint32_t served_this_pass = 0;
     picked.clear();
-    for (auto& wrapped : slots_) {
-      PubSlot& s = *wrapped;
+    for (std::size_t si = 0; si < slots_.size(); ++si) {
+      PubSlot& s = *slots_[si];
+      // Slots are cache-aligned and contiguous: pull the next slot's status
+      // line in while this one's pending check (and possible pickup) runs.
+      if (si + 1 < slots_.size()) {
+        mem::prefetch_read(&slots_[si + 1]->status);
+      }
       if (s.status.load(std::memory_order_acquire) != PubSlot::kPending) {
         continue;
       }

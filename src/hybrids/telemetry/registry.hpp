@@ -56,6 +56,9 @@ inline constexpr const char* kUnlockPathTotal = "host.unlock_path_total";
 inline constexpr const char* kRetryBudgetExhausted = "host.retry_budget_exhausted";
 inline constexpr const char* kScanPartitionHops = "host.scan_partition_hops";
 inline constexpr const char* kScanRetry = "host.scan_retry";
+inline constexpr const char* kMemArenaBytes = "mem.arena_bytes";
+inline constexpr const char* kMemPoolRecycled = "mem.pool_recycled";
+inline constexpr const char* kMemPoolShardMisses = "mem.pool_shard_misses";
 inline constexpr const char* kFaultInjectedPrefix = "fault_injected_";  // + kind
 }  // namespace names
 

@@ -225,6 +225,21 @@ void run_skiplist_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
   std::size_t expected = 0;
   for (const auto& oracle : oracles) expected += oracle.size();
   EXPECT_EQ(list.size(), expected);
+
+  // Memory-layer invariant: retired host towers are drained back into the
+  // node pool as epochs advance, so the retired set stays bounded under
+  // churn instead of growing with the remove count. The periodic drain
+  // (every kDrainInterval retires) keeps the backlog within a few drain
+  // windows; 256 is far below the removes this run performs.
+  EXPECT_LE(list.host_retired_count(), 256u)
+      << "retired towers grew with churn — reclamation is not draining";
+  // All threads are joined (quiescent), so each reclaim call advances the
+  // epoch; after the two-epoch grace period everything must be reclaimed.
+  for (int i = 0; i < 4 && list.host_retired_count() > 0; ++i) {
+    list.host_reclaim();
+  }
+  EXPECT_EQ(list.host_retired_count(), 0u)
+      << "quiescent drain left towers unreclaimed";
   expect_resilience_counters_exported();
 }
 
