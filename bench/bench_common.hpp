@@ -10,6 +10,19 @@
 //   --stats-json=FILE    write a telemetry snapshot (JSON) on exit
 //   --stats-interval=MS  print a one-line telemetry summary to stderr
 //                        every MS milliseconds while the bench runs
+//   --stats-delta        make the periodic summary report per-interval
+//                        deltas/rates instead of run-cumulative totals
+//   --stats-series=FILE  append a telemetry snapshot to a timeline every
+//                        interval (default 500 ms if --stats-interval is
+//                        not given) and write it as CSV on exit, one block
+//                        of rows per snapshot behind a t_ms column
+//   --trace-json=FILE    write sampled operation traces as Chrome
+//                        trace-event JSON on exit (chrome://tracing,
+//                        ui.perfetto.dev) and print a per-phase latency
+//                        breakdown to stderr (needs a build without
+//                        -DHYBRIDS_NO_TRACE / -DHYBRIDS_NO_TELEMETRY)
+//   --trace-sample=N     trace 1 in N operations (default 1 when
+//                        --trace-json is given; 0 disables tracing)
 //   --fault-seed=N       arm the fault injector with seed N (needs a build
 //                        with -DHYBRIDS_FAULTS=ON; rejected otherwise)
 //   --fault-rate=P       per-kind injection probability (default 0.01;
@@ -40,6 +53,8 @@
 #include "hybrids/nmp/fault.hpp"
 #include "hybrids/telemetry/export.hpp"
 #include "hybrids/telemetry/timeline.hpp"
+#include "hybrids/trace/export.hpp"
+#include "hybrids/trace/trace.hpp"
 
 namespace hybrids::bench {
 
@@ -53,6 +68,10 @@ struct Options {
   bool csv = false;
   std::string stats_json;               // empty: no JSON export
   std::uint32_t stats_interval_ms = 0;  // 0: no periodic reporter
+  std::string stats_series;             // set: write timeline CSV on exit
+  bool stats_delta = false;             // periodic summary shows deltas
+  std::string trace_json;               // set: write Chrome trace JSON
+  std::optional<std::uint32_t> trace_sample;  // 1-in-N; 0 disables tracing
   std::optional<std::uint64_t> fault_seed;  // set: arm the fault injector
   double fault_rate = 0.01;                 // per-kind probability
 };
@@ -108,6 +127,27 @@ inline Options parse_options(int argc, char** argv) {
     } else if (const char* v = value_of("--stats-interval=")) {
       opt.stats_interval_ms =
           static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--stats-series=")) {
+      opt.stats_series = v;
+    } else if (arg == "--stats-delta") {
+      opt.stats_delta = true;
+    } else if (const char* v = value_of("--trace-json=")) {
+      if (!trace::kCompiledIn) {
+        std::cerr << "error: --trace-json requires a build without "
+                     "-DHYBRIDS_NO_TRACE / -DHYBRIDS_NO_TELEMETRY (the "
+                     "tracing layer is compiled out of this binary)\n";
+        std::exit(2);
+      }
+      opt.trace_json = v;
+    } else if (const char* v = value_of("--trace-sample=")) {
+      if (!trace::kCompiledIn) {
+        std::cerr << "error: --trace-sample requires a build without "
+                     "-DHYBRIDS_NO_TRACE / -DHYBRIDS_NO_TELEMETRY (the "
+                     "tracing layer is compiled out of this binary)\n";
+        std::exit(2);
+      }
+      opt.trace_sample =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = value_of("--fault-seed=")) {
       if (!nmp::fault::kCompiledIn) {
         std::cerr << "error: --fault-seed requires a build with "
@@ -145,6 +185,14 @@ inline Options parse_options(int argc, char** argv) {
                    "exit\n"
                    "  --stats-interval=MS  periodic one-line telemetry summary "
                    "on stderr\n"
+                   "  --stats-delta        periodic summary shows per-interval "
+                   "deltas/rates\n"
+                   "  --stats-series=FILE  write the telemetry timeline as CSV "
+                   "on exit\n"
+                   "  --trace-json=FILE    write sampled op traces as Chrome "
+                   "trace JSON on exit\n"
+                   "  --trace-sample=N     trace 1 in N ops (default 1 with "
+                   "--trace-json; 0 = off)\n"
                    "  --fault-seed=N       arm the fault injector with seed N "
                    "(HYBRIDS_FAULTS builds only)\n"
                    "  --scan-max=N         max range-scan length (scan "
@@ -161,18 +209,48 @@ inline Options parse_options(int argc, char** argv) {
   return opt;
 }
 
-/// RAII wiring of the telemetry flags: constructs a periodic stderr reporter
-/// if --stats-interval was given, and exports the final registry snapshot to
-/// --stats-json on destruction (i.e. after the bench body ran).
+/// RAII wiring of the telemetry/tracing flags: constructs a periodic stderr
+/// reporter if --stats-interval was given (per-interval deltas with
+/// --stats-delta), accumulates a snapshot timeline for --stats-series,
+/// arms operation tracing for --trace-json/--trace-sample, and on
+/// destruction (i.e. after the bench body ran) exports --stats-json,
+/// the series CSV, and the Chrome trace JSON + per-phase breakdown.
 class StatsSession {
  public:
-  explicit StatsSession(const Options& opt) : json_path_(opt.stats_json) {
-    if (opt.stats_interval_ms > 0) {
-      reporter_.emplace(std::chrono::milliseconds(opt.stats_interval_ms),
-                        [](const telemetry::Snapshot& snap) {
-                          std::cerr << telemetry::one_line_summary(snap)
-                                    << "\n";
-                        });
+  explicit StatsSession(const Options& opt)
+      : json_path_(opt.stats_json),
+        series_path_(opt.stats_series),
+        trace_path_(opt.trace_json) {
+    if (trace::kCompiledIn &&
+        (!opt.trace_json.empty() || opt.trace_sample.has_value())) {
+      // --trace-json alone samples every op; an explicit --trace-sample=0
+      // turns tracing off even when a JSON path was given.
+      const std::uint32_t every = opt.trace_sample.value_or(1);
+      trace::set_sample_every(every);
+      tracing_ = every > 0;
+      if (tracing_) {
+        std::cerr << "trace: sampling 1 in " << every << " ops\n";
+      }
+    }
+    const bool print = opt.stats_interval_ms > 0;
+    if (print || !series_path_.empty()) {
+      if (opt.stats_delta) prev_ = telemetry::snapshot();
+      const std::uint32_t ms =
+          print ? opt.stats_interval_ms : kDefaultSeriesIntervalMs;
+      reporter_.emplace(
+          std::chrono::milliseconds(ms),
+          [this, print, delta = opt.stats_delta](
+              const telemetry::Snapshot& snap) {
+            if (print) {
+              std::cerr << (delta
+                                ? telemetry::one_line_delta_summary(prev_,
+                                                                    snap)
+                                : telemetry::one_line_summary(snap))
+                        << "\n";
+            }
+            if (delta) prev_ = snap;
+            if (!series_path_.empty()) timeline_.append(snap);
+          });
     }
     if (opt.fault_seed) {
       // Duration faults only: spurious protocol responses would make the
@@ -193,6 +271,14 @@ class StatsSession {
   ~StatsSession() {
     if (armed_) nmp::fault::FaultInjector::disarm();
     if (reporter_) reporter_->stop();
+    if (!series_path_.empty()) {
+      if (telemetry::export_series_csv(timeline_.entries(), series_path_)) {
+        std::cerr << "telemetry: wrote " << series_path_ << " ("
+                  << timeline_.size() << " snapshots)\n";
+      } else {
+        std::cerr << "telemetry: failed to write " << series_path_ << "\n";
+      }
+    }
     if (!json_path_.empty()) {
       if (telemetry::export_json(json_path_)) {
         std::cerr << "telemetry: wrote " << json_path_ << "\n";
@@ -200,14 +286,34 @@ class StatsSession {
         std::cerr << "telemetry: failed to write " << json_path_ << "\n";
       }
     }
+    if (tracing_) {
+      const trace::TraceData data = trace::drain();
+      if (!trace_path_.empty()) {
+        if (trace::write_chrome_json(trace_path_, data)) {
+          std::cerr << "trace: wrote " << trace_path_ << " ("
+                    << data.events.size() << " events, " << data.sampled_ops
+                    << " sampled ops, " << data.dropped << " dropped)\n";
+        } else {
+          std::cerr << "trace: failed to write " << trace_path_ << "\n";
+        }
+      }
+      std::cerr << trace::breakdown_table(trace::breakdown(data)) << "\n";
+    }
   }
 
   StatsSession(const StatsSession&) = delete;
   StatsSession& operator=(const StatsSession&) = delete;
 
  private:
+  static constexpr std::uint32_t kDefaultSeriesIntervalMs = 500;
+
   std::string json_path_;
+  std::string series_path_;
+  std::string trace_path_;
+  telemetry::Timeline timeline_;
+  telemetry::Snapshot prev_;  // delta baseline; touched only by the reporter
   std::optional<telemetry::PeriodicReporter> reporter_;
+  bool tracing_ = false;
   bool armed_ = false;
 };
 

@@ -11,10 +11,15 @@
 // Known limitation (tracked in EXPERIMENTS.md): beyond roughly 2x this
 // budget at this scale, simulated NMP traversals lengthen sharply and the
 // benefit inverts; keep budgets a small fraction of the key count.
+#include <cstdint>
 #include <iostream>
+#include <map>
+#include <utility>
 
 #include "bench_common.hpp"
 #include "hybrids/sim/exp/experiment.hpp"
+#include "hybrids/telemetry/registry.hpp"
+#include "hybrids/trace/trace.hpp"
 #include "hybrids/util/table.hpp"
 #include "hybrids/workload/ycsb.hpp"
 
@@ -59,6 +64,47 @@ int main(int argc, char** argv) {
                8, 200);
 
   if (opt.csv) table.print_csv(std::cout); else table.print(std::cout);
+
+  // Per-partition queueing-vs-service attribution from the tracing layer
+  // (arm with --trace-sample=N). Under skew the hot partition's queue-wait
+  // share climbs long before its service time does — exactly the signal an
+  // adaptive split/promotion policy should key off, as opposed to uniform
+  // overload where every partition's queue share rises together.
+  if (hybrids::trace::kCompiledIn && hybrids::trace::sample_every() > 0) {
+    namespace tn = hybrids::telemetry::names;
+    const hybrids::telemetry::Snapshot snap = hybrids::telemetry::snapshot();
+    // partition -> (queue_wait_ns, service_ns), traced ops only
+    std::map<std::int32_t, std::pair<std::uint64_t, std::uint64_t>> parts;
+    for (const auto& c : snap.counters) {
+      if (c.partition == hybrids::telemetry::Registry::kGlobal) continue;
+      if (c.name == tn::kTraceQueueWaitNs) {
+        parts[c.partition].first += c.value;
+      } else if (c.name == tn::kTraceServiceNs) {
+        parts[c.partition].second += c.value;
+      }
+    }
+    bool any = false;
+    for (const auto& [p, t] : parts) any |= (t.first + t.second) > 0;
+    if (any) {
+      std::cout << "\nPer-partition latency attribution (traced ops, all "
+                   "designs pooled):\n";
+      hybrids::util::Table attr(
+          {"partition", "queue_wait_us", "service_us", "queue share"});
+      for (const auto& [p, t] : parts) {
+        const auto [qw, svc] = t;
+        if (qw + svc == 0) continue;
+        attr.new_row()
+            .add_cell(std::to_string(p))
+            .add_num(static_cast<double>(qw) / 1000.0, 1)
+            .add_num(static_cast<double>(svc) / 1000.0, 1)
+            .add_num(static_cast<double>(qw) /
+                         static_cast<double>(qw + svc),
+                     2);
+      }
+      attr.print(std::cout);
+    }
+  }
+
   std::cout << "\n(Adaptive promotion raises hot NMP-only keys into the "
                "host-managed portion,\nrecovering the skew advantage the "
                "paper's §7 identifies as future work.)\n";

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate and summarize a hybrids Chrome trace-event JSON file.
+
+Checks that the file is valid JSON in the trace-event "object" form the
+tracing layer emits (schema "hybrids.trace.v1", see docs/TRACING.md):
+a `traceEvents` list of metadata ("M"), complete-span ("X"), and instant
+("i") events with the expected fields. Then recomputes the per-phase
+latency breakdown the benches print at exit — per-phase count / total /
+mean — plus *coverage*: the fraction of sampled offloaded-op time the leaf
+phases account for (leaf = everything except the enclosing `op` and
+`scan_chunk` spans and instants).
+
+Usage:
+  python3 scripts/trace_summary.py trace.json [--min-coverage=0.95]
+
+Exits non-zero on a malformed trace, or (with --min-coverage) when
+coverage falls below the bound — CI runs this on every smoke trace.
+Stdlib only.
+"""
+
+import json
+import sys
+
+SCHEMA = "hybrids.trace.v1"
+
+# Phases whose spans structurally enclose other phases; they are excluded
+# from coverage attribution (mirrors trace::breakdown in
+# src/hybrids/trace/export.cpp).
+ENCLOSING = {"op", "scan_chunk"}
+
+KNOWN_PHASES = [
+    "op",
+    "host_descend",
+    "publish",
+    "queue_wait",
+    "batch_sort",
+    "apply",
+    "reply",
+    "wake",
+    "scan_chunk",
+    "retry",
+]
+
+
+def fail(msg: str) -> None:
+    print(f"trace_summary: error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_event(i: int, ev) -> None:
+    if not isinstance(ev, dict):
+        fail(f"traceEvents[{i}] is not an object")
+    ph = ev.get("ph")
+    if ph not in ("M", "X", "i"):
+        fail(f"traceEvents[{i}] has unexpected ph {ph!r}")
+    if ph == "M":
+        return
+    for field, kinds in (("ts", (int, float)), ("name", (str,)),
+                         ("pid", (int,)), ("tid", (int,))):
+        if not isinstance(ev.get(field), kinds):
+            fail(f"traceEvents[{i}] missing/mistyped {field!r}")
+    if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+        fail(f"traceEvents[{i}] is ph=X without a numeric dur")
+    args = ev.get("args")
+    if not isinstance(args, dict) or not isinstance(args.get("op_id"), int):
+        fail(f"traceEvents[{i}] missing args.op_id")
+    if ev["name"] not in KNOWN_PHASES:
+        fail(f"traceEvents[{i}] has unknown phase {ev['name']!r}")
+
+
+def main(argv) -> int:
+    path = None
+    min_coverage = None
+    for arg in argv[1:]:
+        if arg.startswith("--min-coverage="):
+            min_coverage = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            fail(f"unknown option {arg!r}")
+        elif path is None:
+            path = arg
+        else:
+            fail("more than one trace file given")
+    if path is None:
+        fail("usage: trace_summary.py trace.json [--min-coverage=0.95]")
+
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing traceEvents list")
+    other = doc.get("otherData", {})
+    if other.get("schema") != SCHEMA:
+        fail(f"otherData.schema is {other.get('schema')!r}, want {SCHEMA!r}")
+
+    for i, ev in enumerate(events):
+        validate_event(i, ev)
+
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+
+    # Per-phase stats; ts/dur are fractional microseconds with ns precision.
+    phases = {}
+    for ev in spans:
+        count, total_us = phases.get(ev["name"], (0, 0.0))
+        phases[ev["name"]] = (count + 1, total_us + ev["dur"])
+    for ev in instants:
+        count, total_us = phases.get(ev["name"], (0, 0.0))
+        phases[ev["name"]] = (count + 1, total_us)
+
+    offloaded_ids = set()
+    offloaded_us = 0.0
+    for ev in spans:
+        if ev["name"] == "op" and ev["args"].get("offloaded") == 1:
+            offloaded_ids.add(ev["args"]["op_id"])
+            offloaded_us += ev["dur"]
+    attributed_us = sum(
+        ev["dur"]
+        for ev in spans
+        if ev["name"] not in ENCLOSING and ev["args"]["op_id"] in offloaded_ids
+    )
+    coverage = attributed_us / offloaded_us if offloaded_us > 0 else 0.0
+
+    print(f"{path}: {len(spans)} spans, {len(instants)} instants, "
+          f"{other.get('sampled_ops', 0)} sampled ops, "
+          f"{other.get('dropped_events', 0)} dropped events")
+    print(f"  {'phase':<14}{'count':>9}{'total_us':>14}{'mean_ns':>12}")
+    for name in KNOWN_PHASES:
+        if name not in phases:
+            continue
+        count, total_us = phases[name]
+        mean_ns = total_us * 1000.0 / count if count else 0.0
+        print(f"  {name:<14}{count:>9}{total_us:>14.1f}{mean_ns:>12.0f}")
+    print(f"  offloaded ops sampled: {len(offloaded_ids)}, "
+          f"phase coverage of offloaded-op latency: {coverage * 100.0:.1f}%")
+
+    if min_coverage is not None:
+        if not offloaded_ids:
+            fail("no sampled offloaded ops — cannot check coverage")
+        if coverage < min_coverage:
+            fail(f"coverage {coverage:.3f} below bound {min_coverage:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -29,6 +29,7 @@
 #include "hybrids/mem/node_pool.hpp"
 #include "hybrids/nmp/partition_set.hpp"
 #include "hybrids/telemetry/registry.hpp"
+#include "hybrids/trace/trace.hpp"
 #include "hybrids/types.hpp"
 #include "hybrids/util/backoff.hpp"
 #include "hybrids/util/marked_ptr.hpp"
@@ -173,28 +174,56 @@ class HybridBTree {
 
   bool read(Key key, Value& out, std::uint32_t tid) {
     RetryBudget budget(*this);
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kRead);
     while (true) {
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       Frame frame;
       if (!traverse(key, frame)) continue;
-      nmp::Response r = offload(nmp::OpCode::kRead, key, 0, frame, tid);
+      const auto part16 = static_cast<std::int16_t>(frame.partition);
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      nmp::Response r =
+          offload(nmp::OpCode::kRead, key, 0, frame, tid, tok.id);
       if (r.retry) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
         budget.note_retry();
         continue;
       }
       out = r.value;
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
+      }
       return r.ok;
     }
   }
 
   bool update(Key key, Value value, std::uint32_t tid) {
     RetryBudget budget(*this);
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kUpdate);
     while (true) {
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       Frame frame;
       if (!traverse(key, frame)) continue;
-      nmp::Response r = offload(nmp::OpCode::kUpdate, key, value, frame, tid);
+      const auto part16 = static_cast<std::int16_t>(frame.partition);
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      nmp::Response r =
+          offload(nmp::OpCode::kUpdate, key, value, frame, tid, tok.id);
       if (r.retry) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
         budget.note_retry();
         continue;
+      }
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
       }
       return r.ok;
     }
@@ -202,13 +231,27 @@ class HybridBTree {
 
   bool remove(Key key, std::uint32_t tid) {
     RetryBudget budget(*this);
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kRemove);
     while (true) {
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       Frame frame;
       if (!traverse(key, frame)) continue;
-      nmp::Response r = offload(nmp::OpCode::kRemove, key, 0, frame, tid);
+      const auto part16 = static_cast<std::int16_t>(frame.partition);
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      nmp::Response r =
+          offload(nmp::OpCode::kRemove, key, 0, frame, tid, tok.id);
       if (r.retry) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
         budget.note_retry();
         continue;
+      }
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
       }
       return r.ok;
     }
@@ -216,19 +259,42 @@ class HybridBTree {
 
   bool insert(Key key, Value value, std::uint32_t tid) {
     RetryBudget budget(*this);
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kInsert);
     while (true) {
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       Frame frame;
       if (!traverse(key, frame)) continue;
-      nmp::Response r = offload(nmp::OpCode::kInsert, key, value, frame, tid);
+      const auto part16 = static_cast<std::int16_t>(frame.partition);
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      nmp::Response r =
+          offload(nmp::OpCode::kInsert, key, value, frame, tid, tok.id);
       if (r.retry) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
         budget.note_retry();
         continue;
       }
-      if (!r.lock_path) return r.ok;
+      if (!r.lock_path) {
+        if (tok.sampled()) {
+          trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                        /*offloaded=*/true);
+        }
+        return r.ok;
+      }
       lock_path_->inc();
-      // LOCK_PATH escalation (Listing 4 lines 26-43).
+      // LOCK_PATH escalation (Listing 4 lines 26-43). The escalation legs
+      // (kUnlockPath / kResumeInsert) carry the same trace id, so their
+      // transport phases land inside this op's kOp span.
       bool done = false;
-      if (complete_escalated_insert(frame, r.node, frame.partition, tid, done)) {
+      if (complete_escalated_insert(frame, r.node, frame.partition, tid, done,
+                                    tok.id)) {
+        if (tok.sampled()) {
+          trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                        /*offloaded=*/true);
+        }
         return done;
       }
       // Host-side locking failed; the NMP path was unlocked on our behalf.
@@ -257,17 +323,33 @@ class HybridBTree {
     RetryBudget budget(*this);
     bool have_part = false;
     std::uint32_t last_part = 0;
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kScan);
+    bool offloaded = false;
+    std::int16_t part16 = -1;
     while (filled < count) {
+      const std::uint64_t c0 = tok.sampled() ? telemetry::now_ns() : 0;
       Frame frame;
       if (!traverse(cur, frame)) continue;
+      part16 = static_cast<std::int16_t>(frame.partition);
+      trace::record_span(tok.id, trace::Phase::kHostDescend, c0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       const std::size_t want = count - filled < nmp::kScanChunk
                                    ? count - filled
                                    : nmp::kScanChunk;
       nmp::Request r = make_request(nmp::OpCode::kScan, cur,
-                                    static_cast<Value>(want), frame);
+                                    static_cast<Value>(want), frame, tok.id);
       r.host_node = out + filled;
       nmp::Response resp = set_.call(frame.partition, tid, r);
+      offloaded = true;
+      // One stitched chunk, retries included; the transport phases above
+      // nest under it on the timeline.
+      trace::record_span(tok.id, trace::Phase::kScanChunk, c0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       if (resp.retry) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
         scan_retry_->inc();
         budget.note_retry();
         continue;
@@ -284,6 +366,9 @@ class HybridBTree {
       if (!frame.bounded) break;  // rightmost subtree — nothing further
       if (frame.upper == ~Key{0}) break;
       cur = frame.upper + 1;
+    }
+    if (tok.sampled()) {
+      trace::end_op(tok, telemetry::now_ns(), op8, part16, offloaded);
     }
     return filled;
   }
@@ -307,9 +392,14 @@ class HybridBTree {
     t.key = key;
     t.new_value = value;
     t.tid = tid;
+    // Async ops record their transport phases but no enclosing kOp span:
+    // their wall-clock overlaps whatever the host does in between, so an
+    // enclosing span would misattribute. A blocking fallback in finish()
+    // traces as a fresh op.
+    const std::uint64_t trace_id = trace::begin_op().id;
     while (true) {
       if (!traverse(key, t.frame)) continue;
-      t.handle = offload_async(op, key, value, t.frame, tid);
+      t.handle = offload_async(op, key, value, t.frame, tid, trace_id);
       t.state = t.handle.valid ? Ticket::State::kPending : Ticket::State::kRejected;
       return t;
     }
@@ -502,25 +592,29 @@ class HybridBTree {
   // --- offload ----------------------------------------------------------------
 
   nmp::Request make_request(nmp::OpCode op, Key key, Value value,
-                            const Frame& frame) const {
+                            const Frame& frame,
+                            std::uint64_t trace_id = 0) const {
     nmp::Request r;
     r.op = op;
     r.key = key;
     r.value = value;
     r.node = frame.begin.ptr();
     r.aux = frame.seqs[last_host_level_];  // offloaded parent seqnum
+    r.trace_id = trace_id;
     return r;
   }
 
   nmp::Response offload(nmp::OpCode op, Key key, Value value, const Frame& frame,
-                        std::uint32_t tid) {
-    return set_.call(frame.partition, tid, make_request(op, key, value, frame));
+                        std::uint32_t tid, std::uint64_t trace_id = 0) {
+    return set_.call(frame.partition, tid,
+                     make_request(op, key, value, frame, trace_id));
   }
 
   nmp::OpHandle offload_async(nmp::OpCode op, Key key, Value value,
-                              const Frame& frame, std::uint32_t tid) {
+                              const Frame& frame, std::uint32_t tid,
+                              std::uint64_t trace_id = 0) {
     return set_.call_async(frame.partition, tid,
-                           make_request(op, key, value, frame));
+                           make_request(op, key, value, frame, trace_id));
   }
 
   /// Host half of the LOCK_PATH protocol. Returns true if the insert ran to
@@ -528,7 +622,7 @@ class HybridBTree {
   /// locking failed and the caller must retry from the root.
   bool complete_escalated_insert(Frame& frame, void* pending_handle,
                                  std::uint32_t partition, std::uint32_t tid,
-                                 bool& done) {
+                                 bool& done, std::uint64_t trace_id = 0) {
     // Lock the host path bottom-up until the first non-full node.
     int locked_top = -1;
     bool locked_all = false;
@@ -551,6 +645,7 @@ class HybridBTree {
       nmp::Request r;
       r.op = nmp::OpCode::kUnlockPath;
       r.node = pending_handle;
+      r.trace_id = trace_id;
       unlock_path_->inc();
       (void)set_.call(partition, tid, r);
       return false;
@@ -562,6 +657,7 @@ class HybridBTree {
     rr.op = nmp::OpCode::kResumeInsert;
     rr.node = pending_handle;
     rr.aux = frame.seqs[last_host_level_] + 2;
+    rr.trace_id = trace_id;
     resume_insert_->inc();
     nmp::Response resp = set_.call(partition, tid, rr);
     if (!resp.ok) {

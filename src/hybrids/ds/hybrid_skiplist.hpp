@@ -45,6 +45,7 @@
 #include "hybrids/mem/ebr.hpp"
 #include "hybrids/nmp/partition_set.hpp"
 #include "hybrids/telemetry/registry.hpp"
+#include "hybrids/trace/trace.hpp"
 #include "hybrids/types.hpp"
 #include "hybrids/util/backoff.hpp"
 #include "hybrids/util/cache_aligned.hpp"
@@ -145,10 +146,14 @@ class HybridSkipList {
   // ----- blocking operations ------------------------------------------------
 
   bool read(Key key, Value& out, std::uint32_t tid) {
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kRead);
     RetryBudget budget(*this);
     const std::uint32_t part = set_.partition_of(key);
+    const auto part16 = static_cast<std::int16_t>(part);
     while (true) {
       nmp::Request req;
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       {
         mem::EbrGuard guard;  // spans find + every pred0/succ0 field read
         LfSkipList::Node* preds[LfSkipList::kMaxLevels];
@@ -157,27 +162,47 @@ class HybridSkipList {
           // Tall node: the value is mirrored host-side; serve from cache.
           host_read_hits_->inc();
           out = succs[0]->value_now();
+          if (tok.sampled()) {
+            const std::uint64_t now = telemetry::now_ns();
+            trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
+                               op8, part16);
+            trace::end_op(tok, now, op8, part16, /*offloaded=*/false);
+          }
           return true;
         }
         req = make_request(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr,
                            part, budget.exhausted());
+        req.trace_id = tok.id;
       }
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
         budget.note_retry();
         continue;
       }
       if (r.promote_hint) try_promote(key, tid);
       out = r.value;
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
+      }
       return r.ok;
     }
   }
 
   bool update(Key key, Value value, std::uint32_t tid) {
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kUpdate);
     RetryBudget budget(*this);
     const std::uint32_t part = set_.partition_of(key);
+    const auto part16 = static_cast<std::int16_t>(part);
     while (true) {
       nmp::Request req;
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       {
         mem::EbrGuard guard;
         LfSkipList::Node* preds[LfSkipList::kMaxLevels];
@@ -188,47 +213,79 @@ class HybridSkipList {
         // with which version, so racing updates converge (§3.3).
         req = make_request(nmp::OpCode::kUpdate, key, value, 0, preds[0],
                            nullptr, part, budget.exhausted());
+        req.trace_id = tok.id;
       }
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
         budget.note_retry();
         continue;
       }
       if (r.ok) refresh_mirror(key, r, value);
       if (r.promote_hint) try_promote(key, tid);
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
+      }
       return r.ok;
     }
   }
 
   bool insert(Key key, Value value, std::uint32_t tid) {
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kInsert);
     RetryBudget budget(*this);
     const std::uint32_t part = set_.partition_of(key);
+    const auto part16 = static_cast<std::int16_t>(part);
     while (true) {
       const int height = random_height(*rngs_[tid], config_.total_height);
       LfSkipList::Node* hnode = nullptr;
       nmp::Request req;
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       {
         mem::EbrGuard guard;
         LfSkipList::Node* preds[LfSkipList::kMaxLevels];
         LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-        if (host_.find(key, preds, succs)) return false;  // tall node present
+        if (host_.find(key, preds, succs)) {  // tall node present
+          if (tok.sampled()) {
+            const std::uint64_t now = telemetry::now_ns();
+            trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
+                               op8, part16);
+            trace::end_op(tok, now, op8, part16, /*offloaded=*/false);
+          }
+          return false;
+        }
         if (height > config_.nmp_height) {
           hnode = host_.make_node(key, value, height - config_.nmp_height);
         }
         req = make_request(nmp::OpCode::kInsert, key, value,
                            static_cast<std::uint64_t>(height), preds[0], hnode,
                            part, budget.exhausted());
+        req.trace_id = tok.id;
       }
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       // NMP portion first (linearization point: bottom-level link, which
       // lives in the NMP partition).
       nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
         budget.note_retry();
         if (hnode != nullptr) host_.free_unlinked(hnode);
         continue;
       }
       if (!r.ok) {
         if (hnode != nullptr) host_.free_unlinked(hnode);
+        if (tok.sampled()) {
+          trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                        /*offloaded=*/true);
+        }
         return false;  // key already present
       }
       if (hnode != nullptr) {
@@ -244,15 +301,23 @@ class HybridSkipList {
           host_.free_unlinked(hnode);
         }
       }
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
+      }
       return true;
     }
   }
 
   bool remove(Key key, std::uint32_t tid) {
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kRemove);
     RetryBudget budget(*this);
     const std::uint32_t part = set_.partition_of(key);
+    const auto part16 = static_cast<std::int16_t>(part);
     while (true) {
       nmp::Request req;
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       {
         mem::EbrGuard guard;
         LfSkipList::Node* preds[LfSkipList::kMaxLevels];
@@ -261,19 +326,38 @@ class HybridSkipList {
           // Host portion first (removals proceed top-down across the split).
           if (!host_.remove(key)) {
             // A concurrent remover won the host race; it owns the NMP side.
+            if (tok.sampled()) {
+              const std::uint64_t now = telemetry::now_ns();
+              trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
+                                 op8, part16);
+              trace::end_op(tok, now, op8, part16, /*offloaded=*/false);
+            }
             return false;
           }
           // Re-derive the begin node: the old pred may have been the
           // victim's neighborhood; a fresh find gives a clean window.
+          trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                             tok.sampled() ? telemetry::now_ns() : 0, op8,
+                             part16);
           continue;
         }
         req = make_request(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr,
                            part, budget.exhausted());
+        req.trace_id = tok.id;
       }
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
         budget.note_retry();
         continue;
+      }
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
       }
       return r.ok;
     }
@@ -294,6 +378,9 @@ class HybridSkipList {
   /// during the scan. Returns the number of entries written.
   std::size_t scan(Key start, std::size_t count, ScanEntry* out,
                    std::uint32_t tid) {
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kScan);
+    bool offloaded = false;
     std::size_t filled = 0;
     Key cur = start;
     std::uint32_t p = set_.partition_of(start);
@@ -302,6 +389,8 @@ class HybridSkipList {
       const std::size_t want = count - filled < nmp::kScanChunk
                                    ? count - filled
                                    : nmp::kScanChunk;
+      const auto part16 = static_cast<std::int16_t>(p);
+      const std::uint64_t c0 = tok.sampled() ? telemetry::now_ns() : 0;
       nmp::Request r;
       {
         mem::EbrGuard guard;
@@ -310,10 +399,21 @@ class HybridSkipList {
         (void)host_.find(cur, preds, succs);
         r = make_request(nmp::OpCode::kScan, cur, static_cast<Value>(want), 0,
                          preds[0], nullptr, p, budget.exhausted());
+        r.trace_id = tok.id;
       }
+      trace::record_span(tok.id, trace::Phase::kHostDescend, c0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       r.host_node = out + filled;
       nmp::Response resp = set_.call(p, tid, r);
+      offloaded = true;
+      // One stitched chunk (descend + offload round-trip), including
+      // retried attempts; the inner phases nest under it in the viewer.
+      trace::record_span(tok.id, trace::Phase::kScanChunk, c0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       if (must_retry(resp)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
         scan_retry_->inc();
         budget.note_retry();
         continue;
@@ -331,6 +431,10 @@ class HybridSkipList {
       const Key base = static_cast<Key>(static_cast<std::uint64_t>(p) *
                                         config_.partition_width);
       if (base > cur) cur = base;
+    }
+    if (tok.sampled()) {
+      trace::end_op(tok, telemetry::now_ns(), op8,
+                    static_cast<std::int16_t>(p), offloaded);
     }
     return filled;
   }
@@ -409,6 +513,12 @@ class HybridSkipList {
     t.key = key;
     t.tid = tid;
     const std::uint32_t part = set_.partition_of(key);
+    // Async ops record their transport phases but no enclosing kOp span:
+    // the ticket's wall-clock overlaps whatever else the thread interleaves,
+    // so it is not a latency. The blocking fallback in finish() traces as a
+    // fresh op.
+    const trace::OpToken tok = trace::begin_op();
+    const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
     nmp::Request req;
     {
       mem::EbrGuard guard;
@@ -423,7 +533,12 @@ class HybridSkipList {
       }
       req = make_request(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr,
                          part, /*force_head=*/false);
+      req.trace_id = tok.id;
     }
+    trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                       tok.sampled() ? telemetry::now_ns() : 0,
+                       static_cast<std::uint8_t>(nmp::OpCode::kRead),
+                       static_cast<std::int16_t>(part));
     t.handle = set_.call_async(part, tid, req);
     t.state = t.handle.valid ? Ticket::State::kPending : Ticket::State::kRejected;
     return t;
@@ -453,6 +568,7 @@ class HybridSkipList {
       req = make_request(nmp::OpCode::kInsert, key, value,
                          static_cast<std::uint64_t>(height), preds[0], t.hnode,
                          part, /*force_head=*/false);
+      req.trace_id = trace::begin_op().id;
     }
     t.handle = set_.call_async(part, tid, req);
     if (!t.handle.valid) {
@@ -486,6 +602,7 @@ class HybridSkipList {
       }
       req = make_request(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr,
                          part, /*force_head=*/false);
+      req.trace_id = trace::begin_op().id;
     }
     t.handle = set_.call_async(part, tid, req);
     t.state = t.handle.valid ? Ticket::State::kPending : Ticket::State::kRejected;
@@ -507,6 +624,7 @@ class HybridSkipList {
       (void)host_.find(key, preds, succs);
       req = make_request(nmp::OpCode::kUpdate, key, value, 0, preds[0],
                          nullptr, part, /*force_head=*/false);
+      req.trace_id = trace::begin_op().id;
     }
     t.handle = set_.call_async(part, tid, req);
     t.state = t.handle.valid ? Ticket::State::kPending : Ticket::State::kRejected;

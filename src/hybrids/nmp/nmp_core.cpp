@@ -5,6 +5,7 @@
 
 #include "hybrids/mem/memlayer.hpp"
 #include "hybrids/nmp/fault.hpp"
+#include "hybrids/trace/trace.hpp"
 #include "hybrids/util/backoff.hpp"
 #include "hybrids/util/futex.hpp"
 
@@ -38,6 +39,8 @@ NmpCore::NmpCore(std::uint32_t id, std::uint32_t slot_count, Handler handler)
   metrics_.occupancy = &telemetry::latency(tn::kScanOccupancy, p);
   metrics_.batch = &telemetry::latency(tn::kCombinerBatch, p);
   metrics_.batch_size = &telemetry::latency(tn::kBatchSize, p);
+  metrics_.trace_queue_wait = &telemetry::counter(tn::kTraceQueueWaitNs, p);
+  metrics_.trace_service = &telemetry::counter(tn::kTraceServiceNs, p);
 }
 
 NmpCore::~NmpCore() { stop(); }
@@ -130,6 +133,15 @@ void NmpCore::complete(const Picked& picked, std::uint64_t service_ns) {
   PubSlot& s = *picked.slot;
   // Fault hook: delayed response between handler and completion store.
   fault::maybe_stall(fault::Kind::kDelayedResponse, id_);
+  std::uint64_t done = 0;
+  if constexpr (trace::kCompiledIn) {
+    if (picked.trace_id != 0) {
+      // Plain-written before the kDone release store so the host's acquire
+      // load may read it (kWake phase), exactly like `resp`.
+      done = telemetry::now_ns();
+      s.done_ns = done;
+    }
+  }
   s.status.store(PubSlot::kDone, std::memory_order_release);
   s.status.notify_all();
   served_.fetch_add(1, std::memory_order_relaxed);
@@ -139,6 +151,31 @@ void NmpCore::complete(const Picked& picked, std::uint64_t service_ns) {
     metrics_.service->record(static_cast<double>(service_ns));
     metrics_.served_total->inc();
     if (picked.op < kOpCodeCount) metrics_.served_op[picked.op]->inc();
+  }
+  if constexpr (trace::kCompiledIn) {
+    if (picked.trace_id != 0) {
+      // Combiner-side phases, recorded from captured values only (the host
+      // may already have re-posted the slot). kQueueWait + kApply + kReply
+      // tile [posted_ns, done] exactly; for a batched op the amortized
+      // apply span starts at pickup, so the sort window overlaps it.
+      const auto op = static_cast<std::uint8_t>(picked.op);
+      const auto part = static_cast<std::int16_t>(id_);
+      const std::uint32_t track = trace::kCombinerTrackBase + id_;
+      trace::record_span(picked.trace_id, trace::Phase::kQueueWait,
+                         picked.posted_ns, picked.pickup_ns, op, part, 0,
+                         track);
+      trace::record_span(picked.trace_id, trace::Phase::kApply,
+                         picked.pickup_ns, picked.pickup_ns + service_ns, op,
+                         part, 0, track);
+      trace::record_span(picked.trace_id, trace::Phase::kReply,
+                         picked.pickup_ns + service_ns, done, op, part, 0,
+                         track);
+      // Attribution feed for ext_adaptive_skew / the adaptive-split loop:
+      // how much of the traced ops' offloaded time this partition spent
+      // queueing vs. serving.
+      metrics_.trace_queue_wait->add(picked.pickup_ns - picked.posted_ns);
+      metrics_.trace_service->add(service_ns);
+    }
   }
 }
 
@@ -185,7 +222,8 @@ void NmpCore::run() {
         continue;
       }
       const std::uint64_t t0 = telemetry::now_ns();
-      Picked p{&s, t0, s.posted_ns, static_cast<std::size_t>(s.req.op)};
+      Picked p{&s, t0, s.posted_ns, static_cast<std::size_t>(s.req.op),
+               s.req.trace_id};
       // Fault hooks: spurious protocol responses are injected *instead of*
       // running the handler, so no partition state changes and the host's
       // mandated recovery (retry / LOCK_PATH fallback) re-executes the
@@ -225,9 +263,14 @@ void NmpCore::run() {
       // exactly the one-at-a-time protocol; only the apply order inside the
       // pass changes, which is a valid linearization of concurrent ops.
       batch.clear();
+      std::uint64_t traced_id = 0;
       for (const Picked& p : picked) {
         batch.push_back(BatchOp{&p.slot->req, &p.slot->resp});
+        if (traced_id == 0) traced_id = p.trace_id;
       }
+      // Sort window for the trace: attributed to the batch's first traced
+      // op (the sort serves the whole batch; one span stands in for it).
+      const std::uint64_t sort0 = traced_id ? telemetry::now_ns() : 0;
       // Equal keys tiebreak on the request address: ops were collected in
       // slot-index order and slots live in one array, so pointer order IS
       // publication-list order. This keeps the sort stable without
@@ -239,6 +282,9 @@ void NmpCore::run() {
                                                   : a.req < b.req;
                 });
       const std::uint64_t apply0 = telemetry::now_ns();
+      trace::record_span(traced_id, trace::Phase::kBatchSort, sort0, apply0,
+                         0, static_cast<std::int16_t>(id_), 0,
+                         trace::kCombinerTrackBase + id_);
       batch_handler_(batch.data(), batch.size());
       // Per-op service time is the batch apply amortized over its size —
       // the quantity the finger is meant to shrink.

@@ -110,6 +110,8 @@ class NmpCore {
     telemetry::LatencyRecorder* occupancy;   // pending slots at scan start
     telemetry::LatencyRecorder* batch;       // requests served per scan pass
     telemetry::LatencyRecorder* batch_size;  // ops per batch-handler call
+    telemetry::Counter* trace_queue_wait;    // traced ops: queue-wait ns total
+    telemetry::Counter* trace_service;       // traced ops: service ns total
   };
 
   /// One request picked up by a scan pass, with the metadata that must be
@@ -120,6 +122,7 @@ class NmpCore {
     std::uint64_t pickup_ns;  // telemetry::now_ns() at collection
     std::uint64_t posted_ns;
     std::size_t op;           // OpCode as index, captured pre-completion
+    std::uint64_t trace_id;   // sampled-op id (0: untraced), ditto
   };
 
   void run();

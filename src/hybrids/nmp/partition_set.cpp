@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "hybrids/trace/trace.hpp"
+
 namespace hybrids::nmp {
 
 namespace {
@@ -139,9 +141,19 @@ Response PartitionSet::call(std::uint32_t p, std::uint32_t thread_id,
   NmpCore& core = *cores_[p];
   const std::uint32_t slot = thread_base(thread_id);
   calls_blocking_->inc();
+  const auto part = static_cast<std::int16_t>(p);
+  const auto op = static_cast<std::uint8_t>(r.op);
+  const std::uint64_t t0 = r.trace_id ? telemetry::now_ns() : 0;
   core.post(slot, r);
+  trace::record_span(r.trace_id, trace::Phase::kPublish, t0,
+                     r.trace_id ? telemetry::now_ns() : 0, op, part);
   core.wait_done(slot);
-  return core.slot(slot).take();
+  PubSlot& s = core.slot(slot);
+  // done_ns was plain-written by the combiner before its kDone release
+  // store, which wait_done's acquire load synchronized with.
+  trace::record_span(r.trace_id, trace::Phase::kWake, s.done_ns,
+                     r.trace_id ? telemetry::now_ns() : 0, op, part);
+  return s.take();
 }
 
 OpHandle PartitionSet::call_async(std::uint32_t p, std::uint32_t thread_id,
@@ -151,7 +163,12 @@ OpHandle PartitionSet::call_async(std::uint32_t p, std::uint32_t thread_id,
   for (std::uint32_t i = 1; i <= config_.slots_per_thread; ++i) {
     if (!busy[base + i]) {
       busy[base + i] = 1;
+      const std::uint64_t t0 = r.trace_id ? telemetry::now_ns() : 0;
       cores_[p]->post(base + i, r);
+      trace::record_span(r.trace_id, trace::Phase::kPublish, t0,
+                         r.trace_id ? telemetry::now_ns() : 0,
+                         static_cast<std::uint8_t>(r.op),
+                         static_cast<std::int16_t>(p));
       calls_async_->inc();
       if constexpr (telemetry::kEnabled) {
         // In-flight depth of this thread's window against partition p,
@@ -178,7 +195,15 @@ Response PartitionSet::retrieve(const OpHandle& h) {
   assert(h.valid);
   NmpCore& core = *cores_[h.partition];
   core.wait_done(h.slot);
-  Response r = core.slot(h.slot).take();
+  PubSlot& s = core.slot(h.slot);
+  // Read the trace fields before take() releases the slot for re-posting.
+  // req is safe to read here: the combiner stopped touching the slot at its
+  // kDone store, and only this (owning) thread can recycle it.
+  trace::record_span(s.req.trace_id, trace::Phase::kWake, s.done_ns,
+                     s.req.trace_id ? telemetry::now_ns() : 0,
+                     static_cast<std::uint8_t>(s.req.op),
+                     static_cast<std::int16_t>(h.partition));
+  Response r = s.take();
   async_busy_[h.partition][h.slot] = 0;
   return r;
 }

@@ -97,6 +97,10 @@ struct Request {
   void* host_node = nullptr; // host-side counterpart (skiplist insert/update);
                              // kScan: host-owned ScanEntry output buffer
   std::uint64_t aux = 0;     // skiplist: tower height; B+ tree: parent seqnum
+  std::uint64_t trace_id = 0;  // sampled-op id (trace/trace.hpp); 0: untraced.
+                               // Rides the request so the combiner can
+                               // attribute queue-wait/apply/reply phases and
+                               // per-partition trace.* counters to the op.
 };
 
 struct Response {
@@ -167,6 +171,10 @@ struct alignas(util::kCacheLineSize) PubSlot {
   Request req;
   Response resp;
   std::uint64_t posted_ns = 0;  // telemetry: post() timestamp (queue wait)
+  std::uint64_t done_ns = 0;    // trace: combiner completion timestamp,
+                                // plain-written before the kDone release
+                                // store (the host reads it after its acquire
+                                // load, like `resp`); feeds the kWake phase
 
   /// Host side: publish a request (slot must be kEmpty and owned by caller).
   void post(const Request& r) noexcept {

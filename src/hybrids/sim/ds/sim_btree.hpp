@@ -422,7 +422,8 @@ class SimHybridBTree {
       : sys_(sys), nmp_levels_(nmp_levels), fill_(fill) {
     for (std::uint32_t p = 0; p < partitions; ++p) {
       arenas_.push_back(std::make_unique<SimBNodeArena>());
-      publists_.push_back(std::make_unique<SimPubList>(slots_per_list));
+      publists_.push_back(std::make_unique<SimPubList>(
+          slots_per_list, static_cast<std::int16_t>(p)));
     }
   }
 
@@ -600,6 +601,7 @@ class SimHybridBTree {
       nmp::Request r;
       r.op = nmp::OpCode::kUnlockPath;
       r.node = resp.node;
+      r.trace_id = prep.req.trace_id;
       static telemetry::Counter& unlock = telemetry::counter(tn::kUnlockPathTotal);
       unlock.inc();
       (void)co_await sim_call(c, *publists_[prep.partition], slot, r);
@@ -611,6 +613,7 @@ class SimHybridBTree {
     nmp::Request rr;
     rr.op = nmp::OpCode::kResumeInsert;
     rr.node = resp.node;
+    rr.trace_id = prep.req.trace_id;
     static telemetry::Counter& resume = telemetry::counter(tn::kResumeInsertTotal);
     resume.inc();
     // The seqnum the last host node will hold once we complete the link
@@ -649,11 +652,28 @@ class SimHybridBTree {
 
   Task<void> run_op_blocking(HostCtx& c, std::uint32_t slot,
                              const workload::Op& op) {
+    const trace::OpToken tok = trace::begin_op_at(sim_trace_ns(sys_));
     while (true) {
+      const std::uint64_t d0 = tok.sampled() ? sim_trace_ns(sys_) : 0;
       Prepared prep = co_await prepare(c, op);
+      const auto op8 = static_cast<std::uint8_t>(prep.req.op);
+      const auto part16 = static_cast<std::int16_t>(prep.partition);
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? sim_trace_ns(sys_) : 0, op8, part16,
+                         0, c.core);
+      prep.req.trace_id = tok.id;
       nmp::Response resp =
           co_await sim_call(c, *publists_[prep.partition], slot, prep.req);
-      if (co_await complete(c, prep, resp, slot)) co_return;
+      if (co_await complete(c, prep, resp, slot)) {
+        if (tok.sampled()) {
+          trace::end_op(tok, sim_trace_ns(sys_), op8, part16,
+                        /*offloaded=*/true, c.core);
+        }
+        co_return;
+      }
+      trace::record_instant(tok.id, trace::Phase::kRetry,
+                            tok.sampled() ? sim_trace_ns(sys_) : 0, op8,
+                            part16, c.core);
     }
   }
 

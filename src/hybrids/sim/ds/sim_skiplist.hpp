@@ -337,7 +337,8 @@ class SimNmpSkipList {
       : sys_(sys), partition_width_(partition_width) {
     for (std::uint32_t p = 0; p < partitions; ++p) {
       regions_.push_back(std::make_unique<SimSkipRegion>(total_height));
-      publists_.push_back(std::make_unique<SimPubList>(slots_per_list));
+      publists_.push_back(std::make_unique<SimPubList>(
+          slots_per_list, static_cast<std::int16_t>(p)));
     }
   }
 
@@ -390,7 +391,14 @@ class SimNmpSkipList {
   Task<void> run_op(HostCtx& c, std::uint32_t slot, const workload::Op& op,
                     util::Xoshiro256& rng) {
     const std::uint32_t p = partition_of(op.key);
-    (void)co_await sim_call(c, *publists_[p], slot, make_request(op, rng));
+    const trace::OpToken tok = trace::begin_op_at(sim_trace_ns(sys_));
+    nmp::Request r = make_request(op, rng);
+    r.trace_id = tok.id;
+    (void)co_await sim_call(c, *publists_[p], slot, r);
+    if (tok.sampled()) {
+      trace::end_op(tok, sim_trace_ns(sys_), static_cast<std::uint8_t>(r.op),
+                    static_cast<std::int16_t>(p), /*offloaded=*/true, c.core);
+    }
   }
 
   std::size_t size() const {
@@ -459,7 +467,8 @@ class SimHybridSkipList {
     assert(total_height > nmp_height);
     for (std::uint32_t p = 0; p < partitions; ++p) {
       regions_.push_back(std::make_unique<SimSkipRegion>(nmp_height));
-      publists_.push_back(std::make_unique<SimPubList>(slots_per_list));
+      publists_.push_back(std::make_unique<SimPubList>(
+          slots_per_list, static_cast<std::int16_t>(p)));
     }
   }
 
@@ -595,12 +604,35 @@ class SimHybridSkipList {
 
   Task<void> run_op_blocking(HostCtx& c, std::uint32_t slot,
                              const workload::Op& op, util::Xoshiro256& rng) {
+    const trace::OpToken tok = trace::begin_op_at(sim_trace_ns(sys_));
     while (true) {
+      const std::uint64_t d0 = tok.sampled() ? sim_trace_ns(sys_) : 0;
       Prepared prep = co_await prepare(c, op, rng);
-      if (!prep.offload) co_return;
+      const auto op8 = static_cast<std::uint8_t>(prep.req.op);
+      const auto part16 = static_cast<std::int16_t>(prep.partition);
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? sim_trace_ns(sys_) : 0, op8, part16,
+                         0, c.core);
+      if (!prep.offload) {
+        if (tok.sampled()) {
+          trace::end_op(tok, sim_trace_ns(sys_), op8, part16,
+                        /*offloaded=*/false, c.core);
+        }
+        co_return;
+      }
+      prep.req.trace_id = tok.id;
       nmp::Response resp =
           co_await sim_call(c, *publists_[prep.partition], slot, prep.req);
-      if (co_await complete(c, prep, resp, slot, rng)) co_return;
+      if (co_await complete(c, prep, resp, slot, rng)) {
+        if (tok.sampled()) {
+          trace::end_op(tok, sim_trace_ns(sys_), op8, part16,
+                        /*offloaded=*/true, c.core);
+        }
+        co_return;
+      }
+      trace::record_instant(tok.id, trace::Phase::kRetry,
+                            tok.sampled() ? sim_trace_ns(sys_) : 0, op8,
+                            part16, c.core);
     }
   }
 

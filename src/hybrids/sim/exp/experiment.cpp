@@ -66,6 +66,12 @@ std::uint32_t slot_base(std::uint32_t thread, std::uint32_t inflight) {
 
 ExperimentResult finalize(const RunControl& control, System& sys,
                           std::uint64_t ops) {
+  // Advance the trace clock past this run's last tick so the next sim run
+  // (restarting at tick 0) doesn't overlap it in the exported trace.
+  trace::advance_time_base(trace::time_base() +
+                           static_cast<std::uint64_t>(
+                               ticks_to_ns(sys.engine().now())) +
+                           1000);
   ExperimentResult r;
   r.ops = ops;
   r.duration = control.t1 - control.t0;
@@ -182,8 +188,18 @@ Task<void> hybrid_skiplist_nonblocking_actor(System& sys, RunControl& control,
   };
   auto issue = [&](const workload::Op& op) -> Task<void> {
     co_await touch_app(c, cfg, rng);
+    // Async ops trace their transport phases but no enclosing kOp span:
+    // their wall-clock overlaps other issued work. A retry fallback goes
+    // through run_op_blocking, which traces as a fresh op.
+    const trace::OpToken tok = trace::begin_op_at(sim_trace_ns(sys));
+    const std::uint64_t d0 = tok.sampled() ? sim_trace_ns(sys) : 0;
     SimHybridSkipList::Prepared prep = co_await ds.prepare(c, op, rng);
+    trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                       tok.sampled() ? sim_trace_ns(sys) : 0,
+                       static_cast<std::uint8_t>(prep.req.op),
+                       static_cast<std::int16_t>(prep.partition), 0, c.core);
     if (!prep.offload) co_return;  // completed host-side
+    prep.req.trace_id = tok.id;
     if (window.size() == cfg.inflight) co_await complete_oldest();
     const std::uint32_t slot =
         base + 1 + static_cast<std::uint32_t>(seq++ % cfg.inflight);
@@ -271,7 +287,15 @@ Task<void> hybrid_btree_nonblocking_actor(System& sys, RunControl& control,
   };
   auto issue = [&](const workload::Op& op) -> Task<void> {
     co_await touch_app(c, cfg, rng);
+    // See the skiplist non-blocking actor: transport phases only, no kOp.
+    const trace::OpToken tok = trace::begin_op_at(sim_trace_ns(sys));
+    const std::uint64_t d0 = tok.sampled() ? sim_trace_ns(sys) : 0;
     SimHybridBTree::Prepared prep = co_await ds.prepare(c, op);
+    trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                       tok.sampled() ? sim_trace_ns(sys) : 0,
+                       static_cast<std::uint8_t>(prep.req.op),
+                       static_cast<std::int16_t>(prep.partition), 0, c.core);
+    prep.req.trace_id = tok.id;
     if (window.size() == cfg.inflight) co_await complete_oldest();
     const std::uint32_t slot =
         base + 1 + static_cast<std::uint32_t>(seq++ % cfg.inflight);

@@ -16,6 +16,7 @@
 #include "hybrids/sim/machine/config.hpp"
 #include "hybrids/sim/mem/memory_system.hpp"
 #include "hybrids/telemetry/registry.hpp"
+#include "hybrids/trace/trace.hpp"
 
 namespace hybrids::sim {
 
@@ -111,14 +112,27 @@ struct SimSlot {
   nmp::Request req{};
   nmp::Response resp{};
   Tick posted_at = 0;  // telemetry: simulated post time (queue wait)
+  Tick done_at = 0;    // trace: combiner completion time (kWake start)
 };
 
 /// One NMP core's publication list plus the stop flag shared with its
 /// combiner actor.
 struct SimPubList {
-  explicit SimPubList(std::uint32_t slots) : slots(slots) {}
+  explicit SimPubList(std::uint32_t slots, std::int16_t part = -1)
+      : slots(slots), part(part) {}
   std::vector<SimSlot> slots;
+  std::int16_t part;  // owning partition, for trace attribution
 };
+
+/// Trace timestamp for simulated time: the run-global offset (so stacked
+/// runs don't overlap at tick 0) plus the engine clock, in nanoseconds.
+inline std::uint64_t sim_trace_ns(System& sys) {
+  return trace::time_base() +
+         static_cast<std::uint64_t>(ticks_to_ns(sys.engine().now()));
+}
+inline std::uint64_t sim_trace_ns_at(Tick t) {
+  return trace::time_base() + static_cast<std::uint64_t>(ticks_to_ns(t));
+}
 
 /// Host side of a blocking NMP call: write the request (posted MMIO), poll
 /// the valid flag, read back the response (§3.2; Table 2 measures exactly
@@ -130,19 +144,28 @@ inline Task<nmp::Response> sim_call(HostCtx& c, SimPubList& pl,
       telemetry::counter(telemetry::names::kOffloadPosted);
   static telemetry::Counter& blocking =
       telemetry::counter(telemetry::names::kCallBlocking);
+  const std::uint64_t p0 = req.trace_id ? sim_trace_ns(*c.sys) : 0;
   co_await c.mmio_write();
   pl.slots[slot].req = req;
   pl.slots[slot].resp = nmp::Response{};
   pl.slots[slot].posted_at = c.sys->engine().now();
+  pl.slots[slot].done_at = 0;
   pl.slots[slot].status = SimSlot::kPending;
   posted.inc();
   blocking.inc();
+  trace::record_span(req.trace_id, trace::Phase::kPublish, p0,
+                     req.trace_id ? sim_trace_ns(*c.sys) : 0,
+                     static_cast<std::uint8_t>(req.op), pl.part, 0, c.core);
   while (true) {
     co_await c.mmio_read();  // poll the flag
     if (pl.slots[slot].status == SimSlot::kDone) break;
     co_await c.delay(c.sys->config().host_poll_gap);
   }
   co_await c.mmio_read();  // fetch response payload
+  trace::record_span(req.trace_id, trace::Phase::kWake,
+                     sim_trace_ns_at(pl.slots[slot].done_at),
+                     req.trace_id ? sim_trace_ns(*c.sys) : 0,
+                     static_cast<std::uint8_t>(req.op), pl.part, 0, c.core);
   nmp::Response resp = pl.slots[slot].resp;
   pl.slots[slot].status = SimSlot::kEmpty;
   co_return resp;
@@ -156,13 +179,18 @@ inline Task<void> sim_post(HostCtx& c, SimPubList& pl, std::uint32_t slot,
       telemetry::counter(telemetry::names::kOffloadPosted);
   static telemetry::Counter& async =
       telemetry::counter(telemetry::names::kCallAsync);
+  const std::uint64_t p0 = req.trace_id ? sim_trace_ns(*c.sys) : 0;
   co_await c.mmio_write();
   pl.slots[slot].req = req;
   pl.slots[slot].resp = nmp::Response{};
   pl.slots[slot].posted_at = c.sys->engine().now();
+  pl.slots[slot].done_at = 0;
   pl.slots[slot].status = SimSlot::kPending;
   posted.inc();
   async.inc();
+  trace::record_span(req.trace_id, trace::Phase::kPublish, p0,
+                     req.trace_id ? sim_trace_ns(*c.sys) : 0,
+                     static_cast<std::uint8_t>(req.op), pl.part, 0, c.core);
 }
 
 inline Task<nmp::Response> sim_collect(HostCtx& c, SimPubList& pl,
@@ -173,6 +201,11 @@ inline Task<nmp::Response> sim_collect(HostCtx& c, SimPubList& pl,
     co_await c.delay(c.sys->config().host_poll_gap);
   }
   co_await c.mmio_read();
+  trace::record_span(pl.slots[slot].req.trace_id, trace::Phase::kWake,
+                     sim_trace_ns_at(pl.slots[slot].done_at),
+                     pl.slots[slot].req.trace_id ? sim_trace_ns(*c.sys) : 0,
+                     static_cast<std::uint8_t>(pl.slots[slot].req.op), pl.part,
+                     0, c.core);
   nmp::Response resp = pl.slots[slot].resp;
   pl.slots[slot].status = SimSlot::kEmpty;
   co_return resp;
@@ -191,6 +224,8 @@ struct SimCombinerMetrics {
   telemetry::LatencyRecorder* service;
   telemetry::LatencyRecorder* occupancy;
   telemetry::LatencyRecorder* batch;
+  telemetry::Counter* trace_queue_wait;  // traced ops: queue-wait ns total
+  telemetry::Counter* trace_service;     // traced ops: service ns total
 
   explicit SimCombinerMetrics(std::uint32_t vault) {
     namespace tn = telemetry::names;
@@ -206,6 +241,8 @@ struct SimCombinerMetrics {
     service = &telemetry::latency(tn::kServiceNs, p);
     occupancy = &telemetry::latency(tn::kScanOccupancy, p);
     batch = &telemetry::latency(tn::kCombinerBatch, p);
+    trace_queue_wait = &telemetry::counter(tn::kTraceQueueWaitNs, p);
+    trace_service = &telemetry::counter(tn::kTraceServiceNs, p);
   }
 };
 
@@ -229,10 +266,36 @@ inline Task<void> sim_combiner(
       if (slot.status == SimSlot::kPending) {
         const Tick t0 = sys.engine().now();
         const auto op = static_cast<std::size_t>(slot.req.op);
+        const std::uint64_t trace_id = slot.req.trace_id;
         co_await handler(ctx, slot);
+        const Tick t_applied = sys.engine().now();
         co_await ctx.spad();  // write response + clear flag
+        slot.done_at = sys.engine().now();
         slot.status = SimSlot::kDone;
         ++served_this_pass;
+        if constexpr (trace::kCompiledIn) {
+          if (trace_id != 0) {
+            // kQueueWait + kApply + kReply tile [posted_at, done_at] on the
+            // combiner lane, mirroring the real NmpCore attribution.
+            const auto op8 = static_cast<std::uint8_t>(op);
+            const auto part = static_cast<std::int16_t>(ctx.vault);
+            const std::uint32_t lane = trace::kCombinerTrackBase + ctx.vault;
+            trace::record_span(trace_id, trace::Phase::kQueueWait,
+                               sim_trace_ns_at(slot.posted_at),
+                               sim_trace_ns_at(t0), op8, part, 0, lane);
+            trace::record_span(trace_id, trace::Phase::kApply,
+                               sim_trace_ns_at(t0), sim_trace_ns_at(t_applied),
+                               op8, part, 0, lane);
+            trace::record_span(trace_id, trace::Phase::kReply,
+                               sim_trace_ns_at(t_applied),
+                               sim_trace_ns_at(slot.done_at), op8, part, 0,
+                               lane);
+            m.trace_queue_wait->add(
+                static_cast<std::uint64_t>(ticks_to_ns(t0 - slot.posted_at)));
+            m.trace_service->add(
+                static_cast<std::uint64_t>(ticks_to_ns(t_applied - t0)));
+          }
+        }
         if constexpr (telemetry::kEnabled) {
           m.queue_wait->record(ticks_to_ns(t0 - slot.posted_at));
           m.service->record(ticks_to_ns(sys.engine().now() - t0));

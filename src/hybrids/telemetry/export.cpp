@@ -56,6 +56,7 @@ void append_histogram(std::ostringstream& os, const util::Histogram& h) {
   os << ",\"p50\":"; append_number(os, h.quantile(0.5));
   os << ",\"p90\":"; append_number(os, h.quantile(0.9));
   os << ",\"p99\":"; append_number(os, h.quantile(0.99));
+  os << ",\"p999\":"; append_number(os, h.quantile(0.999));
   os << ",\"buckets\":[";
   bool first = true;
   const auto& buckets = h.bucket_counts();
@@ -152,23 +153,53 @@ std::string to_json(const Snapshot& snap) {
   return os.str();
 }
 
-std::string to_csv(const Snapshot& snap) {
-  std::ostringstream os;
-  os << "type,name,partition,value,count,sum,mean,min,max,p50,p90,p99\n";
+namespace {
+
+constexpr const char* kCsvColumns =
+    "type,name,partition,value,count,sum,mean,min,max,p50,p90,p99,p999";
+
+/// One row per instrument; `row_prefix` is empty for single-snapshot CSV and
+/// "<t_ms>," for the series form.
+void append_csv_rows(std::ostringstream& os, const Snapshot& snap,
+                     const std::string& row_prefix) {
   auto partition_field = [](std::int32_t p) {
     return p == Registry::kGlobal ? std::string{} : std::to_string(p);
   };
   for (const auto& c : snap.counters) {
-    os << "counter," << c.name << ',' << partition_field(c.partition) << ','
-       << c.value << ",,,,,,,,\n";
+    os << row_prefix << "counter," << c.name << ','
+       << partition_field(c.partition) << ',' << c.value << ",,,,,,,,,\n";
   }
   for (const auto& h : snap.histograms) {
-    os << "histogram," << h.name << ',' << partition_field(h.partition)
-       << ",," << h.hist.count() << ',' << finite(h.hist.sum()) << ','
-       << finite(h.hist.mean()) << ',' << finite(h.hist.min()) << ','
-       << finite(h.hist.max()) << ',' << finite(h.hist.quantile(0.5)) << ','
+    os << row_prefix << "histogram," << h.name << ','
+       << partition_field(h.partition) << ",," << h.hist.count() << ','
+       << finite(h.hist.sum()) << ',' << finite(h.hist.mean()) << ','
+       << finite(h.hist.min()) << ',' << finite(h.hist.max()) << ','
+       << finite(h.hist.quantile(0.5)) << ','
        << finite(h.hist.quantile(0.9)) << ','
-       << finite(h.hist.quantile(0.99)) << '\n';
+       << finite(h.hist.quantile(0.99)) << ','
+       << finite(h.hist.quantile(0.999)) << '\n';
+  }
+}
+
+}  // namespace
+
+std::string to_csv(const Snapshot& snap) {
+  std::ostringstream os;
+  os << kCsvColumns << '\n';
+  append_csv_rows(os, snap, std::string{});
+  return os.str();
+}
+
+std::string series_to_csv(const std::vector<Snapshot>& series) {
+  std::ostringstream os;
+  os << "t_ms," << kCsvColumns << '\n';
+  const std::uint64_t t0 = series.empty() ? 0 : series.front().taken_ns;
+  for (const auto& snap : series) {
+    std::ostringstream prefix;
+    const std::uint64_t dt =
+        snap.taken_ns >= t0 ? snap.taken_ns - t0 : 0;  // now_ns is monotonic
+    prefix << static_cast<double>(dt) / 1e6 << ',';
+    append_csv_rows(os, snap, prefix.str());
   }
   return os.str();
 }
@@ -182,7 +213,38 @@ std::string one_line_summary(const Snapshot& snap) {
   const util::Histogram qw = snap.histogram_total(names::kQueueWaitNs);
   if (qw.count() > 0) {
     os << " queue_wait_ns{p50=" << finite(qw.quantile(0.5))
-       << ",p99=" << finite(qw.quantile(0.99)) << '}';
+       << ",p99=" << finite(qw.quantile(0.99))
+       << ",p99.9=" << finite(qw.quantile(0.999)) << '}';
+  }
+  return os.str();
+}
+
+std::string one_line_delta_summary(const Snapshot& prev, const Snapshot& cur) {
+  std::ostringstream os;
+  auto delta = [&](const char* name) {
+    const std::uint64_t now = cur.counter_total(name);
+    const std::uint64_t before = prev.counter_total(name);
+    return now > before ? now - before : 0;
+  };
+  const std::uint64_t served = delta(names::kServedTotal);
+  os << "[telemetry delta] served=" << served;
+  if (cur.taken_ns > prev.taken_ns && served > 0) {
+    const double dt_s =
+        static_cast<double>(cur.taken_ns - prev.taken_ns) / 1e9;
+    os << " (" << static_cast<std::uint64_t>(
+                      static_cast<double>(served) / dt_s)
+       << "/s)";
+  }
+  os << " posted=" << delta(names::kOffloadPosted)
+     << " stale_retries=" << delta(names::kRetryStaleBeginNode)
+     << " seq_retries=" << delta(names::kRetryParentSeqnum);
+  const util::Histogram qw =
+      cur.histogram_total(names::kQueueWaitNs)
+          .delta_since(prev.histogram_total(names::kQueueWaitNs));
+  if (qw.count() > 0) {
+    os << " queue_wait_ns{p50=" << finite(qw.quantile(0.5))
+       << ",p99=" << finite(qw.quantile(0.99))
+       << ",p99.9=" << finite(qw.quantile(0.999)) << '}';
   }
   return os.str();
 }
@@ -202,6 +264,13 @@ bool export_json(const std::string& path) {
 
 bool export_csv(const std::string& path) {
   return write_file(path, to_csv(snapshot()));
+}
+
+bool export_series_csv(const std::vector<Snapshot>& series,
+                       const std::string& path) {
+  // series_to_csv already ends with '\n' per row; write_file appends one
+  // more, which CSV readers ignore.
+  return write_file(path, series_to_csv(series));
 }
 
 }  // namespace hybrids::telemetry

@@ -17,16 +17,19 @@
 //       ...
 //     ]
 //   }
-// where <hist> is {"count","sum","mean","min","max","p50","p90","p99",
+// where <hist> is {"count","sum","mean","min","max","p50","p90","p99","p999",
 // "buckets":[{"le":...,"count":...}, ...]} (non-empty buckets only).
 //
 // CSV layout: one row per instrument,
-//   type,name,partition,value,count,sum,mean,min,max,p50,p90,p99
+//   type,name,partition,value,count,sum,mean,min,max,p50,p90,p99,p999
 // (counters fill `value`, histograms fill the rest; partition is empty for
-// global-scope metrics).
+// global-scope metrics). The series form (--stats-series) prepends a `t_ms`
+// wall-clock column — milliseconds since the first snapshot — and repeats
+// the per-instrument rows for every snapshot in the timeline.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "hybrids/telemetry/registry.hpp"
 
@@ -35,13 +38,26 @@ namespace hybrids::telemetry {
 std::string to_json(const Snapshot& snap);
 std::string to_csv(const Snapshot& snap);
 
+/// Timeline CSV: same columns as to_csv() behind a leading `t_ms` column,
+/// one block of rows per snapshot.
+std::string series_to_csv(const std::vector<Snapshot>& series);
+
 /// One-line human summary (periodic reporters / log lines).
 std::string one_line_summary(const Snapshot& snap);
+
+/// Like one_line_summary, but reports the interval since `prev` instead of
+/// run-cumulative values: counter deltas (with a served-ops/s rate) and
+/// interval-local queue-wait quantiles (--stats-delta).
+std::string one_line_delta_summary(const Snapshot& prev, const Snapshot& cur);
 
 /// Snapshot the global registry and write it to `path`. Returns false (and
 /// leaves no partial file behind semantics aside) if the file cannot be
 /// opened or written.
 bool export_json(const std::string& path);
 bool export_csv(const std::string& path);
+
+/// Write a timeline's snapshots as series CSV (see series_to_csv).
+bool export_series_csv(const std::vector<Snapshot>& series,
+                       const std::string& path);
 
 }  // namespace hybrids::telemetry

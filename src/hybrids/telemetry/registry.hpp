@@ -42,6 +42,8 @@ inline constexpr const char* kScanLen = "nmp.scan_len";
 inline constexpr const char* kWaitTimeoutTotal = "wait_timeout_total";
 inline constexpr const char* kWatchdogFired = "watchdog_fired";
 inline constexpr const char* kPartitionDegraded = "partition_degraded";
+inline constexpr const char* kTraceQueueWaitNs = "trace.queue_wait_ns";
+inline constexpr const char* kTraceServiceNs = "trace.service_ns";
 // Global scope (host side).
 inline constexpr const char* kOffloadPosted = "host.offload_posted";
 inline constexpr const char* kCallBlocking = "host.call_blocking";
@@ -59,6 +61,8 @@ inline constexpr const char* kScanRetry = "host.scan_retry";
 inline constexpr const char* kMemArenaBytes = "mem.arena_bytes";
 inline constexpr const char* kMemPoolRecycled = "mem.pool_recycled";
 inline constexpr const char* kMemPoolShardMisses = "mem.pool_shard_misses";
+inline constexpr const char* kTraceSampledOps = "trace.sampled_ops";
+inline constexpr const char* kTraceDroppedEvents = "trace.dropped_events";
 inline constexpr const char* kFaultInjectedPrefix = "fault_injected_";  // + kind
 }  // namespace names
 

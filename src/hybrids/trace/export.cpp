@@ -1,0 +1,155 @@
+#include "hybrids/trace/export.hpp"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "hybrids/nmp/publication.hpp"
+
+namespace hybrids::trace {
+
+namespace {
+
+/// Microseconds with ns precision — the trace-event format's `ts`/`dur`
+/// unit is microseconds but fractional values are accepted by both
+/// chrome://tracing and Perfetto.
+void append_us(std::ostringstream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << static_cast<char>('0' + (ns / 100) % 10)
+     << static_cast<char>('0' + (ns / 10) % 10)
+     << static_cast<char>('0' + ns % 10);
+}
+
+void append_common(std::ostringstream& os, const Event& e) {
+  os << "\"pid\":1,\"tid\":" << e.track << ",\"ts\":";
+  append_us(os, e.start_ns);
+  os << ",\"name\":\"" << phase_name(e.phase) << "\",\"cat\":\"hybrids\"";
+}
+
+void append_args(std::ostringstream& os, const Event& e) {
+  os << ",\"args\":{\"op_id\":" << e.op_id << ",\"op\":\""
+     << nmp::op_code_name(static_cast<nmp::OpCode>(e.op))
+     << "\",\"partition\":" << e.partition;
+  if (e.phase == Phase::kOp) {
+    os << ",\"offloaded\":" << ((e.flags & kFlagOffloaded) ? 1 : 0);
+  }
+  os << '}';
+}
+
+std::string track_name(std::uint32_t track) {
+  if (track >= kCombinerTrackBase) {
+    return "combiner-p" + std::to_string(track - kCombinerTrackBase);
+  }
+  return "host-" + std::to_string(track);
+}
+
+}  // namespace
+
+std::string to_chrome_json(const TraceData& data) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Metadata: name each track so Perfetto shows "host-N" / "combiner-pP"
+  // lanes instead of bare tids.
+  std::set<std::uint32_t> tracks;
+  for (const Event& e : data.events) tracks.insert(e.track);
+  for (std::uint32_t t : tracks) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << track_name(t)
+       << "\"}}";
+  }
+  for (const Event& e : data.events) {
+    if (!first) os << ',';
+    first = false;
+    if (e.flags & kFlagInstant) {
+      os << "{\"ph\":\"i\",";
+      append_common(os, e);
+      os << ",\"s\":\"t\"";  // thread-scoped instant
+    } else {
+      os << "{\"ph\":\"X\",";
+      append_common(os, e);
+      os << ",\"dur\":";
+      append_us(os, e.dur_ns);
+    }
+    append_args(os, e);
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+        "\"schema\":\"hybrids.trace.v1\",\"sampled_ops\":"
+     << data.sampled_ops << ",\"dropped_events\":" << data.dropped << "}}";
+  return os.str();
+}
+
+bool write_chrome_json(const std::string& path, const TraceData& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_chrome_json(data) << '\n';
+  return static_cast<bool>(out.flush());
+}
+
+Breakdown breakdown(const TraceData& data) {
+  Breakdown b;
+  std::unordered_set<std::uint64_t> offloaded;
+  for (const Event& e : data.events) {
+    if (e.flags & kFlagInstant) {
+      b.phases[static_cast<std::size_t>(e.phase)].count++;
+      continue;
+    }
+    PhaseStat& ps = b.phases[static_cast<std::size_t>(e.phase)];
+    ps.count++;
+    ps.total_ns += e.dur_ns;
+    if (e.phase == Phase::kOp && (e.flags & kFlagOffloaded)) {
+      b.offloaded_ops++;
+      b.offloaded_op_ns += e.dur_ns;
+      offloaded.insert(e.op_id);
+    }
+  }
+  for (const Event& e : data.events) {
+    // Leaf phases only: kOp encloses everything, kScanChunk encloses the
+    // per-chunk descend/publish/wake, kRetry is an instant.
+    if (e.phase == Phase::kOp || e.phase == Phase::kScanChunk ||
+        (e.flags & kFlagInstant)) {
+      continue;
+    }
+    if (offloaded.count(e.op_id)) b.attributed_ns += e.dur_ns;
+  }
+  return b;
+}
+
+std::string breakdown_table(const Breakdown& b) {
+  std::ostringstream os;
+  os << "[trace] per-phase latency breakdown (sampled ops)\n";
+  os << "[trace]   phase         count      total_us     mean_ns\n";
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const PhaseStat& ps = b.phases[static_cast<std::size_t>(i)];
+    if (ps.count == 0) continue;
+    const char* name = phase_name(static_cast<Phase>(i));
+    os << "[trace]   ";
+    os << name;
+    for (std::size_t pad = std::char_traits<char>::length(name); pad < 14;
+         ++pad) {
+      os << ' ';
+    }
+    std::ostringstream count_col, total_col;
+    count_col << ps.count;
+    total_col << ps.total_ns / 1000 << '.' << (ps.total_ns / 100) % 10;
+    for (std::size_t pad = count_col.str().size(); pad < 9; ++pad) os << ' ';
+    os << count_col.str();
+    for (std::size_t pad = total_col.str().size(); pad < 14; ++pad) os << ' ';
+    os << total_col.str();
+    std::ostringstream mean_col;
+    mean_col << (ps.count ? ps.total_ns / ps.count : 0);
+    for (std::size_t pad = mean_col.str().size(); pad < 12; ++pad) os << ' ';
+    os << mean_col.str() << '\n';
+  }
+  os << "[trace] offloaded ops sampled: " << b.offloaded_ops
+     << ", phase coverage of offloaded-op latency: ";
+  os.precision(1);
+  os << std::fixed << b.coverage() * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace hybrids::trace

@@ -1,0 +1,59 @@
+// Exporters for drained traces (trace.hpp):
+//
+//  * Chrome trace-event JSON (object form, schema "hybrids.trace.v1") that
+//    loads in chrome://tracing and https://ui.perfetto.dev — one timeline
+//    track per host thread plus one per partition combiner, complete ("X")
+//    events per phase span, instant ("i") events for retries;
+//  * a per-phase latency breakdown: per-phase count / total / mean, plus a
+//    coverage figure — the fraction of sampled *offloaded* operation time
+//    (kOp spans flagged kFlagOffloaded) that the leaf phases account for.
+//    Leaf phases exclude kOp itself and kScanChunk, which structurally
+//    enclose other phases.
+//
+// See docs/TRACING.md for the phase model and how to read a trace.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "hybrids/trace/trace.hpp"
+
+namespace hybrids::trace {
+
+/// JSON for the whole trace; Chrome trace-event "object" form with
+/// `traceEvents` plus dropped/sampled totals under `otherData`.
+std::string to_chrome_json(const TraceData& data);
+
+/// to_chrome_json to a file. Returns false if the file cannot be written.
+bool write_chrome_json(const std::string& path, const TraceData& data);
+
+struct PhaseStat {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+/// Aggregated per-phase statistics over one drained trace.
+struct Breakdown {
+  std::array<PhaseStat, kPhaseCount> phases{};  // indexed by Phase
+  std::uint64_t offloaded_ops = 0;  // kOp spans flagged kFlagOffloaded
+  std::uint64_t offloaded_op_ns = 0;
+  std::uint64_t attributed_ns = 0;  // leaf-phase time inside those ops
+
+  /// Fraction of sampled offloaded-op latency the leaf phases explain.
+  /// Phases recorded on both sides of a boundary may overlap slightly, so
+  /// values can exceed 1; 0 when no offloaded op was sampled.
+  double coverage() const {
+    return offloaded_op_ns
+               ? static_cast<double>(attributed_ns) /
+                     static_cast<double>(offloaded_op_ns)
+               : 0.0;
+  }
+};
+
+Breakdown breakdown(const TraceData& data);
+
+/// Human-readable table of a Breakdown (the end-of-run stderr report).
+std::string breakdown_table(const Breakdown& b);
+
+}  // namespace hybrids::trace

@@ -39,6 +39,21 @@ void Histogram::merge(const Histogram& other) {
   for (int i = 0; i < kBuckets; ++i) buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
 }
 
+Histogram Histogram::delta_since(const Histogram& prev) const {
+  Histogram d;
+  if (count_ <= prev.count_) return d;  // nothing new (or instrument reset)
+  for (int i = 0; i < kBuckets; ++i) {
+    const auto b = static_cast<std::size_t>(i);
+    if (buckets_[b] < prev.buckets_[b]) return Histogram{};  // reset mid-run
+    d.buckets_[b] = buckets_[b] - prev.buckets_[b];
+  }
+  d.count_ = count_ - prev.count_;
+  d.sum_ = sum_ - prev.sum_;
+  d.min_ = min_;  // run-wide range: tightest bound available (see header)
+  d.max_ = max_;
+  return d;
+}
+
 double Histogram::bucket_upper(int i) {
   return i <= 0 ? 1.0 : std::pow(2.0, i);
 }
@@ -68,7 +83,8 @@ double Histogram::quantile(double q) const {
 std::string Histogram::summary() const {
   std::ostringstream os;
   os << "n=" << count_ << " mean=" << mean() << " min=" << min()
-     << " p50~" << quantile(0.5) << " p99~" << quantile(0.99) << " max=" << max();
+     << " p50~" << quantile(0.5) << " p99~" << quantile(0.99)
+     << " p99.9~" << quantile(0.999) << " max=" << max();
   return os.str();
 }
 

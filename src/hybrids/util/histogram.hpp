@@ -16,6 +16,13 @@ class Histogram {
   void record(double value);
   void merge(const Histogram& other);
 
+  /// Samples recorded since `prev` was captured (both must be cumulative
+  /// states of the same instrument, `prev` the earlier one). The interval's
+  /// exact min/max aren't recoverable from cumulative state, so quantiles of
+  /// the delta clamp against the run-wide range instead. Returns an empty
+  /// histogram if `prev` is not a prefix of *this (e.g. after a reset).
+  Histogram delta_since(const Histogram& prev) const;
+
   std::uint64_t count() const { return count_; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
   double min() const { return count_ ? min_ : 0.0; }

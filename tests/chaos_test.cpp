@@ -35,6 +35,7 @@
 #include "hybrids/ds/nmp_skiplist.hpp"
 #include "hybrids/nmp/fault.hpp"
 #include "hybrids/telemetry/registry.hpp"
+#include "hybrids/trace/trace.hpp"
 #include "hybrids/types.hpp"
 #include "hybrids/util/rng.hpp"
 
@@ -53,6 +54,18 @@ std::uint64_t chaos_seed() {
   const char* env = std::getenv("CHAOS_SEED");
   return env != nullptr ? std::strtoull(env, nullptr, 10) : 1ull;
 }
+
+// $HYBRIDS_TRACE_SAMPLE=N turns on 1-in-N operation tracing for the whole
+// run, so CI exercises the trace recorders (per-thread rings, cross-thread
+// combiner attribution) under injected faults and TSan. The drained data is
+// discarded — the point is racing the recording paths, not the output.
+[[maybe_unused]] const bool g_tracing = [] {
+  const char* env = std::getenv("HYBRIDS_TRACE_SAMPLE");
+  if (env == nullptr) return false;
+  hybrids::trace::set_sample_every(
+      static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10)));
+  return hybrids::trace::sample_every() > 0;
+}();
 
 fault::Config one_kind(std::uint64_t seed, fault::Kind k, double p) {
   fault::Config c;
