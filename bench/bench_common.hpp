@@ -28,6 +28,9 @@
 //   --fault-rate=P       per-kind injection probability (default 0.01;
 //                        only meaningful together with --fault-seed)
 //   --scan-max=N         maximum requested range-scan length (scan benches)
+//   --kill-every-ms=N    (ext_failover) force one combiner failover every
+//                        N ms during the timed run
+//   --duration-ms=N      (ext_failover) timed-run length per mode, in ms
 //
 // micro_library_bench (google-benchmark, not parse_options) additionally
 // accepts --pool=arena|malloc: `arena` (the default) backs structure nodes
@@ -64,6 +67,8 @@ struct Options {
   std::uint64_t warmup = 2000;
   std::vector<std::uint32_t> threads;
   std::uint32_t scan_max = 100;  // max requested range-scan length (YCSB-E)
+  std::uint32_t kill_every_ms = 500;  // ext_failover: kill cadence
+  std::uint32_t duration_ms = 3000;   // ext_failover: timed-run length
   bool full = false;
   bool csv = false;
   std::string stats_json;               // empty: no JSON export
@@ -120,6 +125,22 @@ inline Options parse_options(int argc, char** argv) {
       if (opt.scan_max == 0) {
         std::cerr << "error: --scan-max must be a positive integer, got '" << v
                   << "'\n";
+        std::exit(2);
+      }
+    } else if (const char* v = value_of("--kill-every-ms=")) {
+      opt.kill_every_ms =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (opt.kill_every_ms == 0) {
+        std::cerr << "error: --kill-every-ms must be a positive integer, got '"
+                  << v << "'\n";
+        std::exit(2);
+      }
+    } else if (const char* v = value_of("--duration-ms=")) {
+      opt.duration_ms =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (opt.duration_ms == 0) {
+        std::cerr << "error: --duration-ms must be a positive integer, got '"
+                  << v << "'\n";
         std::exit(2);
       }
     } else if (const char* v = value_of("--stats-json=")) {
@@ -197,6 +218,10 @@ inline Options parse_options(int argc, char** argv) {
                    "(HYBRIDS_FAULTS builds only)\n"
                    "  --scan-max=N         max range-scan length (scan "
                    "benches, default 100)\n"
+                   "  --kill-every-ms=N    (ext_failover) kill cadence "
+                   "(default 500)\n"
+                   "  --duration-ms=N      (ext_failover) timed-run length "
+                   "(default 3000)\n"
                    "  --fault-rate=P       per-kind injection probability "
                    "(default 0.01)\n";
       std::exit(0);

@@ -39,6 +39,7 @@ KNOWN_PHASES = [
     "wake",
     "scan_chunk",
     "retry",
+    "failover",
 ]
 
 

@@ -21,6 +21,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "hybrids/ds/btree_nodes.hpp"
@@ -55,6 +56,12 @@ class HybridBTree {
     // each scan pass is served in ascending key order with an NmpBTree
     // traversal finger.
     bool batching = true;
+    // NMP runtime watchdog / failover passthrough (see nmp::PartitionConfig
+    // for the semantics; chaos tests shrink these to force fast failover).
+    std::uint32_t watchdog_interval_ms = 10;
+    std::uint32_t watchdog_misses_to_degrade = 5;
+    std::uint32_t watchdog_misses_to_recover = 3;
+    nmp::FailoverPolicy failover = nmp::FailoverPolicy::kRespawn;
   };
 
   /// Split-point rule (§3.4): the largest host portion whose cumulative top
@@ -94,8 +101,7 @@ class HybridBTree {
               const std::vector<Value>& values)
       : config_(config),
         last_host_level_(config.nmp_levels),
-        set_(nmp::PartitionConfig{config.partitions, config.max_threads,
-                                  config.slots_per_thread, /*width=*/1}) {
+        set_(make_partition_config(config)) {
     assert(config.nmp_levels >= 1);
     assert(config.partitions >= 1 && config.partitions <= 16);
     namespace tn = telemetry::names;
@@ -185,7 +191,7 @@ class HybridBTree {
                          tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       nmp::Response r =
           offload(nmp::OpCode::kRead, key, 0, frame, tid, tok.id);
-      if (r.retry) {
+      if (must_retry(r)) {
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -214,7 +220,7 @@ class HybridBTree {
                          tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       nmp::Response r =
           offload(nmp::OpCode::kUpdate, key, value, frame, tid, tok.id);
-      if (r.retry) {
+      if (must_retry(r)) {
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -242,7 +248,7 @@ class HybridBTree {
                          tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       nmp::Response r =
           offload(nmp::OpCode::kRemove, key, 0, frame, tid, tok.id);
-      if (r.retry) {
+      if (must_retry(r)) {
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -270,7 +276,7 @@ class HybridBTree {
                          tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       nmp::Response r =
           offload(nmp::OpCode::kInsert, key, value, frame, tid, tok.id);
-      if (r.retry) {
+      if (must_retry(r)) {
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -346,7 +352,7 @@ class HybridBTree {
       // nest under it on the timeline.
       trace::record_span(tok.id, trace::Phase::kScanChunk, c0,
                          tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
-      if (resp.retry) {
+      if (must_retry(resp)) {
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -427,7 +433,7 @@ class HybridBTree {
   bool finish(Ticket& t, Value* out = nullptr) {
     assert(t.state == Ticket::State::kPending);
     nmp::Response r = set_.retrieve(t.handle);
-    if (r.retry) {
+    if (must_retry(r)) {
       host_retry_->inc();
       switch (t.op) {
         case nmp::OpCode::kRead: {
@@ -461,6 +467,10 @@ class HybridBTree {
   const Config& config() const { return config_; }
   int last_host_level() const { return last_host_level_; }
 
+  /// The underlying partition set (failover tests and the availability
+  /// bench use it for trigger_failover / degraded / failovers).
+  nmp::PartitionSet& partition_set() { return set_; }
+
   int height() const {
     return root_.load(std::memory_order_acquire)->level + 1;
   }
@@ -482,6 +492,27 @@ class HybridBTree {
   }
 
  private:
+  /// A failover bounce must re-run the op exactly like an NMP-requested
+  /// retry: the request may not have executed, and the blocking loops
+  /// re-traverse before re-posting. (lock_path is handled separately — the
+  /// escalation protocol has its own legs.)
+  static bool must_retry(const nmp::Response& r) {
+    return r.retry || r.failed_over;
+  }
+
+  static nmp::PartitionConfig make_partition_config(const Config& c) {
+    nmp::PartitionConfig pc;
+    pc.partitions = c.partitions;
+    pc.max_threads = c.max_threads;
+    pc.slots_per_thread = c.slots_per_thread;
+    pc.partition_width = 1;  // btree routes via tagged pointers, not keys
+    pc.watchdog_interval_ms = c.watchdog_interval_ms;
+    pc.watchdog_misses_to_degrade = c.watchdog_misses_to_degrade;
+    pc.watchdog_misses_to_recover = c.watchdog_misses_to_recover;
+    pc.failover = c.failover;
+    return pc;
+  }
+
   /// Per-operation retry bookkeeping: counts NMP-requested retries, bumps
   /// `host.retry_budget_exhausted` once when the budget is crossed, and
   /// backs off exponentially past the budget so a partition stuck replying
@@ -647,7 +678,12 @@ class HybridBTree {
       r.node = pending_handle;
       r.trace_id = trace_id;
       unlock_path_->inc();
-      (void)set_.call(partition, tid, r);
+      // A failover bounce does not mean the unlock ran: the pending
+      // escalation record survives a combiner respawn, so re-post until a
+      // live combiner serves it (otherwise the NMP path stays locked).
+      while (set_.call(partition, tid, r).failed_over) {
+        std::this_thread::yield();
+      }
       return false;
     }
     // All affected host nodes locked: resume. RESUME_INSERT is guaranteed to
@@ -660,6 +696,14 @@ class HybridBTree {
     rr.trace_id = trace_id;
     resume_insert_->inc();
     nmp::Response resp = set_.call(partition, tid, rr);
+    while (resp.failed_over) {
+      // Failover bounced the post before a combiner served it. The pending
+      // escalation record survives the respawn, so re-post instead of
+      // falling into the !resp.ok leg below — treating a bounce as "no
+      // record" would abandon a half-applied escalated insert.
+      std::this_thread::yield();
+      resp = set_.call(partition, tid, rr);
+    }
     if (!resp.ok) {
       // The NMP side has no record of this escalation: the LOCK_PATH
       // response was spurious (fault injection) or the pending insert was

@@ -77,6 +77,13 @@ class HybridSkipList {
     // `host.retry_budget_exhausted` is bumped.
     std::uint32_t retry_budget = 8;
 
+    // NMP runtime watchdog / failover passthrough (see nmp::PartitionConfig
+    // for the semantics; chaos tests shrink these to force fast failover).
+    std::uint32_t watchdog_interval_ms = 10;
+    std::uint32_t watchdog_misses_to_degrade = 5;
+    std::uint32_t watchdog_misses_to_recover = 3;
+    nmp::FailoverPolicy failover = nmp::FailoverPolicy::kRespawn;
+
     int host_height() const { return total_height - nmp_height; }
   };
 
@@ -100,9 +107,7 @@ class HybridSkipList {
   explicit HybridSkipList(const Config& config)
       : config_(config),
         host_(config.host_height()),
-        set_(nmp::PartitionConfig{config.partitions, config.max_threads,
-                                  config.slots_per_thread,
-                                  config.partition_width}) {
+        set_(make_partition_config(config)) {
     assert(config.total_height > config.nmp_height);
     assert(config.nmp_height >= 1);
     namespace tn = telemetry::names;
@@ -700,6 +705,10 @@ class HybridSkipList {
 
   const Config& config() const { return config_; }
 
+  /// The underlying NMP runtime, exposed for failover control and health
+  /// queries (trigger_failover / degraded / failovers / recoveries).
+  nmp::PartitionSet& partition_set() { return set_; }
+
   /// Item count = bottom-level (NMP) count; host nodes are a strict subset.
   std::size_t size() const {
     std::size_t n = 0;
@@ -763,7 +772,23 @@ class HybridSkipList {
   /// protocol never issues (it can only appear through fault injection) and
   /// which is therefore treated as "response unusable, re-execute".
   static bool must_retry(const nmp::Response& r) {
-    return r.retry || r.lock_path;
+    // failed_over: the partition was fenced mid-flight and the op was not
+    // applied; re-routing through the ordinary retry loop (with its backoff)
+    // rides out the recovery window.
+    return r.retry || r.lock_path || r.failed_over;
+  }
+
+  static nmp::PartitionConfig make_partition_config(const Config& c) {
+    nmp::PartitionConfig pc;
+    pc.partitions = c.partitions;
+    pc.max_threads = c.max_threads;
+    pc.slots_per_thread = c.slots_per_thread;
+    pc.partition_width = c.partition_width;
+    pc.watchdog_interval_ms = c.watchdog_interval_ms;
+    pc.watchdog_misses_to_degrade = c.watchdog_misses_to_degrade;
+    pc.watchdog_misses_to_recover = c.watchdog_misses_to_recover;
+    pc.failover = c.failover;
+    return pc;
   }
 
   /// Refreshes the host-side value mirror named by an NMP update response.

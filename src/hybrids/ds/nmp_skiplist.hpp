@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "hybrids/ds/lockfree_skiplist.hpp"  // random_height
@@ -37,13 +38,15 @@ class NmpSkipList {
     std::uint32_t slots_per_thread = 4;  // non-blocking in-flight bound
     std::uint64_t seed = 1;
     bool batching = true;  // key-sorted batch apply with a traversal finger
+    // NMP runtime watchdog / failover passthrough (see nmp::PartitionConfig).
+    std::uint32_t watchdog_interval_ms = 10;
+    std::uint32_t watchdog_misses_to_degrade = 5;
+    std::uint32_t watchdog_misses_to_recover = 3;
+    nmp::FailoverPolicy failover = nmp::FailoverPolicy::kRespawn;
   };
 
   explicit NmpSkipList(const Config& config)
-      : config_(config),
-        set_(nmp::PartitionConfig{config.partitions, config.max_threads,
-                                  config.slots_per_thread,
-                                  config.partition_width}) {
+      : config_(config), set_(make_partition_config(config)) {
     lists_.reserve(config.partitions);
     for (std::uint32_t p = 0; p < config.partitions; ++p) {
       lists_.push_back(std::make_unique<SeqSkipList>(config.total_height));
@@ -80,31 +83,28 @@ class NmpSkipList {
   ~NmpSkipList() { set_.stop(); }
 
   bool read(Key key, Value& out, std::uint32_t tid) {
-    nmp::Response r = set_.call(set_.partition_of(key), tid,
-                                make_request(nmp::OpCode::kRead, key, 0, 0));
+    nmp::Response r = call_retry(set_.partition_of(key), tid,
+                                 make_request(nmp::OpCode::kRead, key, 0, 0));
     out = r.value;
     return r.ok;
   }
 
   bool update(Key key, Value value, std::uint32_t tid) {
-    return set_
-        .call(set_.partition_of(key), tid,
-              make_request(nmp::OpCode::kUpdate, key, value, 0))
+    return call_retry(set_.partition_of(key), tid,
+                      make_request(nmp::OpCode::kUpdate, key, value, 0))
         .ok;
   }
 
   bool insert(Key key, Value value, std::uint32_t tid) {
     const int h = random_height(*rngs_[tid], config_.total_height);
-    return set_
-        .call(set_.partition_of(key), tid,
-              make_request(nmp::OpCode::kInsert, key, value, h))
+    return call_retry(set_.partition_of(key), tid,
+                      make_request(nmp::OpCode::kInsert, key, value, h))
         .ok;
   }
 
   bool remove(Key key, std::uint32_t tid) {
-    return set_
-        .call(set_.partition_of(key), tid,
-              make_request(nmp::OpCode::kRemove, key, 0, 0))
+    return call_retry(set_.partition_of(key), tid,
+                      make_request(nmp::OpCode::kRemove, key, 0, 0))
         .ok;
   }
 
@@ -125,7 +125,7 @@ class NmpSkipList {
       nmp::Request r =
           make_request(nmp::OpCode::kScan, cur, static_cast<Value>(want), 0);
       r.host_node = out + filled;
-      nmp::Response resp = set_.call(p, tid, r);
+      nmp::Response resp = call_retry(p, tid, r);
       filled += resp.value;
       if (resp.has_more) {
         cur = static_cast<Key>(resp.aux);
@@ -159,6 +159,10 @@ class NmpSkipList {
   }
   bool poll(const nmp::OpHandle& h) { return set_.poll(h); }
   nmp::Response retrieve(const nmp::OpHandle& h) { return set_.retrieve(h); }
+
+  /// The underlying partition set (failover tests use it for
+  /// trigger_failover / degraded / failovers).
+  nmp::PartitionSet& partition_set() { return set_; }
 
   /// Quiescent-only helpers for tests.
   std::size_t size() const {
@@ -252,6 +256,32 @@ class NmpSkipList {
   }
 
  private:
+  /// Blocking call that absorbs failover bounces: a failed_over response
+  /// means the request was not served (the lane was fenced before a combiner
+  /// picked it up, or bounced in flight), so re-post until a live combiner —
+  /// or a lease-holding host — serves it.
+  nmp::Response call_retry(std::uint32_t p, std::uint32_t tid,
+                           const nmp::Request& r) {
+    while (true) {
+      nmp::Response resp = set_.call(p, tid, r);
+      if (!resp.failed_over) return resp;
+      std::this_thread::yield();
+    }
+  }
+
+  static nmp::PartitionConfig make_partition_config(const Config& c) {
+    nmp::PartitionConfig pc;
+    pc.partitions = c.partitions;
+    pc.max_threads = c.max_threads;
+    pc.slots_per_thread = c.slots_per_thread;
+    pc.partition_width = c.partition_width;
+    pc.watchdog_interval_ms = c.watchdog_interval_ms;
+    pc.watchdog_misses_to_degrade = c.watchdog_misses_to_degrade;
+    pc.watchdog_misses_to_recover = c.watchdog_misses_to_recover;
+    pc.failover = c.failover;
+    return pc;
+  }
+
   static nmp::Request make_request(nmp::OpCode op, Key key, Value value,
                                    std::uint64_t height) {
     nmp::Request r;

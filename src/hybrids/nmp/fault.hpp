@@ -43,15 +43,36 @@ namespace hybrids::nmp::fault {
 ///                        running the handler (exercises the host's
 ///                        LOCK_PATH fallback when the NMP side has no record
 ///                        of the escalation).
+///  * kCombinerAbort    — the combiner thread permanently exits its service
+///                        loop at the top of a scan pass, before touching any
+///                        slot (dead NMP core; exercises the failover
+///                        supervisor: fence, bounce, respawn/lease).
+///  * kCombinerWedge    — sticky variant of kCombinerStall: the combiner
+///                        spins at the top of a scan pass without serving
+///                        until it is fenced, instead of sleeping once
+///                        (livelocked core; same supervisor path, but the
+///                        zombie thread stays runnable until fenced).
 enum class Kind : std::uint8_t {
   kCombinerStall = 0,
   kDelayedResponse,
   kLostWakeup,
   kSpuriousRetry,
   kSpuriousLockPath,
+  kCombinerAbort,
+  kCombinerWedge,
 };
 
-inline constexpr std::size_t kKindCount = 5;
+inline constexpr std::size_t kKindCount = 7;
+
+/// Lifecycle kinds kill (or wedge until fenced) the combiner thread itself
+/// rather than perturbing one protocol step. They require the failover
+/// supervisor to make progress again, so Config::all() — used by chaos
+/// scenarios that expect every enabled kind to be survivable by the
+/// transport-level retry machinery alone — leaves them disabled; arm them
+/// explicitly in kill-recover scenarios.
+inline constexpr bool is_lifecycle(Kind k) noexcept {
+  return k == Kind::kCombinerAbort || k == Kind::kCombinerWedge;
+}
 
 /// Suffix of the `fault_injected_<kind>` telemetry counters.
 inline const char* kind_name(Kind k) noexcept {
@@ -61,6 +82,8 @@ inline const char* kind_name(Kind k) noexcept {
     case Kind::kLostWakeup: return "lost_wakeup";
     case Kind::kSpuriousRetry: return "spurious_retry";
     case Kind::kSpuriousLockPath: return "spurious_lock_path";
+    case Kind::kCombinerAbort: return "combiner_abort";
+    case Kind::kCombinerWedge: return "combiner_wedge";
   }
   return "unknown";
 }
@@ -80,11 +103,15 @@ struct Config {
     return *this;
   }
 
-  /// All kinds enabled at probability `p` (chaos-harness convenience).
+  /// All transport/protocol kinds enabled at probability `p` (chaos-harness
+  /// convenience). Lifecycle kinds (see is_lifecycle) stay disabled: they
+  /// need the failover supervisor, not just retries, to recover.
   static Config all(std::uint64_t seed, double p) noexcept {
     Config c;
     c.seed = seed;
-    for (double& q : c.probability) q = p;
+    for (std::size_t k = 0; k < kKindCount; ++k) {
+      if (!is_lifecycle(static_cast<Kind>(k))) c.probability[k] = p;
+    }
     return c;
   }
 };

@@ -54,6 +54,9 @@ void NmpCore::start() {
   if (started_) return;
   started_ = true;
   stop_.store(false, std::memory_order_relaxed);
+  // A respawn after try_reap() relaunches over the same slots/partition
+  // state; the new thread captures the *current* fence epoch in run().
+  exited_.store(false, std::memory_order_relaxed);
   thread_ = std::thread([this] { run(); });
 }
 
@@ -88,6 +91,36 @@ void NmpCore::kick() {
   // `seen` snapshot against the live counter and re-scans if they differ.
   pending_.notify_all();
   metrics_.wake->inc();
+}
+
+void NmpCore::fence_raise() {
+  fence_.fetch_add(1, std::memory_order_release);
+  // A parked combiner sits in pending_.wait(seen); a bare notify cannot wake
+  // it if the counter value is unchanged, so bump it too. The woken thread
+  // re-runs the pass top, sees the stale epoch, and exits.
+  pending_.fetch_add(1, std::memory_order_release);
+  pending_.notify_all();
+  metrics_.wake->inc();
+}
+
+bool NmpCore::try_reap() {
+  if (!started_) return false;
+  if (!exited_.load(std::memory_order_acquire)) return false;
+  thread_.join();
+  started_ = false;
+  return true;
+}
+
+std::uint32_t NmpCore::drive_pass() {
+  std::vector<Picked> picked;
+  std::vector<BatchOp> batch;
+  picked.reserve(slots_.size());
+  batch.reserve(slots_.size());
+  // The lease driver runs under the *current* epoch: the fence only moves
+  // when the supervisor hands ownership over, never while a lease pass is
+  // in flight (the supervisor serializes on the lease lock).
+  return scan_and_serve(picked, batch,
+                        fence_.load(std::memory_order_acquire));
 }
 
 void NmpCore::wait_done(std::uint32_t index) {
@@ -129,10 +162,31 @@ bool NmpCore::wait_done_for(std::uint32_t index,
   }
 }
 
-void NmpCore::complete(const Picked& picked, std::uint64_t service_ns) {
+void NmpCore::complete(const Picked& picked, std::uint64_t service_ns,
+                       std::uint64_t epoch) {
   PubSlot& s = *picked.slot;
   // Fault hook: delayed response between handler and completion store.
   fault::maybe_stall(fault::Kind::kDelayedResponse, id_);
+  // Fence check: this incarnation was fenced mid-pass, making it a zombie.
+  // The op already ran, so the reply must still reach the host — dropping it
+  // would turn the supervisor's failed_over bounce into a retry of an
+  // already-applied op (double execution on a false-positive fence of a
+  // live-but-slow combiner). Delivery is safe because the supervisor only
+  // bounces after try_reap() joins this thread: a CAS that wins here is
+  // ordered before any takeover. A lost CAS means the slot was already
+  // bounced or reclaimed by its new owner — that late reply is rejected
+  // (dropped) rather than overwriting protocol state that is no longer ours.
+  // (Defense in depth: with the join gate the lost-CAS arm is unreachable.)
+  if (fence_.load(std::memory_order_acquire) != epoch) {
+    std::uint32_t expected = PubSlot::kPending;
+    if (s.status.compare_exchange_strong(expected, PubSlot::kDone,
+                                         std::memory_order_acq_rel)) {
+      s.status.notify_all();
+      served_.fetch_add(1, std::memory_order_relaxed);
+      if constexpr (telemetry::kEnabled) metrics_.served_total->inc();
+    }
+    return;
+  }
   std::uint64_t done = 0;
   if constexpr (trace::kCompiledIn) {
     if (picked.trace_id != 0) {
@@ -188,121 +242,29 @@ void NmpCore::run() {
   std::vector<BatchOp> batch;
   picked.reserve(slots_.size());
   batch.reserve(slots_.size());
+  // This incarnation is valid only for the fence epoch it was born under;
+  // a raised fence (failover) retires it at the next pass top.
+  const std::uint64_t epoch = fence_.load(std::memory_order_acquire);
   while (true) {
+    if (fence_.load(std::memory_order_acquire) != epoch) break;
+    // Lifecycle fault hooks: abort kills this thread outright; wedge pins it
+    // at the pass top — runnable but not serving — until it is fenced (or
+    // the core is stopped, so an unfenced wedge cannot hang shutdown).
+    if (fault::kCompiledIn && fault::FaultInjector::armed()) {
+      if (fault::FaultInjector::fire(fault::Kind::kCombinerAbort, id_)) break;
+      if (fault::FaultInjector::fire(fault::Kind::kCombinerWedge, id_)) {
+        while (fence_.load(std::memory_order_acquire) == epoch &&
+               !stop_.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        continue;  // pass top re-checks: fence -> exit, stop -> drain
+      }
+    }
     // Fault hook: a stalled combiner sleeps before scanning, starving its
     // partition for the stall window (watchdog territory).
     fault::maybe_stall(fault::Kind::kCombinerStall, id_);
     const std::uint64_t seen = pending_.load(std::memory_order_acquire);
-    if constexpr (telemetry::kEnabled) {
-      // Publication-slot occupancy at scan time, observed before serving
-      // (relaxed loads; the serving pass below re-checks with acquire).
-      std::uint32_t occupied = 0;
-      for (auto& wrapped : slots_) {
-        occupied += wrapped->status.load(std::memory_order_relaxed) ==
-                    PubSlot::kPending;
-      }
-      if (occupied > 0) metrics_.occupancy->record(occupied);
-    }
-    // Collection: pick up every kPending slot. Request metadata is captured
-    // here, before any kDone store — once a slot is done its owning host
-    // thread may take() and re-post, overwriting req/posted_ns concurrently.
-    // A request stays exclusively combiner-owned from this acquire load
-    // until its own completion store, so batch sorting and the batch handler
-    // may read it with plain accesses.
-    std::uint32_t served_this_pass = 0;
-    picked.clear();
-    for (std::size_t si = 0; si < slots_.size(); ++si) {
-      PubSlot& s = *slots_[si];
-      // Slots are cache-aligned and contiguous: pull the next slot's status
-      // line in while this one's pending check (and possible pickup) runs.
-      if (si + 1 < slots_.size()) {
-        mem::prefetch_read(&slots_[si + 1]->status);
-      }
-      if (s.status.load(std::memory_order_acquire) != PubSlot::kPending) {
-        continue;
-      }
-      const std::uint64_t t0 = telemetry::now_ns();
-      Picked p{&s, t0, s.posted_ns, static_cast<std::size_t>(s.req.op),
-               s.req.trace_id};
-      // Fault hooks: spurious protocol responses are injected *instead of*
-      // running the handler, so no partition state changes and the host's
-      // mandated recovery (retry / LOCK_PATH fallback) re-executes the
-      // operation from scratch — linearizability is preserved by
-      // construction. Spurious lock_path is only meaningful for inserts
-      // (the only op the host protocol answers with an escalation).
-      // RESUME_INSERT / UNLOCK_PATH are exempt: they complete an escalation
-      // whose NMP path is genuinely locked, so swallowing them would leave
-      // the partition wedged forever rather than exercising a retry path.
-      bool injected = false;
-      const bool injectable = s.req.op != OpCode::kResumeInsert &&
-                              s.req.op != OpCode::kUnlockPath;
-      if (fault::kCompiledIn && injectable && fault::FaultInjector::armed()) {
-        if (fault::FaultInjector::fire(fault::Kind::kSpuriousRetry, id_)) {
-          s.resp.retry = true;
-          injected = true;
-        } else if (s.req.op == OpCode::kInsert &&
-                   fault::FaultInjector::fire(fault::Kind::kSpuriousLockPath,
-                                              id_)) {
-          s.resp.lock_path = true;
-          s.resp.node = nullptr;
-          injected = true;
-        }
-      }
-      if (injected) {
-        // Injected responses complete immediately (no handler ran).
-        complete(p, 0);
-        ++served_this_pass;
-      } else {
-        picked.push_back(p);
-      }
-    }
-    if (batch_handler_ && picked.size() > 1) {
-      // Batch apply: sort the collected requests by key (stable, so equal
-      // keys keep publication-list order), hand the whole span to the batch
-      // handler, then publish completions in original slot order. Hosts see
-      // exactly the one-at-a-time protocol; only the apply order inside the
-      // pass changes, which is a valid linearization of concurrent ops.
-      batch.clear();
-      std::uint64_t traced_id = 0;
-      for (const Picked& p : picked) {
-        batch.push_back(BatchOp{&p.slot->req, &p.slot->resp});
-        if (traced_id == 0) traced_id = p.trace_id;
-      }
-      // Sort window for the trace: attributed to the batch's first traced
-      // op (the sort serves the whole batch; one span stands in for it).
-      const std::uint64_t sort0 = traced_id ? telemetry::now_ns() : 0;
-      // Equal keys tiebreak on the request address: ops were collected in
-      // slot-index order and slots live in one array, so pointer order IS
-      // publication-list order. This keeps the sort stable without
-      // std::stable_sort's per-call temp-buffer allocation (combiner passes
-      // are often only a handful of ops).
-      std::sort(batch.begin(), batch.end(),
-                [](const BatchOp& a, const BatchOp& b) {
-                  return a.req->key != b.req->key ? a.req->key < b.req->key
-                                                  : a.req < b.req;
-                });
-      const std::uint64_t apply0 = telemetry::now_ns();
-      trace::record_span(traced_id, trace::Phase::kBatchSort, sort0, apply0,
-                         0, static_cast<std::int16_t>(id_), 0,
-                         trace::kCombinerTrackBase + id_);
-      batch_handler_(batch.data(), batch.size());
-      // Per-op service time is the batch apply amortized over its size —
-      // the quantity the finger is meant to shrink.
-      const std::uint64_t per_op =
-          (telemetry::now_ns() - apply0) / picked.size();
-      if constexpr (telemetry::kEnabled) {
-        metrics_.batch_size->record(static_cast<double>(picked.size()));
-      }
-      for (const Picked& p : picked) complete(p, per_op);
-      served_this_pass += static_cast<std::uint32_t>(picked.size());
-    } else {
-      for (const Picked& p : picked) {
-        const std::uint64_t h0 = telemetry::now_ns();
-        handler_(p.slot->req, p.slot->resp);
-        complete(p, telemetry::now_ns() - h0);
-        ++served_this_pass;
-      }
-    }
+    const std::uint32_t served_this_pass = scan_and_serve(picked, batch, epoch);
     if (served_this_pass > 0) {
       if constexpr (telemetry::kEnabled) {
         metrics_.batch->record(served_this_pass);
@@ -312,14 +274,133 @@ void NmpCore::run() {
     if (stop_.load(std::memory_order_acquire)) {
       // One final scan already found nothing; safe to exit only if no new
       // posts arrived after we observed `seen`.
-      if (pending_.load(std::memory_order_acquire) == seen) return;
+      if (pending_.load(std::memory_order_acquire) == seen) break;
       continue;
     }
     idle_passes_.fetch_add(1, std::memory_order_relaxed);
     metrics_.park->inc();
-    // Park until someone posts (or stop() bumps the counter).
+    // Park until someone posts (or stop()/fence_raise() bumps the counter).
     pending_.wait(seen, std::memory_order_acquire);
   }
+  // Last store of the service loop: after this, try_reap()'s join cannot
+  // block more than the time it takes the thread to unwind.
+  exited_.store(true, std::memory_order_release);
+}
+
+std::uint32_t NmpCore::scan_and_serve(std::vector<Picked>& picked,
+                                      std::vector<BatchOp>& batch,
+                                      std::uint64_t epoch) {
+  if constexpr (telemetry::kEnabled) {
+    // Publication-slot occupancy at scan time, observed before serving
+    // (relaxed loads; the serving pass below re-checks with acquire).
+    std::uint32_t occupied = 0;
+    for (auto& wrapped : slots_) {
+      occupied += wrapped->status.load(std::memory_order_relaxed) ==
+                  PubSlot::kPending;
+    }
+    if (occupied > 0) metrics_.occupancy->record(occupied);
+  }
+  // Collection: pick up every kPending slot. Request metadata is captured
+  // here, before any kDone store — once a slot is done its owning host
+  // thread may take() and re-post, overwriting req/posted_ns concurrently.
+  // A request stays exclusively combiner-owned from this acquire load
+  // until its own completion store, so batch sorting and the batch handler
+  // may read it with plain accesses.
+  std::uint32_t served_this_pass = 0;
+  picked.clear();
+  for (std::size_t si = 0; si < slots_.size(); ++si) {
+    PubSlot& s = *slots_[si];
+    // Slots are cache-aligned and contiguous: pull the next slot's status
+    // line in while this one's pending check (and possible pickup) runs.
+    if (si + 1 < slots_.size()) {
+      mem::prefetch_read(&slots_[si + 1]->status);
+    }
+    if (s.status.load(std::memory_order_acquire) != PubSlot::kPending) {
+      continue;
+    }
+    const std::uint64_t t0 = telemetry::now_ns();
+    Picked p{&s, t0, s.posted_ns, static_cast<std::size_t>(s.req.op),
+             s.req.trace_id};
+    // Fault hooks: spurious protocol responses are injected *instead of*
+    // running the handler, so no partition state changes and the host's
+    // mandated recovery (retry / LOCK_PATH fallback) re-executes the
+    // operation from scratch — linearizability is preserved by
+    // construction. Spurious lock_path is only meaningful for inserts
+    // (the only op the host protocol answers with an escalation).
+    // RESUME_INSERT / UNLOCK_PATH are exempt: they complete an escalation
+    // whose NMP path is genuinely locked, so swallowing them would leave
+    // the partition wedged forever rather than exercising a retry path.
+    bool injected = false;
+    const bool injectable = s.req.op != OpCode::kResumeInsert &&
+                            s.req.op != OpCode::kUnlockPath;
+    if (fault::kCompiledIn && injectable && fault::FaultInjector::armed()) {
+      if (fault::FaultInjector::fire(fault::Kind::kSpuriousRetry, id_)) {
+        s.resp.retry = true;
+        injected = true;
+      } else if (s.req.op == OpCode::kInsert &&
+                 fault::FaultInjector::fire(fault::Kind::kSpuriousLockPath,
+                                            id_)) {
+        s.resp.lock_path = true;
+        s.resp.node = nullptr;
+        injected = true;
+      }
+    }
+    if (injected) {
+      // Injected responses complete immediately (no handler ran).
+      complete(p, 0, epoch);
+      ++served_this_pass;
+    } else {
+      picked.push_back(p);
+    }
+  }
+  if (batch_handler_ && picked.size() > 1) {
+    // Batch apply: sort the collected requests by key (stable, so equal
+    // keys keep publication-list order), hand the whole span to the batch
+    // handler, then publish completions in original slot order. Hosts see
+    // exactly the one-at-a-time protocol; only the apply order inside the
+    // pass changes, which is a valid linearization of concurrent ops.
+    batch.clear();
+    std::uint64_t traced_id = 0;
+    for (const Picked& p : picked) {
+      batch.push_back(BatchOp{&p.slot->req, &p.slot->resp});
+      if (traced_id == 0) traced_id = p.trace_id;
+    }
+    // Sort window for the trace: attributed to the batch's first traced
+    // op (the sort serves the whole batch; one span stands in for it).
+    const std::uint64_t sort0 = traced_id ? telemetry::now_ns() : 0;
+    // Equal keys tiebreak on the request address: ops were collected in
+    // slot-index order and slots live in one array, so pointer order IS
+    // publication-list order. This keeps the sort stable without
+    // std::stable_sort's per-call temp-buffer allocation (combiner passes
+    // are often only a handful of ops).
+    std::sort(batch.begin(), batch.end(),
+              [](const BatchOp& a, const BatchOp& b) {
+                return a.req->key != b.req->key ? a.req->key < b.req->key
+                                                : a.req < b.req;
+              });
+    const std::uint64_t apply0 = telemetry::now_ns();
+    trace::record_span(traced_id, trace::Phase::kBatchSort, sort0, apply0,
+                       0, static_cast<std::int16_t>(id_), 0,
+                       trace::kCombinerTrackBase + id_);
+    batch_handler_(batch.data(), batch.size());
+    // Per-op service time is the batch apply amortized over its size —
+    // the quantity the finger is meant to shrink.
+    const std::uint64_t per_op =
+        (telemetry::now_ns() - apply0) / picked.size();
+    if constexpr (telemetry::kEnabled) {
+      metrics_.batch_size->record(static_cast<double>(picked.size()));
+    }
+    for (const Picked& p : picked) complete(p, per_op, epoch);
+    served_this_pass += static_cast<std::uint32_t>(picked.size());
+  } else {
+    for (const Picked& p : picked) {
+      const std::uint64_t h0 = telemetry::now_ns();
+      handler_(p.slot->req, p.slot->resp);
+      complete(p, telemetry::now_ns() - h0, epoch);
+      ++served_this_pass;
+    }
+  }
+  return served_this_pass;
 }
 
 }  // namespace hybrids::nmp

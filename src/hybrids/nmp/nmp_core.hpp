@@ -88,6 +88,50 @@ class NmpCore {
   /// recovery). Safe from any thread; a spurious kick costs one idle scan.
   void kick();
 
+  // --- Failover support (see the supervisor in partition_set.cpp) ---------
+  //
+  // A *fence* invalidates the current combiner incarnation: the service loop
+  // captures the fence epoch when it starts, re-checks it at every pass top
+  // (stale -> the thread exits), and re-checks it in complete() (stale ->
+  // the publish degrades from a blind kDone store to a kPending -> kDone
+  // CAS: already-run ops are still answered, but a reply to a slot some new
+  // owner has reclaimed is rejected). The supervisor then reaps the exited
+  // thread, bounces still-kPending slots with failed_over responses, and
+  // either start()s a fresh combiner over the same partition state or drives
+  // passes itself via drive_pass() (host-takeover lease).
+
+  /// Raises the fence epoch and wakes a parked combiner so it observes it.
+  /// Safe from any thread; only the supervisor should call it.
+  void fence_raise();
+
+  /// Current fence epoch (tests / diagnostics).
+  std::uint64_t fence_epoch() const {
+    return fence_.load(std::memory_order_acquire);
+  }
+
+  /// True once the combiner thread has left its service loop (fence, abort
+  /// fault, or wedge-until-fenced release) and a join would not block.
+  bool exited() const { return exited_.load(std::memory_order_acquire); }
+
+  /// Joins the combiner thread iff it has exited. Returns true when the
+  /// thread was reaped (start() may then relaunch one). Must only be called
+  /// from the supervisor, serialized with start()/stop().
+  bool try_reap();
+
+  /// Runs one full scan-and-serve pass on the *calling* thread (host-takeover
+  /// lease). The caller must be the partition's sole driver (no combiner
+  /// thread running, lease lock held) — the pass runs the handlers, so it
+  /// inherits the combiner's exclusive-ownership contract.
+  /// Returns the number of requests served.
+  std::uint32_t drive_pass();
+
+  /// Failover accounting: credit `n` supervisor-bounced slots as served so
+  /// the watchdog's posted-vs-served progress check re-converges (bounced
+  /// ops never reach complete()).
+  void absorb_bounce(std::uint64_t n) {
+    served_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   /// Number of requests served so far (for tests / stats).
   std::uint64_t served() const { return served_.load(std::memory_order_relaxed); }
   /// Number of requests posted so far (watchdog progress accounting).
@@ -126,9 +170,21 @@ class NmpCore {
   };
 
   void run();
+  /// One scan-and-serve pass over the publication list: occupancy sample,
+  /// collection, spurious-response fault hooks, batch or one-at-a-time
+  /// apply. `epoch` is the fence epoch the pass runs under; see complete()
+  /// for what happens to completions when it goes stale. Returns the number
+  /// of requests served.
+  std::uint32_t scan_and_serve(std::vector<Picked>& picked,
+                               std::vector<BatchOp>& batch,
+                               std::uint64_t epoch);
   /// Publishes one served slot: delayed-response fault hook, kDone release
-  /// store + notify, served accounting, per-op telemetry.
-  void complete(const Picked& picked, std::uint64_t service_ns);
+  /// store + notify, served accounting, per-op telemetry. When `epoch` no
+  /// longer matches the fence the publish becomes a kPending -> kDone CAS —
+  /// the already-run op is still answered, but a late reply to a slot a new
+  /// owner has reclaimed is rejected.
+  void complete(const Picked& picked, std::uint64_t service_ns,
+                std::uint64_t epoch);
 
   std::uint32_t id_;
   Handler handler_;
@@ -137,6 +193,8 @@ class NmpCore {
   std::atomic<std::uint64_t> pending_{0};  // monotone post counter (futex word)
   std::atomic<std::uint64_t> posts_{0};    // requests posted (excludes stop bumps)
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> fence_{0};    // failover fence epoch
+  std::atomic<bool> exited_{false};        // combiner left its service loop
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> idle_passes_{0};
   Metrics metrics_;

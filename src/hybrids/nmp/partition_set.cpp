@@ -28,6 +28,18 @@ void validate_config(const PartitionConfig& c) {
         " must be nonzero (partition_of divides keys by partition_width; "
         "slot layout needs at least one thread with one async slot)");
   }
+  if (c.watchdog_interval_ms > 0 &&
+      (c.watchdog_misses_to_degrade == 0 ||
+       c.watchdog_misses_to_recover == 0)) {
+    // A zero degrade threshold used to pass validation but could never fire
+    // (the miss counter is compared after incrementing), silently meaning
+    // "never degrade"; a zero recover threshold would re-integrate a lane
+    // with no evidence of progress.
+    throw std::invalid_argument(
+        "PartitionConfig: watchdog_misses_to_degrade and "
+        "watchdog_misses_to_recover must be nonzero while the watchdog is "
+        "enabled (watchdog_interval_ms > 0)");
+  }
 }
 }  // namespace
 
@@ -43,17 +55,37 @@ PartitionSet::PartitionSet(const PartitionConfig& config) : config_(config) {
   async_busy_.assign(config_.partitions, std::vector<std::uint8_t>(slots, 0));
   watch_.assign(config_.partitions, WatchState{});
   degraded_ = std::make_unique<std::atomic<bool>[]>(config_.partitions);
+  lane_ = std::make_unique<std::atomic<std::uint8_t>[]>(config_.partitions);
+  force_failover_ = std::make_unique<std::atomic<bool>[]>(config_.partitions);
+  failovers_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(config_.partitions);
+  recoveries_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(config_.partitions);
+  lease_mu_ = std::make_unique<std::mutex[]>(config_.partitions);
   for (std::uint32_t p = 0; p < config_.partitions; ++p) {
     degraded_[p].store(false, std::memory_order_relaxed);
+    lane_[p].store(kHealthy, std::memory_order_relaxed);
+    force_failover_[p].store(false, std::memory_order_relaxed);
+    failovers_[p].store(0, std::memory_order_relaxed);
+    recoveries_[p].store(0, std::memory_order_relaxed);
   }
   namespace tn = telemetry::names;
   watchdog_fired_.reserve(config_.partitions);
   degraded_counter_.reserve(config_.partitions);
+  failover_counter_.reserve(config_.partitions);
+  recovered_counter_.reserve(config_.partitions);
+  bounced_counter_.reserve(config_.partitions);
   for (std::uint32_t p = 0; p < config_.partitions; ++p) {
     const auto scope = static_cast<std::int32_t>(p);
     watchdog_fired_.push_back(&telemetry::counter(tn::kWatchdogFired, scope));
     degraded_counter_.push_back(
         &telemetry::counter(tn::kPartitionDegraded, scope));
+    failover_counter_.push_back(
+        &telemetry::counter(tn::kPartitionFailover, scope));
+    recovered_counter_.push_back(
+        &telemetry::counter(tn::kPartitionRecovered, scope));
+    bounced_counter_.push_back(
+        &telemetry::counter(tn::kFailoverBouncedOps, scope));
   }
   calls_blocking_ = &telemetry::counter(tn::kCallBlocking);
   calls_async_ = &telemetry::counter(tn::kCallAsync);
@@ -82,6 +114,11 @@ void PartitionSet::set_batch_handler(std::uint32_t p,
 void PartitionSet::start() {
   if (started_) return;
   started_ = true;
+  for (std::uint32_t p = 0; p < config_.partitions; ++p) {
+    degraded_[p].store(false, std::memory_order_relaxed);
+    lane_[p].store(kHealthy, std::memory_order_relaxed);
+    force_failover_[p].store(false, std::memory_order_relaxed);
+  }
   for (auto& c : cores_) c->start();
   if (config_.watchdog_interval_ms > 0) {
     watchdog_stop_ = false;
@@ -109,31 +146,163 @@ void PartitionSet::watchdog_loop() {
   const auto interval =
       std::chrono::milliseconds(config_.watchdog_interval_ms);
   while (!watchdog_cv_.wait_for(lk, interval, [this] { return watchdog_stop_; })) {
-    for (std::uint32_t p = 0; p < config_.partitions; ++p) {
-      NmpCore& core = *cores_[p];
-      // Read served before posted: if the core caught up in between we see
-      // served >= posted and correctly count it as progress.
-      const std::uint64_t served = core.served();
-      const std::uint64_t posted = core.posted();
-      WatchState& w = watch_[p];
-      const bool outstanding = posted > served;
-      const bool stalled = outstanding && served == w.last_served;
-      if (stalled) {
+    for (std::uint32_t p = 0; p < config_.partitions; ++p) supervise(p);
+  }
+}
+
+// One watchdog tick for partition p: progress accounting plus the failover
+// lane state machine (see the transition table in partition_set.hpp).
+//
+// Stall/progress semantics (this is the watchdog-flap fix): the miss counter
+// saturates instead of relying on exact equality, and neither it nor the
+// degraded flag is cleared by an *idle* interval — a wedged-but-unposted
+// combiner must not read healthy. Only observed served() progress clears
+// misses, and the degraded flag clears only after
+// watchdog_misses_to_recover consecutive progressing intervals.
+void PartitionSet::supervise(std::uint32_t p) {
+  NmpCore& core = *cores_[p];
+  WatchState& w = watch_[p];
+  // Read served before posted: if the core caught up in between we see
+  // served >= posted and correctly count it as progress.
+  const std::uint64_t served = core.served();
+  const std::uint64_t posted = core.posted();
+  const bool outstanding = posted > served;
+  const bool progressed = served != w.last_served;
+  const bool forced =
+      force_failover_[p].exchange(false, std::memory_order_acq_rel);
+  const LaneState state = lane(p);
+  switch (state) {
+    case kHealthy:
+    case kDegraded:
+    case kRecovering: {
+      w.last_served = served;  // recover() re-baselines after a bounce
+      if ((outstanding && !progressed) || forced) {
         // Missed heartbeat: re-wake the combiner (recovers lost wakeups and
-        // nudges a descheduled thread) and escalate after K misses.
+        // nudges a descheduled thread) and escalate once the saturating miss
+        // counter crosses the threshold (or a test forced the failover).
         watchdog_fired_[p]->inc();
         core.kick();
-        if (++w.misses == config_.watchdog_misses_to_degrade) {
-          degraded_[p].store(true, std::memory_order_release);
-          degraded_counter_[p]->inc();
+        w.clean = 0;  // a stall breaks any consecutive-progress streak
+        if (w.misses != ~0u) ++w.misses;
+        if (forced || w.misses >= config_.watchdog_misses_to_degrade) {
+          if (state == kHealthy) {
+            degraded_[p].store(true, std::memory_order_release);
+            degraded_counter_[p]->inc();
+            lane_[p].store(kDegraded, std::memory_order_release);
+          }
+          if (config_.failover != FailoverPolicy::kNone) fence(p);
         }
-      } else {
+      } else if (progressed) {
         w.misses = 0;
-        degraded_[p].store(false, std::memory_order_release);
+        if (state != kHealthy &&
+            ++w.clean >= config_.watchdog_misses_to_recover) {
+          // Hysteresis met: re-integrate. (kDegraded reaches here only
+          // under kNone, where the lane is never fenced.)
+          w.clean = 0;
+          lane_[p].store(kHealthy, std::memory_order_release);
+          degraded_[p].store(false, std::memory_order_release);
+          recovered_counter_[p]->inc();
+          recoveries_[p].fetch_add(1, std::memory_order_relaxed);
+        }
       }
+      break;
+    }
+    case kFenced:
+      // Waiting for the zombie to unwind; retry the reap every tick.
+      recover(p);
+      break;
+    case kLeased: {
       w.last_served = served;
+      if (progressed) {
+        w.misses = 0;
+        if (++w.clean >= config_.watchdog_misses_to_recover) {
+          // Hand the lane back to a dedicated combiner. Holding the lease
+          // lock across start() guarantees no host is mid-drive when the
+          // fresh thread takes over, and hosts that subsequently acquire
+          // the lock re-check the lane and stand down. The lane stays
+          // degraded (kRecovering) until the combiner proves itself too.
+          std::lock_guard<std::mutex> guard(lease_mu_[p]);
+          w.clean = 0;
+          core.start();
+          lane_[p].store(kRecovering, std::memory_order_release);
+          break;
+        }
+      }
+      // Serve orphan posts (a post that landed between the bounce sweep and
+      // its thread observing the lease) and keep an idle leased lane live.
+      // Note a leased lane is never re-fenced: there is no combiner thread
+      // to reap, and a blocking acquire of a lease held by a stuck host
+      // handler would wedge the supervisor itself.
+      if (lease_mu_[p].try_lock()) {
+        core.drive_pass();
+        lease_mu_[p].unlock();
+      }
+      break;
     }
   }
+}
+
+void PartitionSet::fence(std::uint32_t p) {
+  cores_[p]->fence_raise();
+  lane_[p].store(kFenced, std::memory_order_release);
+  failover_counter_[p]->inc();
+  failovers_[p].fetch_add(1, std::memory_order_relaxed);
+  watch_[p].clean = 0;
+  // A combiner that already exited (kCombinerAbort) reaps immediately, so
+  // the common kill case completes fence -> bounce -> respawn in one tick.
+  recover(p);
+}
+
+void PartitionSet::recover(std::uint32_t p) {
+  NmpCore& core = *cores_[p];
+  if (!core.try_reap()) return;  // zombie still unwinding; next tick
+  // Sole-writer from here: the combiner thread is joined, hosts never write
+  // a slot they have posted until it turns kDone.
+  const std::uint64_t bounced = bounce_pending(p);
+  if (bounced > 0) {
+    bounced_counter_[p]->add(bounced);
+    // Bounced ops never reached complete(): credit them as served so the
+    // posted-vs-served progress check converges again.
+    core.absorb_bounce(bounced);
+  }
+  WatchState& w = watch_[p];
+  w.misses = 0;
+  w.clean = 0;
+  if (config_.failover == FailoverPolicy::kHostLease) {
+    lane_[p].store(kLeased, std::memory_order_release);
+  } else {
+    core.start();
+    lane_[p].store(kRecovering, std::memory_order_release);
+  }
+  // Progress baseline restarts from the post-bounce count, so the bounce
+  // credit itself cannot masquerade as served progress next tick.
+  w.last_served = core.served();
+}
+
+std::uint64_t PartitionSet::bounce_pending(std::uint32_t p) {
+  NmpCore& core = *cores_[p];
+  std::uint64_t bounced = 0;
+  for (std::uint32_t i = 0; i < core.slot_count(); ++i) {
+    PubSlot& s = core.slot(i);
+    if (s.status.load(std::memory_order_acquire) != PubSlot::kPending) {
+      continue;
+    }
+    Response r{};
+    r.failed_over = true;
+    s.resp = r;
+    if constexpr (trace::kCompiledIn) {
+      if (s.req.trace_id != 0) {
+        s.done_ns = telemetry::now_ns();
+        trace::record_instant(s.req.trace_id, trace::Phase::kFailover,
+                              s.done_ns, static_cast<std::uint8_t>(s.req.op),
+                              static_cast<std::int16_t>(p));
+      }
+    }
+    s.status.store(PubSlot::kDone, std::memory_order_release);
+    s.status.notify_all();
+    ++bounced;
+  }
+  return bounced;
 }
 
 Response PartitionSet::call(std::uint32_t p, std::uint32_t thread_id,
@@ -141,6 +310,20 @@ Response PartitionSet::call(std::uint32_t p, std::uint32_t thread_id,
   NmpCore& core = *cores_[p];
   const std::uint32_t slot = thread_base(thread_id);
   calls_blocking_->inc();
+  // Failover paths. A fenced lane has no server at all: bounce immediately
+  // rather than posting into a dead publication list (the host never blocks
+  // on a fenced partition). A leased lane is served by whichever host holds
+  // the lease — including, if need be, us. The lane can still flip right
+  // after this check; in-flight posts caught by a fence are bounced by the
+  // supervisor sweep, so every path converges to a failed_over response.
+  switch (lane(p)) {
+    case kFenced:
+      return bounce_response(p, r);
+    case kLeased:
+      return call_leased(p, slot, r);
+    default:
+      break;
+  }
   const auto part = static_cast<std::int16_t>(p);
   const auto op = static_cast<std::uint8_t>(r.op);
   const std::uint64_t t0 = r.trace_id ? telemetry::now_ns() : 0;
@@ -156,8 +339,60 @@ Response PartitionSet::call(std::uint32_t p, std::uint32_t thread_id,
   return s.take();
 }
 
+Response PartitionSet::bounce_response(std::uint32_t p, const Request& r) {
+  bounced_counter_[p]->inc();
+  trace::record_instant(r.trace_id, trace::Phase::kFailover,
+                        r.trace_id ? telemetry::now_ns() : 0,
+                        static_cast<std::uint8_t>(r.op),
+                        static_cast<std::int16_t>(p));
+  Response resp{};
+  resp.failed_over = true;
+  return resp;
+}
+
+Response PartitionSet::call_leased(std::uint32_t p, std::uint32_t slot,
+                                   const Request& r) {
+  NmpCore& core = *cores_[p];
+  const auto part = static_cast<std::int16_t>(p);
+  const auto op = static_cast<std::uint8_t>(r.op);
+  const std::uint64_t t0 = r.trace_id ? telemetry::now_ns() : 0;
+  core.post(slot, r);
+  trace::record_span(r.trace_id, trace::Phase::kPublish, t0,
+                     r.trace_id ? telemetry::now_ns() : 0, op, part);
+  PubSlot& s = core.slot(slot);
+  // Host takeover: drive combiner passes ourselves under the lease lock
+  // until our response lands. The pass serves every pending slot, ours
+  // included, so concurrent leased callers make progress for each other.
+  // If the supervisor hands the lane back to a combiner meanwhile (it holds
+  // the lease across that transition and we re-check under the lock), fall
+  // back to the ordinary bounded wait.
+  while (!s.done()) {
+    if (lane(p) != kLeased) {
+      core.wait_done(slot);
+      break;
+    }
+    if (lease_mu_[p].try_lock()) {
+      if (lane(p) == kLeased) core.drive_pass();
+      lease_mu_[p].unlock();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  trace::record_span(r.trace_id, trace::Phase::kWake, s.done_ns,
+                     r.trace_id ? telemetry::now_ns() : 0, op, part);
+  return s.take();
+}
+
 OpHandle PartitionSet::call_async(std::uint32_t p, std::uint32_t thread_id,
                                   const Request& r) {
+  // No async path across a failover: a fenced lane has no server and a
+  // leased lane would require the poller to drive passes. Callers fall back
+  // to the blocking call, which bounces or leases as appropriate.
+  const LaneState ls = lane(p);
+  if (ls == kFenced || ls == kLeased) {
+    async_rejected_->inc();
+    return OpHandle{};
+  }
   auto& busy = async_busy_[p];
   const std::uint32_t base = thread_base(thread_id);
   for (std::uint32_t i = 1; i <= config_.slots_per_thread; ++i) {

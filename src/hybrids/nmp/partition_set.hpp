@@ -14,6 +14,21 @@
 
 namespace hybrids::nmp {
 
+/// What the supervisor does once a partition crosses the degrade threshold
+/// (see PartitionSet::watchdog_loop for the full lane state machine).
+enum class FailoverPolicy : std::uint8_t {
+  /// Mark degraded only; no fencing or recovery (pre-failover behavior).
+  kNone,
+  /// Fence the lane, bounce in-flight slots with failed_over responses, and
+  /// start a fresh combiner thread over the same partition state. Default.
+  kRespawn,
+  /// Fence and bounce as above, but instead of respawning immediately, host
+  /// threads temporarily drive combiner passes themselves under a per-
+  /// partition lease; a fresh combiner is started once the lane has shown
+  /// `watchdog_misses_to_recover` progressing intervals.
+  kHostLease,
+};
+
 /// Configuration for a PartitionSet. `slots_per_thread` bounds the number of
 /// in-flight non-blocking calls a single host thread may have against one
 /// partition (the paper's hybrid-nonblocking4 uses 4); the resulting
@@ -22,9 +37,14 @@ namespace hybrids::nmp {
 /// The watchdog monitors per-core served() progress: a core with posted but
 /// unserved requests and no progress across one interval is re-kicked (futex
 /// re-notify) and `watchdog_fired` is bumped; after
-/// `watchdog_misses_to_degrade` consecutive missed heartbeats the partition
-/// is marked degraded (`partition_degraded`, queryable via degraded()) until
-/// it makes progress again.
+/// `watchdog_misses_to_degrade` consecutive missed heartbeats (the counter
+/// saturates and is sticky across idle intervals — only observed progress
+/// clears it) the partition is marked degraded (`partition_degraded`,
+/// queryable via degraded()) and, under a non-kNone failover policy, fenced
+/// and recovered. The degraded flag clears only after
+/// `watchdog_misses_to_recover` consecutive *progressing* intervals
+/// (hysteresis — an idle partition cannot prove liveness, so it stays
+/// degraded until traffic shows progress).
 struct PartitionConfig {
   std::uint32_t partitions = 8;
   std::uint32_t max_threads = 8;
@@ -32,6 +52,8 @@ struct PartitionConfig {
   Key partition_width = 0;  // keys in [p*width, (p+1)*width) -> partition p
   std::uint32_t watchdog_interval_ms = 10;    // 0 disables the watchdog
   std::uint32_t watchdog_misses_to_degrade = 5;
+  std::uint32_t watchdog_misses_to_recover = 3;
+  FailoverPolicy failover = FailoverPolicy::kRespawn;
 };
 
 /// Identifies one in-flight non-blocking NMP call.
@@ -77,11 +99,32 @@ class PartitionSet {
 
   NmpCore& core(std::uint32_t p) { return *cores_[p]; }
 
-  /// True while the watchdog considers partition `p` wedged (no served()
-  /// progress for watchdog_misses_to_degrade consecutive intervals with
-  /// requests outstanding). Clears as soon as the core serves again.
+  /// True from the moment the watchdog considers partition `p` wedged (no
+  /// served() progress for watchdog_misses_to_degrade consecutive intervals
+  /// with requests outstanding) until the supervisor has re-integrated it:
+  /// `watchdog_misses_to_recover` consecutive progressing intervals after
+  /// recovery (hysteresis). Sticky while the partition is idle.
   bool degraded(std::uint32_t p) const {
     return degraded_[p].load(std::memory_order_acquire);
+  }
+
+  /// Forces the failover path on partition `p`: the next watchdog tick
+  /// treats it as having crossed the degrade threshold (under kNone it is
+  /// only marked degraded). Safe from any thread; used by kill-recover
+  /// tests and the availability bench — it exercises the exact fence/
+  /// bounce/recover machinery a real combiner death would, without needing
+  /// the fault injector compiled in. No-op while the watchdog is disabled.
+  void trigger_failover(std::uint32_t p) {
+    force_failover_[p].store(true, std::memory_order_release);
+  }
+
+  /// Lifetime counts of failover events and supervisor-recovered lanes
+  /// (tests; the telemetry counters carry the same values per partition).
+  std::uint64_t failovers(std::uint32_t p) const {
+    return failovers_[p].load(std::memory_order_acquire);
+  }
+  std::uint64_t recoveries(std::uint32_t p) const {
+    return recoveries_[p].load(std::memory_order_acquire);
   }
 
   /// Blocking call: posts `r` to partition `p` on behalf of `thread_id` and
@@ -116,7 +159,48 @@ class PartitionSet {
     return thread_id * (1 + config_.slots_per_thread);
   }
 
+  // Failover lane state machine, advanced only by the watchdog thread
+  // (supervisor); host threads read it to pick a call path. Transitions:
+  //   kHealthy -> kDegraded           degrade threshold crossed
+  //   kDegraded -> kFenced            policy != kNone: fence epoch raised
+  //   kFenced -> kRecovering          zombie reaped, slots bounced, combiner
+  //                                   respawned (kRespawn)
+  //   kFenced -> kLeased              zombie reaped, slots bounced, hosts
+  //                                   drive passes (kHostLease)
+  //   kLeased -> kRecovering          hysteresis met: combiner respawned
+  //                                   under the lease lock
+  //   kRecovering -> kHealthy         hysteresis met: degraded_ cleared
+  //   kRecovering/kLeased -> kFenced  stalled again: re-failover
+  enum LaneState : std::uint8_t {
+    kHealthy = 0,
+    kDegraded,
+    kFenced,
+    kLeased,
+    kRecovering,
+  };
+
+  LaneState lane(std::uint32_t p) const {
+    return static_cast<LaneState>(lane_[p].load(std::memory_order_acquire));
+  }
+
   void watchdog_loop();
+  /// One supervisor step for partition `p` (called per watchdog tick).
+  void supervise(std::uint32_t p);
+  /// Fences partition `p` and moves its lane to kFenced.
+  void fence(std::uint32_t p);
+  /// kFenced tick: reap the zombie, bounce in-flight slots, hand the lane
+  /// to a fresh combiner (kRespawn) or to the hosts (kHostLease).
+  void recover(std::uint32_t p);
+  /// Completes every still-kPending slot of `p` with a failed_over response.
+  /// Only legal after the partition's combiner thread has been reaped.
+  std::uint64_t bounce_pending(std::uint32_t p);
+  /// Blocking call against a leased lane: post, then drive combiner passes
+  /// under the lease lock until the response lands.
+  Response call_leased(std::uint32_t p, std::uint32_t slot, const Request& r);
+  /// Builds the immediate failed_over response used when a call arrives at
+  /// a fenced lane (fast bounce: nothing is posted, so the host never waits
+  /// on a dead combiner).
+  Response bounce_response(std::uint32_t p, const Request& r);
 
   PartitionConfig config_;
   std::vector<std::unique_ptr<NmpCore>> cores_;
@@ -136,12 +220,25 @@ class PartitionSet {
   bool watchdog_stop_ = false;
   struct WatchState {
     std::uint64_t last_served = 0;
-    std::uint32_t misses = 0;
+    std::uint32_t misses = 0;  // saturating; cleared only by progress
+    std::uint32_t clean = 0;   // consecutive progressing intervals (hysteresis)
   };
   std::vector<WatchState> watch_;
   std::unique_ptr<std::atomic<bool>[]> degraded_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> lane_;   // LaneState per part.
+  std::unique_ptr<std::atomic<bool>[]> force_failover_; // trigger_failover()
+  std::unique_ptr<std::atomic<std::uint64_t>[]> failovers_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> recoveries_;
+  // Host-takeover lease: whoever holds partition p's lease mutex is its sole
+  // driver while the lane is kLeased (hosts and the supervisor drive passes
+  // under it; the supervisor also holds it across the respawn transition, so
+  // a fresh combiner never coexists with a lease driver).
+  std::unique_ptr<std::mutex[]> lease_mu_;
   std::vector<telemetry::Counter*> watchdog_fired_;     // per partition
   std::vector<telemetry::Counter*> degraded_counter_;   // per partition
+  std::vector<telemetry::Counter*> failover_counter_;   // per partition
+  std::vector<telemetry::Counter*> recovered_counter_;  // per partition
+  std::vector<telemetry::Counter*> bounced_counter_;    // per partition
 
   // Host-level telemetry (global scope; per-partition metrics live in the
   // cores). The recorder tracks the non-blocking in-flight depth observed

@@ -110,6 +110,11 @@ struct Response {
   bool promote_hint = false;  // adaptive skiplist: key crossed the hotness
                               // threshold; host should issue kPromote
   bool has_more = false;   // kScan: partition holds further keys >= aux
+  bool failed_over = false;  // partition was fenced while this op was in
+                             // flight (or posted against a fenced lane): the
+                             // op was NOT applied; the host must re-route /
+                             // retry. Set only by the failover supervisor and
+                             // the fast-bounce path, never by a combiner.
   Value value = 0;         // read result; kScan: entries written
   void* node = nullptr;    // skiplist insert: node created in the partition;
                            // skiplist update: host_ptr of the updated node
@@ -152,6 +157,21 @@ struct BatchOp {
 ///     release store is what allows the *same* thread's next post() to
 ///     plain-write `req` without racing the combiner: the combiner never
 ///     touches a slot it has already marked kDone.
+///
+/// Failover exception to rule 2 (see partition_set.cpp's supervisor): when a
+/// partition is *fenced*, the supervisor may move kPending -> kDone on the
+/// dead combiner's behalf, writing a bounce response with `failed_over` set
+/// ("not applied; retry elsewhere"). This is safe against the zombie only
+/// because the supervisor first raises the fence epoch and *joins* the
+/// exited combiner thread before touching any slot — after the join there
+/// is exactly one writer again. A combiner that outlived its fence (a false
+/// positive: it was slow, not dead) detects the stale epoch in complete()
+/// and switches from a blind kDone store to a kPending -> kDone CAS: ops it
+/// already ran are still answered (dropping them would double-execute on
+/// the host's retry — the CAS is join-ordered before any bounce, so it
+/// cannot race the supervisor), while a reply to a slot some new owner has
+/// already moved on is rejected. Thus every failed_over response a host
+/// ever sees belongs to a request that was never picked up.
 ///
 /// NmpCore::post() additionally bumps the core's `pending_` futex word
 /// *after* the kPending store, also with release order. That ordering is

@@ -42,6 +42,9 @@ inline constexpr const char* kScanLen = "nmp.scan_len";
 inline constexpr const char* kWaitTimeoutTotal = "wait_timeout_total";
 inline constexpr const char* kWatchdogFired = "watchdog_fired";
 inline constexpr const char* kPartitionDegraded = "partition_degraded";
+inline constexpr const char* kPartitionFailover = "partition_failover";
+inline constexpr const char* kPartitionRecovered = "partition_recovered";
+inline constexpr const char* kFailoverBouncedOps = "failover_bounced_ops";
 inline constexpr const char* kTraceQueueWaitNs = "trace.queue_wait_ns";
 inline constexpr const char* kTraceServiceNs = "trace.service_ns";
 // Global scope (host side).

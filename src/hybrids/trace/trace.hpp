@@ -55,8 +55,10 @@ inline constexpr bool kCompiledIn = true;
 #endif
 
 /// Lifecycle phases of one (possibly offloaded) operation. kOp is the
-/// enclosing span; every other span phase nests inside it. kRetry is an
-/// instant marker, not a span. Keep phase_name() in sync.
+/// enclosing span; every other span phase nests inside it. kRetry and
+/// kFailover are instant markers, not spans (kFailover: the op was bounced
+/// off a fenced partition and will re-route through the retry machinery).
+/// Keep phase_name() in sync.
 enum class Phase : std::uint8_t {
   kOp = 0,
   kHostDescend,
@@ -68,8 +70,9 @@ enum class Phase : std::uint8_t {
   kWake,
   kScanChunk,
   kRetry,
+  kFailover,
 };
-inline constexpr int kPhaseCount = static_cast<int>(Phase::kRetry) + 1;
+inline constexpr int kPhaseCount = static_cast<int>(Phase::kFailover) + 1;
 
 inline const char* phase_name(Phase p) {
   switch (p) {
@@ -83,6 +86,7 @@ inline const char* phase_name(Phase p) {
     case Phase::kWake: return "wake";
     case Phase::kScanChunk: return "scan_chunk";
     case Phase::kRetry: return "retry";
+    case Phase::kFailover: return "failover";
   }
   return "?";
 }

@@ -18,6 +18,11 @@
 //  * spurious_retry      — host retry loops + budgets re-execute correctly.
 //  * spurious_lock_path  — the LOCK_PATH fallback tolerates escalations the
 //                          NMP side has no record of.
+//  * combiner_abort      — a dead combiner is fenced, its in-flight slots
+//                          bounced, and the lane respawned or host-leased
+//                          (kill-recover scenarios at the bottom).
+//  * combiner_wedge      — same, against a wedged-but-alive combiner that
+//                          only exits once it observes the fence.
 //
 // The seed comes from $CHAOS_SEED (default 1) so CI can sweep seeds and a
 // failing schedule can be replayed exactly.
@@ -25,6 +30,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <thread>
@@ -163,9 +169,39 @@ void check_chaos_scan(const std::vector<ScanEntry>& buf, std::size_t n,
 }
 
 // ---------------------------------------------------------------------------
+// Failover tuning for the kill-recover scenarios: a fast watchdog so several
+// fence/bounce/respawn cycles complete within one chaos run.
+
+struct FailoverTuning {
+  std::uint32_t interval_ms = 2;
+  std::uint32_t degrade = 2;
+  std::uint32_t recover = 2;
+  nmp::FailoverPolicy policy = nmp::FailoverPolicy::kRespawn;
+};
+
+/// Pumps `op` until every partition reports healthy again. The degraded mark
+/// is sticky while idle (re-integration is hysteresis-gated on progressing
+/// intervals), so coming back requires driving traffic — which also proves
+/// the recovered lane serves again.
+template <typename Op>
+void pump_until_recovered(nmp::PartitionSet& set, Op op) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (std::uint32_t p = 0; p < set.partitions(); ++p) {
+    while (set.degraded(p)) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "partition " << p << " never re-integrated";
+      op();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Skiplist chaos
 
-void run_skiplist_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
+void run_skiplist_chaos(const fault::Config& fc, std::uint32_t ops_per_thread,
+                        const FailoverTuning* ft = nullptr) {
   ds::HybridSkipList::Config cfg;
   cfg.total_height = 12;
   cfg.nmp_height = 6;
@@ -175,6 +211,12 @@ void run_skiplist_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
   cfg.slots_per_thread = 2;
   cfg.seed = fc.seed;
   cfg.retry_budget = 4;  // small, so chaos actually exhausts budgets
+  if (ft != nullptr) {
+    cfg.watchdog_interval_ms = ft->interval_ms;
+    cfg.watchdog_misses_to_degrade = ft->degrade;
+    cfg.watchdog_misses_to_recover = ft->recover;
+    cfg.failover = ft->policy;
+  }
   ds::HybridSkipList list(cfg);
 
   std::vector<std::map<Key, Value>> oracles(kThreads);
@@ -232,6 +274,29 @@ void run_skiplist_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
       });
     }
     for (std::thread& w : workers) w.join();
+  }
+
+  if (ft != nullptr) {
+    nmp::PartitionSet& set = list.partition_set();
+    std::uint64_t kills = 0;
+    for (std::uint32_t p = 0; p < set.partitions(); ++p) {
+      kills += set.failovers(p);
+    }
+    EXPECT_GT(kills, 0u) << "kill-recover run produced no failovers";
+    // Every fenced partition must return to service. Reads cycling all
+    // partitions generate the progressing intervals the hysteresis gate
+    // requires; they are served (not bounced), which is the serves-again
+    // half of the property. Reads mutate nothing, so the oracle checks
+    // below stay exact.
+    std::uint64_t k = 0;
+    pump_until_recovered(set, [&] {
+      Value out = 0;
+      (void)list.read((k++ % set.partitions()) * cfg.partition_width + 1, out,
+                      0);
+    });
+    for (std::uint32_t p = 0; p < set.partitions(); ++p) {
+      EXPECT_FALSE(set.degraded(p)) << "partition " << p;
+    }
   }
 
   EXPECT_TRUE(list.validate());
@@ -343,7 +408,8 @@ void run_nmp_skiplist_chaos(const fault::Config& fc,
 // ---------------------------------------------------------------------------
 // B+ tree chaos
 
-void run_btree_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
+void run_btree_chaos(const fault::Config& fc, std::uint32_t ops_per_thread,
+                     const FailoverTuning* ft = nullptr) {
   // Initial sorted load: odd multiples j give keys 4j+t, residue t — so each
   // thread's oracle starts with its own stripe of the initial table. The
   // even multiples are left as insertion targets, keeping splits (and thus
@@ -366,6 +432,12 @@ void run_btree_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
   cfg.max_threads = kThreads;
   cfg.slots_per_thread = 2;
   cfg.retry_budget = 4;
+  if (ft != nullptr) {
+    cfg.watchdog_interval_ms = ft->interval_ms;
+    cfg.watchdog_misses_to_degrade = ft->degrade;
+    cfg.watchdog_misses_to_recover = ft->recover;
+    cfg.failover = ft->policy;
+  }
   ds::HybridBTree tree(cfg, keys, values);
 
   {
@@ -420,6 +492,27 @@ void run_btree_chaos(const fault::Config& fc, std::uint32_t ops_per_thread) {
       });
     }
     for (std::thread& w : workers) w.join();
+  }
+
+  if (ft != nullptr) {
+    nmp::PartitionSet& set = tree.partition_set();
+    std::uint64_t kills = 0;
+    for (std::uint32_t p = 0; p < set.partitions(); ++p) {
+      kills += set.failovers(p);
+    }
+    EXPECT_GT(kills, 0u) << "kill-recover run produced no failovers";
+    // The btree routes via tagged pointers, so partitions can't be targeted
+    // by key; uniform reads over the initial table reach all of them.
+    util::Xoshiro256 prng(fc.seed ^ 0xF417F417ULL);
+    pump_until_recovered(set, [&] {
+      Value out = 0;
+      (void)tree.read(4 * (1 + prng.next_below(kKeysPerThread)) +
+                          prng.next_below(kThreads),
+                      out, 0);
+    });
+    for (std::uint32_t p = 0; p < set.partitions(); ++p) {
+      EXPECT_FALSE(set.degraded(p)) << "partition " << p;
+    }
   }
 
   EXPECT_TRUE(tree.validate());
@@ -481,6 +574,59 @@ TEST(ChaosBTree, EachFaultKindInIsolation) {
 TEST(ChaosBTree, AllFaultKindsTogether) {
   run_btree_chaos(fault::Config::all(chaos_seed(), 0.02),
                   /*ops_per_thread=*/1200);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-recover: combiners die (kCombinerAbort) or wedge permanently
+// (kCombinerWedge) and the failover supervisor must fence the lane, bounce
+// in-flight slots, respawn (or lease to the hosts), and re-integrate under
+// the hysteresis gate — while the oracle stays exact. A bounced op is
+// retried by the host, never lost, and never double-applied, even when the
+// watchdog false-positive-fences a live-but-descheduled combiner (common
+// under TSan's ~10x slowdown with a 2 ms watchdog): a fenced combiner
+// still delivers replies for ops it already ran (the supervisor bounces
+// only after joining it), so every failed_over response the host retries
+// belongs to a slot that was never picked up.
+
+TEST(ChaosSkipList, KillRecoverCombinerAbort) {
+  FailoverTuning ft;
+  run_skiplist_chaos(
+      one_kind(chaos_seed(), fault::Kind::kCombinerAbort, 0.004),
+      /*ops_per_thread=*/800, &ft);
+}
+
+TEST(ChaosSkipList, KillRecoverCombinerWedge) {
+  FailoverTuning ft;
+  run_skiplist_chaos(
+      one_kind(chaos_seed(), fault::Kind::kCombinerWedge, 0.004),
+      /*ops_per_thread=*/800, &ft);
+}
+
+TEST(ChaosSkipList, KillRecoverHostLeaseTakeover) {
+  FailoverTuning ft;
+  ft.policy = nmp::FailoverPolicy::kHostLease;
+  run_skiplist_chaos(
+      one_kind(chaos_seed(), fault::Kind::kCombinerAbort, 0.004),
+      /*ops_per_thread=*/800, &ft);
+}
+
+TEST(ChaosBTree, KillRecoverCombinerAbort) {
+  FailoverTuning ft;
+  run_btree_chaos(one_kind(chaos_seed(), fault::Kind::kCombinerAbort, 0.004),
+                  /*ops_per_thread=*/800, &ft);
+}
+
+TEST(ChaosBTree, KillRecoverCombinerWedge) {
+  FailoverTuning ft;
+  run_btree_chaos(one_kind(chaos_seed(), fault::Kind::kCombinerWedge, 0.004),
+                  /*ops_per_thread=*/800, &ft);
+}
+
+TEST(ChaosBTree, KillRecoverHostLeaseTakeover) {
+  FailoverTuning ft;
+  ft.policy = nmp::FailoverPolicy::kHostLease;
+  run_btree_chaos(one_kind(chaos_seed(), fault::Kind::kCombinerAbort, 0.004),
+                  /*ops_per_thread=*/800, &ft);
 }
 
 }  // namespace

@@ -282,6 +282,33 @@ TEST(PartitionSet, RejectsInvalidConfig) {
     cfg.slots_per_thread = 0;
     EXPECT_THROW(hn::PartitionSet set(cfg), std::invalid_argument);
   }
+  // An enabled watchdog with a zero threshold would fence a partition on its
+  // first tick (degrade) or never re-integrate it (recover).
+  {
+    hn::PartitionConfig cfg;
+    cfg.partition_width = 1000;
+    cfg.watchdog_interval_ms = 2;
+    cfg.watchdog_misses_to_degrade = 0;
+    EXPECT_THROW(hn::PartitionSet set(cfg), std::invalid_argument);
+  }
+  {
+    hn::PartitionConfig cfg;
+    cfg.partition_width = 1000;
+    cfg.watchdog_interval_ms = 2;
+    cfg.watchdog_misses_to_recover = 0;
+    EXPECT_THROW(hn::PartitionSet set(cfg), std::invalid_argument);
+  }
+  // With the watchdog disabled the thresholds are inert and may be zero.
+  {
+    hn::PartitionConfig cfg;
+    cfg.partitions = 2;  // small: construction registers per-partition metrics
+    cfg.max_threads = 1;
+    cfg.partition_width = 1000;
+    cfg.watchdog_interval_ms = 0;
+    cfg.watchdog_misses_to_degrade = 0;
+    cfg.watchdog_misses_to_recover = 0;
+    EXPECT_NO_THROW(hn::PartitionSet set(cfg));
+  }
 }
 
 TEST(PartitionSet, WatchdogDegradesStalledPartitionAndRecovers) {
@@ -292,6 +319,10 @@ TEST(PartitionSet, WatchdogDegradesStalledPartitionAndRecovers) {
   cfg.partition_width = 1000;
   cfg.watchdog_interval_ms = 2;
   cfg.watchdog_misses_to_degrade = 3;
+  cfg.watchdog_misses_to_recover = 2;
+  // kNone isolates the degraded-mark semantics from fencing/recovery (those
+  // have their own tests below).
+  cfg.failover = hn::FailoverPolicy::kNone;
   hn::PartitionSet set(cfg);
   std::atomic<bool> release{false};
   set.set_handler(0, [&](const hn::Request&, hn::Response& resp) {
@@ -315,12 +346,22 @@ TEST(PartitionSet, WatchdogDegradesStalledPartitionAndRecovers) {
   }
   EXPECT_TRUE(set.degraded(0));
 
-  // Unwedge: progress resumes and the next watchdog tick clears the mark.
+  // Unwedge and drain the stalled op.
   release.store(true, std::memory_order_release);
   EXPECT_TRUE(set.retrieve(h).ok);
+
+  // The mark is sticky while the partition is idle: one progressing
+  // interval (the drained op) is below the hysteresis threshold, and idle
+  // intervals must not count as clean. No flap back to healthy.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(set.degraded(0));
+
+  // Only sustained progress re-integrates: pump traffic until the watchdog
+  // has seen misses_to_recover consecutive progressing intervals.
   const auto recover_deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (set.degraded(0) && std::chrono::steady_clock::now() < recover_deadline) {
+    EXPECT_TRUE(set.call(0, 0, r).ok);
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_FALSE(set.degraded(0));
@@ -330,6 +371,249 @@ TEST(PartitionSet, WatchdogDegradesStalledPartitionAndRecovers) {
     const ht::Snapshot snap = ht::snapshot();
     EXPECT_GT(snap.counter_total(ht::names::kWatchdogFired), 0u);
     EXPECT_GT(snap.counter_total(ht::names::kPartitionDegraded), 0u);
+  }
+}
+
+TEST(NmpCore, FencedCombinerStillDeliversInFlightReply) {
+  // A fence raised while the combiner is inside a handler retires the
+  // incarnation at the next pass top, but the op it already ran must still
+  // be answered: the supervisor only bounces after try_reap() joins the
+  // zombie, so its completion CAS is ordered before any takeover. Dropping
+  // the reply instead would make the host's failed_over retry re-execute an
+  // already-applied op.
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  hn::NmpCore core(0, 2, [&](const hn::Request&, hn::Response& resp) {
+    entered.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    resp.ok = true;
+  });
+  core.start();
+  hn::Request r;
+  core.post(0, r);
+  while (!entered.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  core.fence_raise();  // the in-flight handler is now a zombie's last act
+  release.store(true, std::memory_order_release);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!core.exited() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  ASSERT_TRUE(core.exited());
+  ASSERT_TRUE(core.try_reap());
+  // The zombie's reply landed before the (join-gated) takeover window: the
+  // slot is done with the real response, and nothing is left to bounce.
+  EXPECT_TRUE(core.slot(0).done());
+  EXPECT_TRUE(core.slot(0).take().ok);
+  EXPECT_EQ(core.served(), 1u);
+  // Respawn over the same slots: the fresh combiner serves new posts.
+  core.start();
+  core.post(0, r);
+  core.wait_done(0);
+  EXPECT_TRUE(core.slot(0).take().ok);
+  core.stop();
+}
+
+TEST(NmpCore, StaleReplyRejectedAfterSlotTakeover) {
+  // Defense in depth for the lost-CAS arm of complete(): if a fenced
+  // combiner's reply arrives after the slot has already been taken over
+  // (bounced to kDone by a new owner), the late publish must be rejected
+  // rather than overwrite protocol state it no longer owns. The real
+  // supervisor can never reach this arm — it bounces only after joining the
+  // zombie — so the takeover is simulated directly on the slot.
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  hn::NmpCore core(0, 2, [&](const hn::Request&, hn::Response& resp) {
+    entered.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    resp.ok = true;
+  });
+  core.start();
+  hn::Request r;
+  core.post(0, r);
+  while (!entered.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  core.fence_raise();
+  // Simulated takeover while the zombie is still inside the handler: the
+  // slot is answered failed_over and marked done by its "new owner".
+  core.slot(0).resp.failed_over = true;
+  core.slot(0).status.store(hn::PubSlot::kDone, std::memory_order_release);
+  release.store(true, std::memory_order_release);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!core.exited() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  ASSERT_TRUE(core.exited());
+  ASSERT_TRUE(core.try_reap());
+  // The zombie's completion CAS lost: the takeover response survives and
+  // the zombie counted nothing as served.
+  const hn::Response out = core.slot(0).take();
+  EXPECT_TRUE(out.failed_over);
+  EXPECT_EQ(core.served(), 0u);
+}
+
+namespace {
+// Shared scaffolding for the failover tests: one partition whose handler can
+// be wedged on demand, plus a helper that waits for a predicate.
+struct WedgeableSet {
+  std::atomic<bool> wedge{false};
+  std::atomic<bool> in_handler{false};
+  hn::PartitionSet set;
+
+  explicit WedgeableSet(hn::FailoverPolicy policy)
+      : set(config(policy)) {
+    set.set_handler(0, [this](const hn::Request& req, hn::Response& resp) {
+      in_handler.store(true, std::memory_order_release);
+      while (wedge.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      resp.ok = true;
+      resp.value = req.key + 1;
+    });
+    set.start();
+  }
+
+  static hn::PartitionConfig config(hn::FailoverPolicy policy) {
+    hn::PartitionConfig cfg;
+    cfg.partitions = 1;
+    cfg.max_threads = 2;
+    cfg.slots_per_thread = 2;
+    cfg.partition_width = 1000;
+    cfg.watchdog_interval_ms = 2;
+    cfg.watchdog_misses_to_degrade = 2;
+    cfg.watchdog_misses_to_recover = 2;
+    cfg.failover = policy;
+    return cfg;
+  }
+};
+
+template <typename Pred>
+bool wait_for(Pred pred, std::chrono::seconds limit = std::chrono::seconds(5)) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return true;
+}
+}  // namespace
+
+TEST(PartitionSet, FailoverRespawnsAndBouncesInFlight) {
+  WedgeableSet w(hn::FailoverPolicy::kRespawn);
+  hn::PartitionSet& set = w.set;
+
+  // Wedge the combiner inside a handler with an op in flight.
+  w.wedge.store(true, std::memory_order_release);
+  hn::Request r;
+  r.key = 7;
+  hn::OpHandle h = set.call_async(0, 0, r);
+  ASSERT_TRUE(h.valid);
+  ASSERT_TRUE(wait_for([&] { return w.in_handler.load(std::memory_order_acquire); }));
+
+  // A second op the wedged pass has NOT picked up: it will still be pending
+  // when the lane is fenced, so the supervisor must bounce it.
+  hn::Request r2;
+  r2.key = 9;
+  hn::OpHandle h2 = set.call_async(0, 1, r2);
+  ASSERT_TRUE(h2.valid);
+
+  // Force the failover path and wait until the supervisor has fenced.
+  set.trigger_failover(0);
+  ASSERT_TRUE(wait_for([&] { return set.failovers(0) >= 1; }));
+  EXPECT_TRUE(set.degraded(0));
+
+  // While fenced, blocking calls bounce immediately instead of blocking on
+  // the dead lane (bounded-wait guarantee).
+  EXPECT_TRUE(set.call(0, 1, r).failed_over);
+
+  // Release the zombie. It finishes the op it already ran and delivers the
+  // real reply — an executed op must never read failed_over, or the host's
+  // retry would double-apply it. The supervisor then reaps the zombie,
+  // bounces the never-picked-up op, and respawns a fresh combiner.
+  w.wedge.store(false, std::memory_order_release);
+  hn::Response done = set.retrieve(h);
+  EXPECT_TRUE(done.ok);
+  EXPECT_FALSE(done.failed_over);
+  EXPECT_EQ(done.value, r.key + 1);
+  hn::Response bounced = set.retrieve(h2);
+  EXPECT_TRUE(bounced.failed_over);
+
+  // The respawned combiner serves again; sustained progress clears the mark.
+  ASSERT_TRUE(wait_for([&] {
+    hn::Response resp = set.call(0, 0, r);
+    return !resp.failed_over && resp.ok && resp.value == r.key + 1;
+  }));
+  ASSERT_TRUE(wait_for([&] {
+    (void)set.call(0, 0, r);
+    return !set.degraded(0);
+  }));
+  EXPECT_GE(set.recoveries(0), 1u);
+  set.stop();
+}
+
+TEST(PartitionSet, HostLeaseServesUnderFence) {
+  WedgeableSet w(hn::FailoverPolicy::kHostLease);
+  hn::PartitionSet& set = w.set;
+
+  w.wedge.store(true, std::memory_order_release);
+  hn::Request r;
+  r.key = 41;
+  hn::OpHandle h = set.call_async(0, 0, r);
+  ASSERT_TRUE(h.valid);
+  ASSERT_TRUE(wait_for([&] { return w.in_handler.load(std::memory_order_acquire); }));
+
+  // A second, never-picked-up op that must be bounced under the fence.
+  hn::Request r2;
+  r2.key = 43;
+  hn::OpHandle h2 = set.call_async(0, 1, r2);
+  ASSERT_TRUE(h2.valid);
+
+  set.trigger_failover(0);
+  ASSERT_TRUE(wait_for([&] { return set.failovers(0) >= 1; }));
+
+  // Release the zombie so the supervisor can reap and hand the lane to the
+  // hosts. The op the zombie already ran is delivered; the pending one is
+  // bounced.
+  w.wedge.store(false, std::memory_order_release);
+  hn::Response done = set.retrieve(h);
+  EXPECT_TRUE(done.ok);
+  EXPECT_FALSE(done.failed_over);
+  EXPECT_TRUE(set.retrieve(h2).failed_over);
+
+  // Under the lease, host threads drive combiner passes themselves: calls
+  // are served (not bounced) even though no combiner thread exists yet.
+  ASSERT_TRUE(wait_for([&] {
+    hn::Response resp = set.call(0, 1, r);
+    return !resp.failed_over && resp.ok && resp.value == r.key + 1;
+  }));
+
+  // Sustained progress re-spawns a combiner under the lease lock and then
+  // clears the mark.
+  ASSERT_TRUE(wait_for([&] {
+    (void)set.call(0, 0, r);
+    return !set.degraded(0);
+  }));
+  EXPECT_GE(set.recoveries(0), 1u);
+
+  // Fully healthy again: a plain blocking call round-trips via the combiner.
+  hn::Response resp = set.call(0, 0, r);
+  EXPECT_TRUE(resp.ok);
+  EXPECT_FALSE(resp.failed_over);
+  set.stop();
+
+  if constexpr (ht::kEnabled) {
+    const ht::Snapshot snap = ht::snapshot();
+    EXPECT_GT(snap.counter_total(ht::names::kPartitionFailover), 0u);
+    EXPECT_GT(snap.counter_total(ht::names::kPartitionRecovered), 0u);
+    EXPECT_GT(snap.counter_total(ht::names::kFailoverBouncedOps), 0u);
   }
 }
 
@@ -468,6 +752,12 @@ TEST(PartitionSet, TelemetryServedCountsSumToTotalOps) {
   for (const auto& c : snap.counters) {
     if (c.name != ht::names::kServedTotal) continue;
     ASSERT_GE(c.partition, 0);
+    // The registry is process-wide: other tests in this binary may have
+    // registered (now zeroed) instruments for partitions this set lacks.
+    if (static_cast<std::uint32_t>(c.partition) >= set.partitions()) {
+      EXPECT_EQ(c.value, 0u);
+      continue;
+    }
     EXPECT_EQ(c.value, set.core(static_cast<std::uint32_t>(c.partition)).served());
     nonzero_partitions += c.value > 0;
   }
