@@ -31,6 +31,9 @@
 //   --kill-every-ms=N    (ext_failover) force one combiner failover every
 //                        N ms during the timed run
 //   --duration-ms=N      (ext_failover) timed-run length per mode, in ms
+//   --depths=CSV         (ablate_interleave) coroutine frame depths to
+//                        sweep, each in [1, 16]; depth 1 is the blocking
+//                        baseline (default 1,2,4,8,16)
 //
 // micro_library_bench (google-benchmark, not parse_options) additionally
 // accepts --pool=arena|malloc: `arena` (the default) backs structure nodes
@@ -69,6 +72,7 @@ struct Options {
   std::uint32_t scan_max = 100;  // max requested range-scan length (YCSB-E)
   std::uint32_t kill_every_ms = 500;  // ext_failover: kill cadence
   std::uint32_t duration_ms = 3000;   // ext_failover: timed-run length
+  std::vector<std::uint32_t> depths = {1, 2, 4, 8, 16};  // ablate_interleave
   bool full = false;
   bool csv = false;
   std::string stats_json;               // empty: no JSON export
@@ -142,6 +146,20 @@ inline Options parse_options(int argc, char** argv) {
         std::cerr << "error: --duration-ms must be a positive integer, got '"
                   << v << "'\n";
         std::exit(2);
+      }
+    } else if (const char* v = value_of("--depths=")) {
+      if (!parse_thread_list(v, opt.depths)) {
+        std::cerr << "error: malformed --depths list '" << v
+                  << "' (expected comma-separated positive integers, e.g. "
+                     "--depths=1,4,8)\n";
+        std::exit(2);
+      }
+      for (const std::uint32_t d : opt.depths) {
+        if (d > 16) {  // host::Frame::kMaxSlots
+          std::cerr << "error: --depths entries must be in [1, 16], got " << d
+                    << "\n";
+          std::exit(2);
+        }
       }
     } else if (const char* v = value_of("--stats-json=")) {
       opt.stats_json = v;
@@ -222,6 +240,8 @@ inline Options parse_options(int argc, char** argv) {
                    "(default 500)\n"
                    "  --duration-ms=N      (ext_failover) timed-run length "
                    "(default 3000)\n"
+                   "  --depths=1,4,8       (ablate_interleave) frame depths "
+                   "to sweep, each in [1, 16]\n"
                    "  --fault-rate=P       per-kind injection probability "
                    "(default 0.01)\n";
       std::exit(0);

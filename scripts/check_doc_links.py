@@ -2,10 +2,15 @@
 """Check that relative markdown links in the repo's docs resolve.
 
 Scans every tracked *.md file for [text](target) links, skips external
-(http/https/mailto) and pure-anchor targets, strips #fragments, and
-verifies the remaining paths exist relative to the linking file. Exits
-non-zero listing every broken link. CI runs this in the doc-lint job; run
-locally as `python3 scripts/check_doc_links.py` from anywhere in the repo.
+(http/https/mailto) targets, strips #fragments for the existence check,
+and verifies the remaining paths exist relative to the linking file. For
+intra-doc anchors — pure `#fragment` links and `path.md#fragment` links
+whose target is a tracked markdown file — it additionally verifies the
+fragment names a real heading, using GitHub's slugification (lowercase,
+punctuation stripped, spaces to hyphens, `-1`/`-2`… suffixes for
+duplicate headings). Exits non-zero listing every broken link or anchor.
+CI runs this in the doc-lint job; run locally as
+`python3 scripts/check_doc_links.py` from anywhere in the repo.
 """
 
 import os
@@ -18,7 +23,9 @@ import sys
 # too for existence purposes, so no need to distinguish).
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
 
 def repo_root() -> str:
@@ -42,31 +49,81 @@ def tracked_markdown(root: str) -> list[str]:
     return [line for line in out.stdout.splitlines() if line]
 
 
+def strip_fences(text: str) -> str:
+    # Drop fenced code blocks: shell snippets legitimately contain
+    # [text](target)-shaped strings (e.g. awk, test expressions) and
+    # #-prefixed comment lines that would otherwise look like headings.
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: strip inline markup, lowercase,
+    drop everything but word characters/spaces/hyphens, spaces to hyphens."""
+    # Inline code/emphasis markers contribute their text, not their markup.
+    heading = re.sub(r"[`*_]", "", heading)
+    # Markdown links in headings anchor on the link text.
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(text: str) -> set[str]:
+    """All heading anchors in a markdown document, with GitHub's -N
+    deduplication for repeated headings."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    for match in HEADING_RE.finditer(strip_fences(text)):
+        slug = github_slug(match.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
 def main() -> int:
     root = repo_root()
+    files = tracked_markdown(root)
+    contents: dict[str, str] = {}
+    for md in files:
+        with open(os.path.join(root, md), encoding="utf-8") as f:
+            contents[md] = f.read()
+    anchors = {
+        os.path.normpath(os.path.join(root, md)): anchors_of(text)
+        for md, text in contents.items()
+    }
+
     broken = []
-    for md in tracked_markdown(root):
+    for md in files:
         md_path = os.path.join(root, md)
-        with open(md_path, encoding="utf-8") as f:
-            text = f.read()
-        # Drop fenced code blocks: shell snippets legitimately contain
-        # [text](target)-shaped strings (e.g. awk, test expressions).
-        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        text = strip_fences(contents[md])
         for target in LINK_RE.findall(text):
             if target.startswith(SKIP_PREFIXES):
                 continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            resolved = os.path.normpath(os.path.join(os.path.dirname(md_path), path))
-            if not os.path.exists(resolved):
-                broken.append(f"{md}: ({target}) -> {os.path.relpath(resolved, root)}")
+            path, _, frag = target.partition("#")
+            if path:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md_path), path)
+                )
+                if not os.path.exists(resolved):
+                    broken.append(
+                        f"{md}: ({target}) -> {os.path.relpath(resolved, root)}"
+                    )
+                    continue
+            else:
+                resolved = os.path.normpath(md_path)  # pure #anchor: this file
+            if frag and resolved in anchors:
+                if frag not in anchors[resolved]:
+                    broken.append(
+                        f"{md}: ({target}) -> no heading with anchor "
+                        f"#{frag} in {os.path.relpath(resolved, root)}"
+                    )
     if broken:
         print("broken markdown links:")
         for b in broken:
             print(f"  {b}")
         return 1
-    print(f"doc links OK across {len(tracked_markdown(root))} markdown files")
+    print(f"doc links OK across {len(files)} markdown files")
     return 0
 
 

@@ -26,6 +26,7 @@
 
 #include "hybrids/ds/btree_nodes.hpp"
 #include "hybrids/ds/nmp_btree.hpp"
+#include "hybrids/host/interleave.hpp"
 #include "hybrids/mem/memlayer.hpp"
 #include "hybrids/mem/node_pool.hpp"
 #include "hybrids/nmp/partition_set.hpp"
@@ -379,6 +380,208 @@ class HybridBTree {
     return filled;
   }
 
+#if !defined(HYBRIDS_NO_INTERLEAVE)
+  // ----- coroutine-interleaved operations (docs/INTERLEAVING.md) -----------
+  //
+  // Twins of the blocking operations for callers driving a host::Frame: the
+  // inner-node descent suspends after each whole-node prefetch
+  // (traverse_co) and the publication round-trip parks on
+  // suspend_until_done. Semantics match the blocking twins — same seqlock
+  // validation/climb, same retry budget and trace spans, same failover
+  // handling. The LOCK_PATH escalation of insert_co intentionally stays
+  // blocking (complete_escalated_insert): escalations are rare structural
+  // changes already serialized by host-side locks, not worth a coroutine
+  // variant of the two-phase protocol.
+
+  host::CoTask<bool> read_co(Key key, Value* out, std::uint32_t tid) {
+    RetryBudget budget(*this);
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kRead);
+    while (true) {
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
+      Frame frame;
+      if (!co_await traverse_co(key, frame)) continue;
+      const auto part16 = static_cast<std::int16_t>(frame.partition);
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      nmp::Response r = co_await call_co(
+          frame.partition, tid, make_request(nmp::OpCode::kRead, key, 0, frame,
+                                             tok.id));
+      if (must_retry(r)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
+        budget.note_retry();
+        continue;
+      }
+      *out = r.value;
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
+      }
+      co_return r.ok;
+    }
+  }
+
+  host::CoTask<bool> update_co(Key key, Value value, std::uint32_t tid) {
+    RetryBudget budget(*this);
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kUpdate);
+    while (true) {
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
+      Frame frame;
+      if (!co_await traverse_co(key, frame)) continue;
+      const auto part16 = static_cast<std::int16_t>(frame.partition);
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      nmp::Response r = co_await call_co(
+          frame.partition, tid,
+          make_request(nmp::OpCode::kUpdate, key, value, frame, tok.id));
+      if (must_retry(r)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
+        budget.note_retry();
+        continue;
+      }
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
+      }
+      co_return r.ok;
+    }
+  }
+
+  host::CoTask<bool> remove_co(Key key, std::uint32_t tid) {
+    RetryBudget budget(*this);
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kRemove);
+    while (true) {
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
+      Frame frame;
+      if (!co_await traverse_co(key, frame)) continue;
+      const auto part16 = static_cast<std::int16_t>(frame.partition);
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      nmp::Response r = co_await call_co(
+          frame.partition, tid,
+          make_request(nmp::OpCode::kRemove, key, 0, frame, tok.id));
+      if (must_retry(r)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
+        budget.note_retry();
+        continue;
+      }
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
+      }
+      co_return r.ok;
+    }
+  }
+
+  host::CoTask<bool> insert_co(Key key, Value value, std::uint32_t tid) {
+    RetryBudget budget(*this);
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kInsert);
+    while (true) {
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
+      Frame frame;
+      if (!co_await traverse_co(key, frame)) continue;
+      const auto part16 = static_cast<std::int16_t>(frame.partition);
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      nmp::Response r = co_await call_co(
+          frame.partition, tid,
+          make_request(nmp::OpCode::kInsert, key, value, frame, tok.id));
+      if (must_retry(r)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
+        budget.note_retry();
+        continue;
+      }
+      if (!r.lock_path) {
+        if (tok.sampled()) {
+          trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                        /*offloaded=*/true);
+        }
+        co_return r.ok;
+      }
+      lock_path_->inc();
+      bool done = false;
+      if (complete_escalated_insert(frame, r.node, frame.partition, tid, done,
+                                    tok.id)) {
+        if (tok.sampled()) {
+          trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                        /*offloaded=*/true);
+        }
+        co_return done;
+      }
+      // Host-side locking failed; the NMP path was unlocked on our behalf.
+    }
+  }
+
+  /// Coroutine twin of scan(): same chunking, stitching, and retry rules;
+  /// the per-chunk descent (including the stitch hop into the next begin
+  /// subtree) interleaves via traverse_co and each chunk's round-trip parks
+  /// on the publication slot.
+  host::CoTask<std::size_t> scan_co(Key start, std::size_t count,
+                                    ScanEntry* out, std::uint32_t tid) {
+    std::size_t filled = 0;
+    Key cur = start;
+    RetryBudget budget(*this);
+    bool have_part = false;
+    std::uint32_t last_part = 0;
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kScan);
+    bool offloaded = false;
+    std::int16_t part16 = -1;
+    while (filled < count) {
+      const std::uint64_t c0 = tok.sampled() ? telemetry::now_ns() : 0;
+      Frame frame;
+      if (!co_await traverse_co(cur, frame)) continue;
+      part16 = static_cast<std::int16_t>(frame.partition);
+      trace::record_span(tok.id, trace::Phase::kHostDescend, c0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      const std::size_t want = count - filled < nmp::kScanChunk
+                                   ? count - filled
+                                   : nmp::kScanChunk;
+      nmp::Request r = make_request(nmp::OpCode::kScan, cur,
+                                    static_cast<Value>(want), frame, tok.id);
+      r.host_node = out + filled;
+      nmp::Response resp = co_await call_co(frame.partition, tid, r);
+      offloaded = true;
+      trace::record_span(tok.id, trace::Phase::kScanChunk, c0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      if (must_retry(resp)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
+        scan_retry_->inc();
+        budget.note_retry();
+        continue;
+      }
+      if (have_part && frame.partition != last_part) scan_hops_->inc();
+      have_part = true;
+      last_part = frame.partition;
+      filled += resp.value;
+      if (resp.has_more) {
+        cur = static_cast<Key>(resp.aux);
+        continue;
+      }
+      if (!frame.bounded) break;  // rightmost subtree — nothing further
+      if (frame.upper == ~Key{0}) break;
+      cur = frame.upper + 1;
+    }
+    if (tok.sampled()) {
+      trace::end_op(tok, telemetry::now_ns(), op8, part16, offloaded);
+    }
+    co_return filled;
+  }
+#endif  // !HYBRIDS_NO_INTERLEAVE
+
   // ----- non-blocking operations (§3.5) --------------------------------------
 
   struct Ticket {
@@ -601,6 +804,81 @@ class HybridBTree {
     frame.bounded = sel_bnd;
     return true;
   }
+
+#if !defined(HYBRIDS_NO_INTERLEAVE)
+  /// Coroutine twin of traverse(): same optimistic descent, but the
+  /// whole-node prefetch of each child becomes a prefetch_and_yield
+  /// suspension so a sibling operation runs while the child's three lines
+  /// travel. Seqlock validation happens after the resume — a concurrent
+  /// split during the suspension is caught by the same seq_unchanged /
+  /// climb machinery as in the blocking path (host nodes are pool-recycled,
+  /// never unmapped, so the racy child pointer stays safe to touch).
+  host::CoTask<bool> traverse_co(Key key, Frame& frame) const {
+    HostBNode* root = root_.load(std::memory_order_acquire);
+    const std::uint32_t root_seq = root->wait_even_seq();
+    if (root_.load(std::memory_order_acquire) != root) co_return false;
+    frame.root_level = root->level;
+    frame.path[root->level] = root;
+    frame.seqs[root->level] = root_seq;
+    frame.uppers[root->level] = 0;
+    frame.bnd[root->level] = false;
+
+    int lvl = root->level;
+    HostBNode* curr = root;
+    while (lvl > last_host_level_) {
+      const int idx = curr->find_child_index(key);
+      HostBNode* child = curr->load_child(idx);
+      co_await host::prefetch_and_yield(child, sizeof(HostBNode));
+      Key child_upper = frame.uppers[lvl];
+      bool child_bnd = frame.bnd[lvl];
+      if (idx < curr->load_slotuse()) {
+        child_upper = curr->load_key(idx);
+        child_bnd = true;
+      }
+      if (!curr->seq_unchanged(frame.seqs[lvl])) {
+        if (!climb(frame, lvl, curr)) co_return false;
+        continue;
+      }
+      const std::uint32_t child_seq = child->wait_even_seq();
+      frame.path[lvl - 1] = child;
+      frame.seqs[lvl - 1] = child_seq;
+      frame.uppers[lvl - 1] = child_upper;
+      frame.bnd[lvl - 1] = child_bnd;
+      if (curr->seq_unchanged(frame.seqs[lvl])) {
+        --lvl;
+        curr = child;
+      } else {
+        if (!climb(frame, lvl, curr)) co_return false;
+      }
+    }
+    const int idx = curr->find_child_index(key);
+    const std::uintptr_t bits = curr->load_child_bits(idx);
+    Key sel_upper = frame.uppers[lvl];
+    bool sel_bnd = frame.bnd[lvl];
+    if (idx < curr->load_slotuse()) {
+      sel_upper = curr->load_key(idx);
+      sel_bnd = true;
+    }
+    if (!curr->seq_unchanged(frame.seqs[lvl])) co_return false;
+    frame.begin = NmpRef{};
+    frame.begin = ref_from_bits(bits);
+    frame.partition = frame.begin.tag();
+    frame.upper = sel_upper;
+    frame.bounded = sel_bnd;
+    co_return true;
+  }
+
+  /// Publication round-trip for the _co ops: post async and park on the
+  /// slot, falling back to the blocking call when no async slot is free or
+  /// the lane is fenced/leased (call() owns the bounce/lease handling).
+  host::CoTask<nmp::Response> call_co(std::uint32_t partition,
+                                      std::uint32_t tid, nmp::Request req) {
+    nmp::OpHandle h = set_.call_async(partition, tid, req);
+    if (!h.valid) co_return set_.call(partition, tid, req);
+    co_await host::suspend_until_done(set_, h);
+    co_return set_.retrieve(h);
+  }
+#endif  // !HYBRIDS_NO_INTERLEAVE
 
   static NmpRef ref_from_bits(std::uintptr_t bits) {
     NmpRef r;

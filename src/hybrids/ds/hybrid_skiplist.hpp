@@ -42,6 +42,7 @@
 
 #include "hybrids/ds/lockfree_skiplist.hpp"
 #include "hybrids/ds/seq_skiplist.hpp"
+#include "hybrids/host/interleave.hpp"
 #include "hybrids/mem/ebr.hpp"
 #include "hybrids/nmp/partition_set.hpp"
 #include "hybrids/telemetry/registry.hpp"
@@ -443,6 +444,299 @@ class HybridSkipList {
     }
     return filled;
   }
+
+#if !defined(HYBRIDS_NO_INTERLEAVE)
+  // ----- coroutine-interleaved operations (docs/INTERLEAVING.md) -----------
+  //
+  // Twins of the blocking operations above for callers driving a
+  // host::Frame: the host descent suspends at each prefetch
+  // (LfSkipList::find_co) and the publication round-trip parks on
+  // suspend_until_done instead of spinning into the futex, so sibling
+  // operations on the same thread overlap both kinds of dead time.
+  // Semantics are identical — same retry budget, same trace spans (each
+  // coroutine carries its own OpToken), same failover handling via
+  // must_retry — and every EbrGuard closes before the op parks.
+
+  /// Publication round-trip for the _co ops: post async and park on the
+  /// slot, falling back to the blocking call when no async slot is free or
+  /// the lane is fenced/leased (call() owns the bounce/lease handling).
+  /// kPublish/kWake spans are recorded by call_async/retrieve exactly as by
+  /// call().
+  host::CoTask<nmp::Response> call_co(std::uint32_t p, std::uint32_t tid,
+                                      nmp::Request req) {
+    nmp::OpHandle h = set_.call_async(p, tid, req);
+    if (!h.valid) co_return set_.call(p, tid, req);
+    co_await host::suspend_until_done(set_, h);
+    co_return set_.retrieve(h);
+  }
+
+  host::CoTask<bool> read_co(Key key, Value* out, std::uint32_t tid) {
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kRead);
+    RetryBudget budget(*this);
+    const std::uint32_t part = set_.partition_of(key);
+    const auto part16 = static_cast<std::int16_t>(part);
+    while (true) {
+      nmp::Request req;
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
+      {
+        mem::EbrGuard guard;  // spans find_co + every pred0/succ0 field read
+        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+        if (co_await host_.find_co(key, preds, succs)) {
+          host_read_hits_->inc();
+          *out = succs[0]->value_now();
+          if (tok.sampled()) {
+            const std::uint64_t now = telemetry::now_ns();
+            trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
+                               op8, part16);
+            trace::end_op(tok, now, op8, part16, /*offloaded=*/false);
+          }
+          co_return true;
+        }
+        req = make_request(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr,
+                           part, budget.exhausted());
+        req.trace_id = tok.id;
+      }
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      nmp::Response r = co_await call_co(part, tid, req);
+      if (must_retry(r)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
+        budget.note_retry();
+        continue;
+      }
+      if (r.promote_hint) try_promote(key, tid);
+      *out = r.value;
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
+      }
+      co_return r.ok;
+    }
+  }
+
+  host::CoTask<bool> update_co(Key key, Value value, std::uint32_t tid) {
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kUpdate);
+    RetryBudget budget(*this);
+    const std::uint32_t part = set_.partition_of(key);
+    const auto part16 = static_cast<std::int16_t>(part);
+    while (true) {
+      nmp::Request req;
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
+      {
+        mem::EbrGuard guard;
+        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+        (void)co_await host_.find_co(key, preds, succs);
+        req = make_request(nmp::OpCode::kUpdate, key, value, 0, preds[0],
+                           nullptr, part, budget.exhausted());
+        req.trace_id = tok.id;
+      }
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      nmp::Response r = co_await call_co(part, tid, req);
+      if (must_retry(r)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
+        budget.note_retry();
+        continue;
+      }
+      if (r.ok) refresh_mirror(key, r, value);
+      if (r.promote_hint) try_promote(key, tid);
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
+      }
+      co_return r.ok;
+    }
+  }
+
+  host::CoTask<bool> insert_co(Key key, Value value, std::uint32_t tid) {
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kInsert);
+    RetryBudget budget(*this);
+    const std::uint32_t part = set_.partition_of(key);
+    const auto part16 = static_cast<std::int16_t>(part);
+    while (true) {
+      const int height = random_height(*rngs_[tid], config_.total_height);
+      LfSkipList::Node* hnode = nullptr;
+      nmp::Request req;
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
+      {
+        mem::EbrGuard guard;
+        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+        if (co_await host_.find_co(key, preds, succs)) {  // tall node present
+          if (tok.sampled()) {
+            const std::uint64_t now = telemetry::now_ns();
+            trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
+                               op8, part16);
+            trace::end_op(tok, now, op8, part16, /*offloaded=*/false);
+          }
+          co_return false;
+        }
+        if (height > config_.nmp_height) {
+          hnode = host_.make_node(key, value, height - config_.nmp_height);
+        }
+        req = make_request(nmp::OpCode::kInsert, key, value,
+                           static_cast<std::uint64_t>(height), preds[0], hnode,
+                           part, budget.exhausted());
+        req.trace_id = tok.id;
+      }
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      nmp::Response r = co_await call_co(part, tid, req);
+      if (must_retry(r)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
+        budget.note_retry();
+        if (hnode != nullptr) host_.free_unlinked(hnode);
+        continue;
+      }
+      if (!r.ok) {
+        if (hnode != nullptr) host_.free_unlinked(hnode);
+        if (tok.sampled()) {
+          trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                        /*offloaded=*/true);
+        }
+        co_return false;  // key already present
+      }
+      if (hnode != nullptr) {
+        hnode->payload = r.node;
+        LfSkipList::update_versioned(hnode, static_cast<std::uint32_t>(r.aux),
+                                     value);
+        if (!host_.insert_node(hnode)) {
+          host_.free_unlinked(hnode);
+        }
+      }
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
+      }
+      co_return true;
+    }
+  }
+
+  host::CoTask<bool> remove_co(Key key, std::uint32_t tid) {
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kRemove);
+    RetryBudget budget(*this);
+    const std::uint32_t part = set_.partition_of(key);
+    const auto part16 = static_cast<std::int16_t>(part);
+    while (true) {
+      nmp::Request req;
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
+      {
+        mem::EbrGuard guard;
+        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+        if (co_await host_.find_co(key, preds, succs)) {
+          if (!host_.remove(key)) {
+            if (tok.sampled()) {
+              const std::uint64_t now = telemetry::now_ns();
+              trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
+                                 op8, part16);
+              trace::end_op(tok, now, op8, part16, /*offloaded=*/false);
+            }
+            co_return false;
+          }
+          trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                             tok.sampled() ? telemetry::now_ns() : 0, op8,
+                             part16);
+          continue;
+        }
+        req = make_request(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr,
+                           part, budget.exhausted());
+        req.trace_id = tok.id;
+      }
+      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      nmp::Response r = co_await call_co(part, tid, req);
+      if (must_retry(r)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
+        budget.note_retry();
+        continue;
+      }
+      if (tok.sampled()) {
+        trace::end_op(tok, telemetry::now_ns(), op8, part16,
+                      /*offloaded=*/true);
+      }
+      co_return r.ok;
+    }
+  }
+
+  /// Coroutine twin of scan(): same chunking, stitching, and retry rules;
+  /// each chunk's host descent interleaves via find_co and each chunk's
+  /// round-trip parks on the publication slot (the scan-continuation hop
+  /// into the next partition re-descends through find_co, which is where
+  /// its prefetch-and-yield suspensions live).
+  host::CoTask<std::size_t> scan_co(Key start, std::size_t count,
+                                    ScanEntry* out, std::uint32_t tid) {
+    const trace::OpToken tok = trace::begin_op();
+    constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kScan);
+    bool offloaded = false;
+    std::size_t filled = 0;
+    Key cur = start;
+    std::uint32_t p = set_.partition_of(start);
+    RetryBudget budget(*this);
+    while (filled < count) {
+      const std::size_t want = count - filled < nmp::kScanChunk
+                                   ? count - filled
+                                   : nmp::kScanChunk;
+      const auto part16 = static_cast<std::int16_t>(p);
+      const std::uint64_t c0 = tok.sampled() ? telemetry::now_ns() : 0;
+      nmp::Request r;
+      {
+        mem::EbrGuard guard;
+        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+        (void)co_await host_.find_co(cur, preds, succs);
+        r = make_request(nmp::OpCode::kScan, cur, static_cast<Value>(want), 0,
+                         preds[0], nullptr, p, budget.exhausted());
+        r.trace_id = tok.id;
+      }
+      trace::record_span(tok.id, trace::Phase::kHostDescend, c0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      r.host_node = out + filled;
+      nmp::Response resp = co_await call_co(p, tid, r);
+      offloaded = true;
+      trace::record_span(tok.id, trace::Phase::kScanChunk, c0,
+                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      if (must_retry(resp)) {
+        trace::record_instant(tok.id, trace::Phase::kRetry,
+                              tok.sampled() ? telemetry::now_ns() : 0, op8,
+                              part16);
+        scan_retry_->inc();
+        budget.note_retry();
+        continue;
+      }
+      filled += resp.value;
+      if (resp.has_more) {
+        cur = static_cast<Key>(resp.aux);
+        continue;
+      }
+      if (p + 1 >= config_.partitions) break;
+      ++p;
+      scan_hops_->inc();
+      const Key base = static_cast<Key>(static_cast<std::uint64_t>(p) *
+                                        config_.partition_width);
+      if (base > cur) cur = base;
+    }
+    if (tok.sampled()) {
+      trace::end_op(tok, telemetry::now_ns(), op8,
+                    static_cast<std::int16_t>(p), offloaded);
+    }
+    co_return filled;
+  }
+#endif  // !HYBRIDS_NO_INTERLEAVE
 
   /// Adaptive promotion (§7 extension): raise `key` — reported hot by its
   /// NMP core — into the host-managed portion. Replaces the short NMP node

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <new>
 
+#include "hybrids/host/interleave.hpp"
 #include "hybrids/mem/ebr.hpp"
 #include "hybrids/mem/memlayer.hpp"
 #include "hybrids/mem/node_pool.hpp"
@@ -166,6 +167,64 @@ class LfSkipList {
       return succs[0] != nullptr && succs[0]->key == key;
     }
   }
+
+#if !defined(HYBRIDS_NO_INTERLEAVE)
+  /// Coroutine twin of find(): same window computation, same helping, but
+  /// each prefetch hint becomes a prefetch_and_yield suspension point so a
+  /// host::Frame can run a sibling operation while the line is in flight
+  /// (docs/INTERLEAVING.md). The EbrGuard is held across the suspensions —
+  /// sibling coroutines resume on the same thread, so the reentrant
+  /// thread-local pin behaves exactly as in the blocking path. find()'s
+  /// `goto retry` on a failed snip becomes a structured restart flag
+  /// (jumping backward over a co_await is ill-formed).
+  host::CoTask<bool> find_co(Key key, Node** preds, Node** succs) {
+    mem::EbrGuard guard;
+    while (true) {
+      bool restart = false;
+      Node* pred = head_;
+      for (int lvl = max_height_ - 1; lvl >= 0 && !restart; --lvl) {
+        Node* curr = unmark(pred->next[lvl].load(std::memory_order_acquire));
+        while (true) {
+          if (curr == nullptr) break;
+          std::uintptr_t succ_bits =
+              curr->next[lvl].load(std::memory_order_acquire);
+          // One-ahead prefetch: pull the successor's line and let a sibling
+          // op run while it travels.
+          co_await host::prefetch_and_yield(unmark(succ_bits));
+          while (is_marked(succ_bits)) {
+            std::uintptr_t expected = make_bits(curr, false);
+            if (!pred->next[lvl].compare_exchange_strong(
+                    expected, make_bits(unmark(succ_bits), false),
+                    std::memory_order_acq_rel, std::memory_order_acquire)) {
+              restart = true;
+              break;
+            }
+            curr = unmark(pred->next[lvl].load(std::memory_order_acquire));
+            if (curr == nullptr) break;
+            succ_bits = curr->next[lvl].load(std::memory_order_acquire);
+          }
+          if (restart || curr == nullptr) break;
+          if (curr->key < key) {
+            pred = curr;
+            curr = unmark(succ_bits);
+          } else {
+            break;
+          }
+        }
+        if (restart) break;
+        preds[lvl] = pred;
+        succs[lvl] = curr;
+        // Level-descent prefetch, again overlapped with sibling work.
+        if (lvl > 0) {
+          co_await host::prefetch_and_yield(
+              unmark(pred->next[lvl - 1].load(std::memory_order_relaxed)));
+        }
+      }
+      if (restart) continue;
+      co_return succs[0] != nullptr && succs[0]->key == key;
+    }
+  }
+#endif  // !HYBRIDS_NO_INTERLEAVE
 
   /// Wait-free lookup (no helping): returns the node for `key` if present
   /// and not marked at the bottom level, else null.

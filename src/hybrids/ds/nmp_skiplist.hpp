@@ -20,6 +20,7 @@
 
 #include "hybrids/ds/lockfree_skiplist.hpp"  // random_height
 #include "hybrids/ds/seq_skiplist.hpp"
+#include "hybrids/host/interleave.hpp"
 #include "hybrids/nmp/partition_set.hpp"
 #include "hybrids/telemetry/registry.hpp"
 #include "hybrids/types.hpp"
@@ -141,6 +142,90 @@ class NmpSkipList {
     }
     return filled;
   }
+
+#if !defined(HYBRIDS_NO_INTERLEAVE)
+  // ----- coroutine-interleaved operations (docs/INTERLEAVING.md) -----------
+  //
+  // Twins of the blocking operations for callers driving a host::Frame.
+  // The NMP-only skiplist has no host descent to interleave, so its only
+  // suspension point is the publication round-trip: post async, park on the
+  // slot, resume a sibling op meanwhile. Failover semantics match
+  // call_retry — a failed_over response re-posts until a live combiner (or
+  // lease-holding host) serves the request.
+
+  host::CoTask<nmp::Response> call_retry_co(std::uint32_t p, std::uint32_t tid,
+                                            nmp::Request r) {
+    while (true) {
+      nmp::Response resp;
+      nmp::OpHandle h = set_.call_async(p, tid, r);
+      if (!h.valid) {
+        // No free async slot, or the lane is fenced/leased: the blocking
+        // call owns the bounce/lease handling.
+        resp = set_.call(p, tid, r);
+      } else {
+        co_await host::suspend_until_done(set_, h);
+        resp = set_.retrieve(h);
+      }
+      if (!resp.failed_over) co_return resp;
+      std::this_thread::yield();
+    }
+  }
+
+  host::CoTask<bool> read_co(Key key, Value* out, std::uint32_t tid) {
+    nmp::Response r = co_await call_retry_co(
+        set_.partition_of(key), tid, make_request(nmp::OpCode::kRead, key, 0, 0));
+    *out = r.value;
+    co_return r.ok;
+  }
+
+  host::CoTask<bool> update_co(Key key, Value value, std::uint32_t tid) {
+    nmp::Response r =
+        co_await call_retry_co(set_.partition_of(key), tid,
+                               make_request(nmp::OpCode::kUpdate, key, value, 0));
+    co_return r.ok;
+  }
+
+  host::CoTask<bool> insert_co(Key key, Value value, std::uint32_t tid) {
+    const int h = random_height(*rngs_[tid], config_.total_height);
+    nmp::Response r =
+        co_await call_retry_co(set_.partition_of(key), tid,
+                               make_request(nmp::OpCode::kInsert, key, value, h));
+    co_return r.ok;
+  }
+
+  host::CoTask<bool> remove_co(Key key, std::uint32_t tid) {
+    nmp::Response r = co_await call_retry_co(
+        set_.partition_of(key), tid, make_request(nmp::OpCode::kRemove, key, 0, 0));
+    co_return r.ok;
+  }
+
+  host::CoTask<std::size_t> scan_co(Key start, std::size_t count,
+                                    ScanEntry* out, std::uint32_t tid) {
+    std::size_t filled = 0;
+    Key cur = start;
+    std::uint32_t p = set_.partition_of(start);
+    while (filled < count) {
+      const std::size_t want = count - filled < nmp::kScanChunk
+                                   ? count - filled
+                                   : nmp::kScanChunk;
+      nmp::Request r =
+          make_request(nmp::OpCode::kScan, cur, static_cast<Value>(want), 0);
+      r.host_node = out + filled;
+      nmp::Response resp = co_await call_retry_co(p, tid, r);
+      filled += resp.value;
+      if (resp.has_more) {
+        cur = static_cast<Key>(resp.aux);
+        continue;
+      }
+      if (p + 1 >= config_.partitions) break;
+      ++p;
+      const Key base = static_cast<Key>(static_cast<std::uint64_t>(p) *
+                                        config_.partition_width);
+      if (base > cur) cur = base;
+    }
+    co_return filled;
+  }
+#endif  // !HYBRIDS_NO_INTERLEAVE
 
   /// Non-blocking variants (§3.5): returns an invalid handle when `tid`
   /// already has all of its slots in flight on the target partition.

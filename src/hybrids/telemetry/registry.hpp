@@ -61,6 +61,9 @@ inline constexpr const char* kUnlockPathTotal = "host.unlock_path_total";
 inline constexpr const char* kRetryBudgetExhausted = "host.retry_budget_exhausted";
 inline constexpr const char* kScanPartitionHops = "host.scan_partition_hops";
 inline constexpr const char* kScanRetry = "host.scan_retry";
+inline constexpr const char* kInterleaveDepth = "host.interleave_depth";
+inline constexpr const char* kInterleaveYields = "host.interleave_yields";
+inline constexpr const char* kInterleaveFallbackWaits = "host.interleave_fallback_waits";
 inline constexpr const char* kMemArenaBytes = "mem.arena_bytes";
 inline constexpr const char* kMemPoolRecycled = "mem.pool_recycled";
 inline constexpr const char* kMemPoolShardMisses = "mem.pool_shard_misses";
