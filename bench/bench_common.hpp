@@ -34,6 +34,11 @@
 //   --depths=CSV         (ablate_interleave) coroutine frame depths to
 //                        sweep, each in [1, 16]; depth 1 is the blocking
 //                        baseline (default 1,2,4,8,16)
+//   --budgets=CSV        (ablate_cache) hot-key cache byte budgets to sweep
+//                        (default: 1/64, 1/16, 1/4 of the keyspace
+//                        footprint; a cache-off arm is always included)
+//   --thetas=CSV         (ablate_cache) zipfian theta values to sweep,
+//                        each in (0, 1) (default 0.5,0.8,0.99)
 //
 // micro_library_bench (google-benchmark, not parse_options) additionally
 // accepts --pool=arena|malloc: `arena` (the default) backs structure nodes
@@ -73,6 +78,8 @@ struct Options {
   std::uint32_t kill_every_ms = 500;  // ext_failover: kill cadence
   std::uint32_t duration_ms = 3000;   // ext_failover: timed-run length
   std::vector<std::uint32_t> depths = {1, 2, 4, 8, 16};  // ablate_interleave
+  std::vector<std::uint64_t> budgets;                    // ablate_cache: bytes
+  std::vector<double> thetas = {0.5, 0.8, 0.99};         // ablate_cache
   bool full = false;
   bool csv = false;
   std::string stats_json;               // empty: no JSON export
@@ -97,6 +104,42 @@ inline bool parse_thread_list(const char* v, std::vector<std::uint32_t>& out) {
     const unsigned long n = std::strtoul(p, &end, 10);
     if (n == 0 || n > 0xFFFFFFFFul) return false;
     out.push_back(static_cast<std::uint32_t>(n));
+    if (*end == '\0') return true;
+    if (*end != ',') return false;
+    p = end + 1;
+  }
+}
+
+/// Parses "1024,65536" into `out` (64-bit, positive). Same rejection rules
+/// as parse_thread_list.
+inline bool parse_u64_list(const char* v, std::vector<std::uint64_t>& out) {
+  out.clear();
+  const char* p = v;
+  if (*p == '\0') return false;
+  while (true) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(p, &end, 10);
+    if (n == 0) return false;
+    out.push_back(static_cast<std::uint64_t>(n));
+    if (*end == '\0') return true;
+    if (*end != ',') return false;
+    p = end + 1;
+  }
+}
+
+/// Parses "0.5,0.99" into `out`; every element must be a finite double in
+/// (lo, hi).
+inline bool parse_double_list(const char* v, double lo, double hi,
+                              std::vector<double>& out) {
+  out.clear();
+  const char* p = v;
+  if (*p == '\0') return false;
+  while (true) {
+    char* end = nullptr;
+    const double d = std::strtod(p, &end);
+    if (end == p || !(d > lo) || !(d < hi)) return false;
+    out.push_back(d);
     if (*end == '\0') return true;
     if (*end != ',') return false;
     p = end + 1;
@@ -160,6 +203,21 @@ inline Options parse_options(int argc, char** argv) {
                     << "\n";
           std::exit(2);
         }
+      }
+    } else if (const char* v = value_of("--budgets=")) {
+      if (!parse_u64_list(v, opt.budgets)) {
+        std::cerr << "error: malformed --budgets list '" << v
+                  << "' (expected comma-separated positive byte counts, "
+                     "e.g. --budgets=4096,65536)\n";
+        std::exit(2);
+      }
+    } else if (const char* v = value_of("--thetas=")) {
+      // theta = 1 is a pole of the zipfian formulas; stay inside (0, 1).
+      if (!parse_double_list(v, 0.0, 1.0, opt.thetas)) {
+        std::cerr << "error: malformed --thetas list '" << v
+                  << "' (expected comma-separated values in (0, 1), e.g. "
+                     "--thetas=0.5,0.99)\n";
+        std::exit(2);
       }
     } else if (const char* v = value_of("--stats-json=")) {
       opt.stats_json = v;
@@ -242,6 +300,10 @@ inline Options parse_options(int argc, char** argv) {
                    "(default 3000)\n"
                    "  --depths=1,4,8       (ablate_interleave) frame depths "
                    "to sweep, each in [1, 16]\n"
+                   "  --budgets=4096,65536 (ablate_cache) cache byte budgets "
+                   "to sweep\n"
+                   "  --thetas=0.5,0.99    (ablate_cache) zipfian thetas to "
+                   "sweep, each in (0, 1)\n"
                    "  --fault-rate=P       per-kind injection probability "
                    "(default 0.01)\n";
       std::exit(0);

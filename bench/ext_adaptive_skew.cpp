@@ -11,21 +11,176 @@
 // Known limitation (tracked in EXPERIMENTS.md): beyond roughly 2x this
 // budget at this scale, simulated NMP traversals lengthen sharply and the
 // benefit inverts; keep budgets a small fraction of the key count.
+// A second section closes the loop online: a real HybridSkipList with a
+// hot-key cache runs a zipfian read stream whose hot set SHIFTS halfway
+// through, while a control thread feeds HotCache::stats() deltas (and the
+// trace layer's queue-wait share, when armed) into cache::SplitController
+// and applies the knobs it moves — set_value_ratio() on the cache and
+// set_promote_budget() on the structure. The printed trajectory shows the
+// hit rate collapsing at the shift and recovering as refills repopulate
+// the tiers, with every knob move spaced by the controller's hysteresis.
+#include <atomic>
 #include <cstdint>
 #include <iostream>
 #include <map>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "hybrids/cache/controller.hpp"
+#include "hybrids/cache/hot_cache.hpp"
+#include "hybrids/ds/hybrid_skiplist.hpp"
 #include "hybrids/sim/exp/experiment.hpp"
 #include "hybrids/telemetry/registry.hpp"
 #include "hybrids/trace/trace.hpp"
 #include "hybrids/util/table.hpp"
+#include "hybrids/workload/workload.hpp"
 #include "hybrids/workload/ycsb.hpp"
+#include "hybrids/workload/zipf.hpp"
 
 namespace hs = hybrids::sim;
 namespace hw = hybrids::workload;
 namespace hb = hybrids::bench;
+namespace hc = hybrids::cache;
+namespace hd = hybrids::ds;
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Online closed loop: SplitController steering a live HybridSkipList cache
+/// through a mid-run hot-set shift.
+void run_online_controller(const hb::Options& opt) {
+  const std::uint64_t keys = 1ull << 15;
+  const std::uint32_t threads = 4;
+  const std::uint64_t reads_per_thread =
+      std::max<std::uint64_t>(opt.ops * 8, 96000);
+  const std::uint64_t window_ops = threads * reads_per_thread / 16;
+
+  hd::HybridSkipList::Config cfg;
+  cfg.nmp_height = hd::HybridSkipList::nmp_height_for_cache(keys, 1 << 20);
+  cfg.total_height = 15 > cfg.nmp_height ? 15 : cfg.nmp_height + 1;
+  cfg.partitions = 8;
+  hw::KeyLayout layout(keys, cfg.partitions);
+  cfg.partition_width = layout.partition_width();
+  cfg.max_threads = threads;
+  cfg.cache_budget_bytes = 16 * 1024;
+  hd::HybridSkipList list(cfg);
+  for (hybrids::Key k : layout.initial_key_set()) (void)list.insert(k, k, 0);
+  if (list.hot_cache() == nullptr) {
+    std::cout << "\n(online controller section skipped: cache compiled out)\n";
+    return;
+  }
+
+  hc::SplitController::Config ctl_cfg;
+  ctl_cfg.promote_budget = 64;  // mid-range so queue pressure can move it
+  hc::SplitController ctl(ctl_cfg);
+  list.hot_cache()->set_value_ratio(ctl.value_ratio());
+  list.set_promote_budget(ctl.promote_budget());
+
+  std::atomic<std::uint64_t> ops_done{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      hybrids::util::Xoshiro256 rng(0xADA7 + t);
+      hw::ZipfianGenerator zipf(keys, 0.9);
+      for (std::uint64_t i = 0; i < reads_per_thread; ++i) {
+        // Halfway through, re-salt the rank scramble: a brand-new hot set,
+        // so every cached entry for the old head goes cold at once.
+        const std::uint64_t salt = i < reads_per_thread / 2 ? 0 : 0x5EED;
+        const hybrids::Key k =
+            layout.key_at(mix64(zipf.next(rng) ^ salt) % keys);
+        hybrids::Value v = 0;
+        (void)list.read(k, v, t);
+        ops_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  hybrids::util::Table traj({"window", "hit rate", "value hits",
+                             "shortcut hits", "misses", "value ratio",
+                             "promote", "moved"});
+  std::thread controller([&] {
+    namespace tn = hybrids::telemetry::names;
+    hc::HotCache::Stats prev = list.hot_cache()->stats();
+    std::uint64_t prev_qw = 0, prev_svc = 0, last_ops = 0;
+    int window = 0;
+    while (!done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      const std::uint64_t now_ops = ops_done.load(std::memory_order_relaxed);
+      if (now_ops - last_ops < window_ops && !done.load()) continue;
+      last_ops = now_ops;
+      const hc::HotCache::Stats cur = list.hot_cache()->stats();
+      hc::SplitController::Sample s;
+      s.value_hits = cur.value_hits - prev.value_hits;
+      s.shortcut_hits = cur.shortcut_hits - prev.shortcut_hits;
+      s.misses = cur.misses - prev.misses;
+      // Modeled per-hit savings: a value hit skips the whole read
+      // (host descent + partition round-trip), a shortcut hit only the
+      // descent. Matches the cost split ablate_cache measures.
+      s.value_save_ns = 900;
+      s.shortcut_save_ns = 300;
+      // Queue-wait share from the trace layer when armed; neutral
+      // (in-deadband) otherwise so the promote knob holds still.
+      s.queue_wait_share = 0.4;
+      if (hybrids::trace::kCompiledIn && hybrids::trace::sample_every() > 0) {
+        std::uint64_t qw = 0, svc = 0;
+        for (const auto& c : hybrids::telemetry::snapshot().counters) {
+          if (c.name == tn::kTraceQueueWaitNs) qw += c.value;
+          if (c.name == tn::kTraceServiceNs) svc += c.value;
+        }
+        const std::uint64_t dq = qw - prev_qw, dv = svc - prev_svc;
+        prev_qw = qw;
+        prev_svc = svc;
+        if (dq + dv > 0) {
+          s.queue_wait_share =
+              static_cast<double>(dq) / static_cast<double>(dq + dv);
+        }
+      }
+      prev = cur;
+      const bool moved = ctl.observe(s);
+      if (moved) {
+        list.hot_cache()->set_value_ratio(ctl.value_ratio());
+        list.set_promote_budget(ctl.promote_budget());
+      }
+      const std::uint64_t total = s.value_hits + s.shortcut_hits + s.misses;
+      traj.new_row()
+          .add_cell(std::to_string(window++))
+          .add_num(total ? static_cast<double>(s.value_hits + s.shortcut_hits) /
+                               static_cast<double>(total)
+                         : 0.0,
+                   3)
+          .add_cell(std::to_string(s.value_hits))
+          .add_cell(std::to_string(s.shortcut_hits))
+          .add_cell(std::to_string(s.misses))
+          .add_num(ctl.value_ratio(), 2)
+          .add_cell(std::to_string(ctl.promote_budget()))
+          .add_cell(moved ? "yes" : "");
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  done.store(true);
+  controller.join();
+
+  std::cout << "\nOnline controller trajectory (hot-set shift at the midpoint; "
+            << window_ops << "-op windows, hysteresis "
+            << ctl_cfg.hysteresis << "):\n";
+  traj.print(std::cout);
+  std::cout << "ratio moves: " << ctl.ratio_moves()
+            << ", promote moves: " << ctl.promote_moves()
+            << ", final ratio: " << ctl.value_ratio()
+            << ", final promote budget: " << ctl.promote_budget() << "\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   hb::Options opt = hb::parse_options(argc, argv);
@@ -104,6 +259,8 @@ int main(int argc, char** argv) {
       attr.print(std::cout);
     }
   }
+
+  run_online_controller(opt);
 
   std::cout << "\n(Adaptive promotion raises hot NMP-only keys into the "
                "host-managed portion,\nrecovering the skew advantage the "

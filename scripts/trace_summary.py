@@ -40,6 +40,7 @@ KNOWN_PHASES = [
     "scan_chunk",
     "retry",
     "failover",
+    "cache_lookup",
 ]
 
 

@@ -1,0 +1,164 @@
+// Closed-loop controller for the hot-key cache split and the host-managed
+// split (ext_adaptive_skew's online mode).
+//
+// Two knobs, one decision rule each, both behind the watchdog-style
+// anti-flap hysteresis from the partition supervisor: a knob only moves
+// after `hysteresis` CONSECUTIVE observation windows agree on the
+// direction, each move is one bounded step, and the position is clamped to
+// [min, max]. A single noisy window therefore never moves a knob, and the
+// worst-case excursion between two converged positions is one step.
+//
+//  * value/shortcut ratio — compares the two tiers' measured benefit per
+//    budget byte. A value hit saves the whole operation (host descent +
+//    partition round-trip); a shortcut hit saves only the host descent.
+//    Each window: benefit_per_byte(tier) = hits × saved_ns / tier_bytes;
+//    whichever tier earns more per byte (beyond a relative deadband) pulls
+//    the ratio its way.
+//
+//  * host-managed split (promote budget) — driven by the per-partition
+//    queue-wait share (trace.queue_wait_ns vs trace.service_ns, the same
+//    signal ext_adaptive_skew already reads). Queue-bound partitions
+//    (share above `queue_high`) mean the NMP side is the bottleneck: raise
+//    the promote budget so more hot keys become host-mirrored and reads
+//    stop crossing. Service-bound or idle (share below `queue_low`) means
+//    host levels are pure overhead for this workload: lower it. The
+//    high/low gap is itself a hysteresis band.
+//
+// The controller is pure logic over explicit Sample structs — no telemetry
+// reads, no threads — so tests can drive synthetic skew shifts directly;
+// ext_adaptive_skew owns the sampling loop and applies the outputs via
+// HotCache::set_value_ratio() and the structures' promote-budget setter.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace hybrids::cache {
+
+class SplitController {
+ public:
+  struct Config {
+    // value/shortcut ratio knob
+    double ratio = 0.5;
+    double ratio_step = 0.05;
+    double ratio_min = 0.1;
+    double ratio_max = 0.9;
+    double deadband = 0.15;  // relative benefit gap ignored as noise
+    // host-managed split knob
+    std::uint32_t promote_budget = 0;
+    std::uint32_t promote_step = 8;
+    std::uint32_t promote_min = 0;
+    std::uint32_t promote_max = 4096;
+    double queue_high = 0.55;  // queue-wait share above → promote more
+    double queue_low = 0.25;   // below → promote less
+    // anti-flap: consecutive same-direction windows before a move
+    int hysteresis = 3;
+  };
+
+  /// One observation window, aggregated by the caller from HotCache::stats()
+  /// deltas and the trace.queue_wait_ns / trace.service_ns counters.
+  struct Sample {
+    std::uint64_t value_hits = 0;
+    std::uint64_t shortcut_hits = 0;
+    std::uint64_t misses = 0;
+    double value_save_ns = 0;     // avg ns a value hit saves vs a full miss
+    double shortcut_save_ns = 0;  // avg ns a shortcut hit saves (host descent)
+    double queue_wait_share = 0;  // queue_wait / (queue_wait + service), [0,1]
+  };
+
+  explicit SplitController(const Config& config)
+      : cfg_(config),
+        ratio_(std::clamp(config.ratio, config.ratio_min, config.ratio_max)),
+        promote_(std::clamp(config.promote_budget, config.promote_min,
+                            config.promote_max)) {}
+
+  /// Feeds one window; returns true if either knob moved.
+  bool observe(const Sample& s) {
+    bool moved = step_ratio(ratio_direction(s));
+    moved = step_promote(promote_direction(s)) || moved;
+    return moved;
+  }
+
+  double value_ratio() const { return ratio_; }
+  std::uint32_t promote_budget() const { return promote_; }
+  std::uint64_t ratio_moves() const { return ratio_moves_; }
+  std::uint64_t promote_moves() const { return promote_moves_; }
+  double ratio_step() const { return cfg_.ratio_step; }
+
+ private:
+  /// +1 pulls budget toward the value tier, -1 toward shortcuts, 0 = hold.
+  int ratio_direction(const Sample& s) const {
+    if (s.value_hits + s.shortcut_hits + s.misses == 0) return 0;
+    // Benefit per budget byte; tier byte share is proportional to the ratio.
+    const double eps = 1e-6;
+    const double value_bpb = static_cast<double>(s.value_hits) *
+                             s.value_save_ns / std::max(ratio_, eps);
+    const double shortcut_bpb = static_cast<double>(s.shortcut_hits) *
+                                s.shortcut_save_ns /
+                                std::max(1.0 - ratio_, eps);
+    if (value_bpb > shortcut_bpb * (1.0 + cfg_.deadband)) return 1;
+    if (shortcut_bpb > value_bpb * (1.0 + cfg_.deadband)) return -1;
+    return 0;
+  }
+
+  int promote_direction(const Sample& s) const {
+    if (s.queue_wait_share > cfg_.queue_high) return 1;
+    if (s.queue_wait_share < cfg_.queue_low) return -1;
+    return 0;
+  }
+
+  bool step_ratio(int dir) {
+    if (!advance(ratio_streak_, dir)) return false;
+    const double next = std::clamp(ratio_ + cfg_.ratio_step * dir,
+                                   cfg_.ratio_min, cfg_.ratio_max);
+    if (next == ratio_) return false;
+    ratio_ = next;
+    ++ratio_moves_;
+    return true;
+  }
+
+  bool step_promote(int dir) {
+    if (!advance(promote_streak_, dir)) return false;
+    std::uint32_t next = promote_;
+    if (dir > 0) {
+      next = std::min(cfg_.promote_max, promote_ + cfg_.promote_step);
+    } else if (promote_ > cfg_.promote_min + cfg_.promote_step) {
+      next = promote_ - cfg_.promote_step;
+    } else {
+      next = cfg_.promote_min;
+    }
+    if (next == promote_) return false;
+    promote_ = next;
+    ++promote_moves_;
+    return true;
+  }
+
+  /// Signed streak counter: resets on a direction flip or a hold window,
+  /// fires (and re-arms) once `hysteresis` consecutive windows agree.
+  static bool fire(int& streak, int dir, int hysteresis) {
+    if (dir == 0) {
+      streak = 0;
+      return false;
+    }
+    streak = (streak * dir > 0) ? streak + dir : dir;
+    if (streak * dir >= hysteresis) {
+      streak = 0;
+      return true;
+    }
+    return false;
+  }
+
+  bool advance(int& streak, int dir) {
+    return fire(streak, dir, cfg_.hysteresis);
+  }
+
+  Config cfg_;
+  double ratio_;
+  std::uint32_t promote_;
+  int ratio_streak_ = 0;
+  int promote_streak_ = 0;
+  std::uint64_t ratio_moves_ = 0;
+  std::uint64_t promote_moves_ = 0;
+};
+
+}  // namespace hybrids::cache

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "hybrids/cache/hot_cache.hpp"
 #include "hybrids/ds/btree_nodes.hpp"
 #include "hybrids/ds/nmp_btree.hpp"
 #include "hybrids/host/interleave.hpp"
@@ -63,6 +64,13 @@ class HybridBTree {
     std::uint32_t watchdog_misses_to_degrade = 5;
     std::uint32_t watchdog_misses_to_recover = 3;
     nmp::FailoverPolicy failover = nmp::FailoverPolicy::kRespawn;
+    // Host-side hot-key cache: one byte budget split between the value tier
+    // (reads served without touching the tree) and the shortcut tier
+    // (begin-subtree refs + their offloaded parent seqnums, skipping the
+    // host descent for warm read/update keys). 0 = off; the split is a live
+    // knob (HotCache::set_value_ratio). See src/hybrids/cache/hot_cache.hpp.
+    std::size_t cache_budget_bytes = 0;
+    double cache_value_ratio = 0.5;
   };
 
   /// Split-point rule (§3.4): the largest host portion whose cumulative top
@@ -113,6 +121,14 @@ class HybridBTree {
     unlock_path_ = &telemetry::counter(tn::kUnlockPathTotal);
     scan_hops_ = &telemetry::counter(tn::kScanPartitionHops);
     scan_retry_ = &telemetry::counter(tn::kScanRetry);
+    if (cache::kCacheCompiledIn && cache::cache_enabled() &&
+        config.cache_budget_bytes > 0) {
+      cache::HotCache::Config cc;
+      cc.budget_bytes = config.cache_budget_bytes;
+      cc.value_ratio = config.cache_value_ratio;
+      cc.partitions = config.partitions;
+      cache_ = std::make_unique<cache::HotCache>(cc);
+    }
     partitions_.reserve(config.partitions);
     for (std::uint32_t p = 0; p < config.partitions; ++p) {
       partitions_.push_back(std::make_unique<NmpBTree>(config.nmp_levels - 1));
@@ -183,16 +199,50 @@ class HybridBTree {
     RetryBudget budget(*this);
     const trace::OpToken tok = trace::begin_op();
     constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kRead);
+    if (cache_ != nullptr && cache_->lookup_value(key, out)) {
+      // Hot key: served from the value tier, no tree touched at all.
+      if (tok.sampled()) {
+        const std::uint64_t now = telemetry::now_ns();
+        trace::record_instant(tok.id, trace::Phase::kCacheLookup, now, op8, -1);
+        trace::end_op(tok, now, op8, -1, /*offloaded=*/false);
+      }
+      return true;
+    }
     while (true) {
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       Frame frame;
-      if (!traverse(key, frame)) continue;
-      const auto part16 = static_cast<std::int16_t>(frame.partition);
-      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
-                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
-      nmp::Response r =
-          offload(nmp::OpCode::kRead, key, 0, frame, tid, tok.id);
+      bool from_shortcut = false;
+      std::uint32_t part = 0;
+      nmp::Request req;
+      cache::HotCache::Shortcut sc;
+      if (cache_ != nullptr && !budget.exhausted() &&
+          cache_->lookup_shortcut(key, sc)) {
+        // Warm key: post straight to the cached begin subtree with the
+        // parent seqnum observed at fill time. A host-level split since
+        // then surfaces as an ordinary parent-seqnum retry; the entry is
+        // dropped below and the op falls back to a real descent.
+        from_shortcut = true;
+        part = sc.partition;
+        req.op = nmp::OpCode::kRead;
+        req.key = key;
+        req.node = sc.node;
+        req.aux = sc.aux;
+        req.trace_id = tok.id;
+        trace::record_instant(tok.id, trace::Phase::kCacheLookup, d0, op8,
+                              static_cast<std::int16_t>(part));
+      } else {
+        if (!traverse(key, frame)) continue;
+        part = frame.partition;
+        trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                           tok.sampled() ? telemetry::now_ns() : 0, op8,
+                           static_cast<std::int16_t>(part));
+        req = make_request(nmp::OpCode::kRead, key, 0, frame, tok.id);
+      }
+      const auto part16 = static_cast<std::int16_t>(part);
+      const std::uint64_t gen0 = cache_gen(part);
+      nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
+        on_retry_response(r, part, key, from_shortcut);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -200,6 +250,15 @@ class HybridBTree {
         continue;
       }
       out = r.value;
+      if (cache_ != nullptr && r.ok) {
+        // r.aux echoes the partition's current version for reads, ordering
+        // this fill against every write version the combiner issued.
+        cache_->fill_value(key, part, r.value, r.aux, gen0);
+        if (!from_shortcut) {
+          cache_->fill_shortcut(key, part, frame.begin.ptr(),
+                                frame.seqs[last_host_level_], gen0);
+        }
+      }
       if (tok.sampled()) {
         trace::end_op(tok, telemetry::now_ns(), op8, part16,
                       /*offloaded=*/true);
@@ -215,18 +274,52 @@ class HybridBTree {
     while (true) {
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       Frame frame;
-      if (!traverse(key, frame)) continue;
-      const auto part16 = static_cast<std::int16_t>(frame.partition);
-      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
-                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
-      nmp::Response r =
-          offload(nmp::OpCode::kUpdate, key, value, frame, tid, tok.id);
+      bool from_shortcut = false;
+      std::uint32_t part = 0;
+      nmp::Request req;
+      cache::HotCache::Shortcut sc;
+      if (cache_ != nullptr && !budget.exhausted() &&
+          cache_->lookup_shortcut(key, sc)) {
+        // Updates never split, so a cached begin subtree replaces the whole
+        // host descent; staleness comes back as a parent-seqnum retry.
+        from_shortcut = true;
+        part = sc.partition;
+        req.op = nmp::OpCode::kUpdate;
+        req.key = key;
+        req.value = value;
+        req.node = sc.node;
+        req.aux = sc.aux;
+        req.trace_id = tok.id;
+        trace::record_instant(tok.id, trace::Phase::kCacheLookup, d0, op8,
+                              static_cast<std::int16_t>(part));
+      } else {
+        if (!traverse(key, frame)) continue;
+        part = frame.partition;
+        trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                           tok.sampled() ? telemetry::now_ns() : 0, op8,
+                           static_cast<std::int16_t>(part));
+        req = make_request(nmp::OpCode::kUpdate, key, value, frame, tok.id);
+      }
+      const auto part16 = static_cast<std::int16_t>(part);
+      const std::uint64_t gen0 = cache_gen(part);
+      nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
+        on_retry_response(r, part, key, from_shortcut);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
         budget.note_retry();
         continue;
+      }
+      if (cache_ != nullptr && r.ok) {
+        // Erase + raise the partition fill floor to the write's version
+        // (r.aux) BEFORE returning, then write through at that version.
+        cache_->invalidate_value(key, part, r.aux);
+        cache_->fill_value(key, part, value, r.aux, gen0);
+        if (!from_shortcut) {
+          cache_->fill_shortcut(key, part, frame.begin.ptr(),
+                                frame.seqs[last_host_level_], gen0);
+        }
       }
       if (tok.sampled()) {
         trace::end_op(tok, telemetry::now_ns(), op8, part16,
@@ -250,11 +343,15 @@ class HybridBTree {
       nmp::Response r =
           offload(nmp::OpCode::kRemove, key, 0, frame, tid, tok.id);
       if (must_retry(r)) {
+        on_retry_response(r, frame.partition, key, false);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
         budget.note_retry();
         continue;
+      }
+      if (cache_ != nullptr && r.ok) {
+        cache_->invalidate_value(key, frame.partition, r.aux);
       }
       if (tok.sampled()) {
         trace::end_op(tok, telemetry::now_ns(), op8, part16,
@@ -278,6 +375,7 @@ class HybridBTree {
       nmp::Response r =
           offload(nmp::OpCode::kInsert, key, value, frame, tid, tok.id);
       if (must_retry(r)) {
+        on_retry_response(r, frame.partition, key, false);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -285,6 +383,9 @@ class HybridBTree {
         continue;
       }
       if (!r.lock_path) {
+        if (cache_ != nullptr && r.ok) {
+          cache_->invalidate_value(key, frame.partition, r.aux);
+        }
         if (tok.sampled()) {
           trace::end_op(tok, telemetry::now_ns(), op8, part16,
                         /*offloaded=*/true);
@@ -354,6 +455,9 @@ class HybridBTree {
       trace::record_span(tok.id, trace::Phase::kScanChunk, c0,
                          tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       if (must_retry(resp)) {
+        if (cache_ != nullptr && resp.failed_over) {
+          cache_->bump_generation(frame.partition);
+        }
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -397,17 +501,45 @@ class HybridBTree {
     RetryBudget budget(*this);
     const trace::OpToken tok = trace::begin_op();
     constexpr auto op8 = static_cast<std::uint8_t>(nmp::OpCode::kRead);
+    if (cache_ != nullptr && cache_->lookup_value(key, *out)) {
+      if (tok.sampled()) {
+        const std::uint64_t now = telemetry::now_ns();
+        trace::record_instant(tok.id, trace::Phase::kCacheLookup, now, op8, -1);
+        trace::end_op(tok, now, op8, -1, /*offloaded=*/false);
+      }
+      co_return true;
+    }
     while (true) {
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       Frame frame;
-      if (!co_await traverse_co(key, frame)) continue;
-      const auto part16 = static_cast<std::int16_t>(frame.partition);
-      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
-                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
-      nmp::Response r = co_await call_co(
-          frame.partition, tid, make_request(nmp::OpCode::kRead, key, 0, frame,
-                                             tok.id));
+      bool from_shortcut = false;
+      std::uint32_t part = 0;
+      nmp::Request req;
+      cache::HotCache::Shortcut sc;
+      if (cache_ != nullptr && !budget.exhausted() &&
+          cache_->lookup_shortcut(key, sc)) {
+        from_shortcut = true;
+        part = sc.partition;
+        req.op = nmp::OpCode::kRead;
+        req.key = key;
+        req.node = sc.node;
+        req.aux = sc.aux;
+        req.trace_id = tok.id;
+        trace::record_instant(tok.id, trace::Phase::kCacheLookup, d0, op8,
+                              static_cast<std::int16_t>(part));
+      } else {
+        if (!co_await traverse_co(key, frame)) continue;
+        part = frame.partition;
+        trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                           tok.sampled() ? telemetry::now_ns() : 0, op8,
+                           static_cast<std::int16_t>(part));
+        req = make_request(nmp::OpCode::kRead, key, 0, frame, tok.id);
+      }
+      const auto part16 = static_cast<std::int16_t>(part);
+      const std::uint64_t gen0 = cache_gen(part);
+      nmp::Response r = co_await call_co(part, tid, req);
       if (must_retry(r)) {
+        on_retry_response(r, part, key, from_shortcut);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -415,6 +547,13 @@ class HybridBTree {
         continue;
       }
       *out = r.value;
+      if (cache_ != nullptr && r.ok) {
+        cache_->fill_value(key, part, r.value, r.aux, gen0);
+        if (!from_shortcut) {
+          cache_->fill_shortcut(key, part, frame.begin.ptr(),
+                                frame.seqs[last_host_level_], gen0);
+        }
+      }
       if (tok.sampled()) {
         trace::end_op(tok, telemetry::now_ns(), op8, part16,
                       /*offloaded=*/true);
@@ -430,19 +569,48 @@ class HybridBTree {
     while (true) {
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       Frame frame;
-      if (!co_await traverse_co(key, frame)) continue;
-      const auto part16 = static_cast<std::int16_t>(frame.partition);
-      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
-                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
-      nmp::Response r = co_await call_co(
-          frame.partition, tid,
-          make_request(nmp::OpCode::kUpdate, key, value, frame, tok.id));
+      bool from_shortcut = false;
+      std::uint32_t part = 0;
+      nmp::Request req;
+      cache::HotCache::Shortcut sc;
+      if (cache_ != nullptr && !budget.exhausted() &&
+          cache_->lookup_shortcut(key, sc)) {
+        from_shortcut = true;
+        part = sc.partition;
+        req.op = nmp::OpCode::kUpdate;
+        req.key = key;
+        req.value = value;
+        req.node = sc.node;
+        req.aux = sc.aux;
+        req.trace_id = tok.id;
+        trace::record_instant(tok.id, trace::Phase::kCacheLookup, d0, op8,
+                              static_cast<std::int16_t>(part));
+      } else {
+        if (!co_await traverse_co(key, frame)) continue;
+        part = frame.partition;
+        trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                           tok.sampled() ? telemetry::now_ns() : 0, op8,
+                           static_cast<std::int16_t>(part));
+        req = make_request(nmp::OpCode::kUpdate, key, value, frame, tok.id);
+      }
+      const auto part16 = static_cast<std::int16_t>(part);
+      const std::uint64_t gen0 = cache_gen(part);
+      nmp::Response r = co_await call_co(part, tid, req);
       if (must_retry(r)) {
+        on_retry_response(r, part, key, from_shortcut);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
         budget.note_retry();
         continue;
+      }
+      if (cache_ != nullptr && r.ok) {
+        cache_->invalidate_value(key, part, r.aux);
+        cache_->fill_value(key, part, value, r.aux, gen0);
+        if (!from_shortcut) {
+          cache_->fill_shortcut(key, part, frame.begin.ptr(),
+                                frame.seqs[last_host_level_], gen0);
+        }
       }
       if (tok.sampled()) {
         trace::end_op(tok, telemetry::now_ns(), op8, part16,
@@ -467,11 +635,15 @@ class HybridBTree {
           frame.partition, tid,
           make_request(nmp::OpCode::kRemove, key, 0, frame, tok.id));
       if (must_retry(r)) {
+        on_retry_response(r, frame.partition, key, false);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
         budget.note_retry();
         continue;
+      }
+      if (cache_ != nullptr && r.ok) {
+        cache_->invalidate_value(key, frame.partition, r.aux);
       }
       if (tok.sampled()) {
         trace::end_op(tok, telemetry::now_ns(), op8, part16,
@@ -496,6 +668,7 @@ class HybridBTree {
           frame.partition, tid,
           make_request(nmp::OpCode::kInsert, key, value, frame, tok.id));
       if (must_retry(r)) {
+        on_retry_response(r, frame.partition, key, false);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -503,6 +676,9 @@ class HybridBTree {
         continue;
       }
       if (!r.lock_path) {
+        if (cache_ != nullptr && r.ok) {
+          cache_->invalidate_value(key, frame.partition, r.aux);
+        }
         if (tok.sampled()) {
           trace::end_op(tok, telemetry::now_ns(), op8, part16,
                         /*offloaded=*/true);
@@ -556,6 +732,9 @@ class HybridBTree {
       trace::record_span(tok.id, trace::Phase::kScanChunk, c0,
                          tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       if (must_retry(resp)) {
+        if (cache_ != nullptr && resp.failed_over) {
+          cache_->bump_generation(frame.partition);
+        }
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -585,7 +764,7 @@ class HybridBTree {
   // ----- non-blocking operations (§3.5) --------------------------------------
 
   struct Ticket {
-    enum class State : std::uint8_t { kPending, kRejected };
+    enum class State : std::uint8_t { kPending, kRejected, kDone };
     State state = State::kRejected;
     nmp::OpCode op = nmp::OpCode::kNop;
     Key key = 0;
@@ -593,6 +772,8 @@ class HybridBTree {
     nmp::OpHandle handle{};
     Frame frame{};
     std::uint32_t tid = 0;
+    Value cached = 0;              // kDone: value served from the hot cache
+    std::uint64_t cache_gen = 0;   // generation captured at posting time
   };
 
   Ticket op_async(nmp::OpCode op, Key key, Value value, std::uint32_t tid) {
@@ -601,6 +782,11 @@ class HybridBTree {
     t.key = key;
     t.new_value = value;
     t.tid = tid;
+    if (op == nmp::OpCode::kRead && cache_ != nullptr &&
+        cache_->lookup_value(key, t.cached)) {
+      t.state = Ticket::State::kDone;  // hot key: no publication round-trip
+      return t;
+    }
     // Async ops record their transport phases but no enclosing kOp span:
     // their wall-clock overlaps whatever the host does in between, so an
     // enclosing span would misattribute. A blocking fallback in finish()
@@ -608,6 +794,7 @@ class HybridBTree {
     const std::uint64_t trace_id = trace::begin_op().id;
     while (true) {
       if (!traverse(key, t.frame)) continue;
+      t.cache_gen = cache_gen(t.frame.partition);
       t.handle = offload_async(op, key, value, t.frame, tid, trace_id);
       t.state = t.handle.valid ? Ticket::State::kPending : Ticket::State::kRejected;
       return t;
@@ -634,9 +821,16 @@ class HybridBTree {
   /// Completes a non-blocking operation; falls back to the blocking path on
   /// NMP-requested retries, and runs the host half of LOCK_PATH escalations.
   bool finish(Ticket& t, Value* out = nullptr) {
+    if (t.state == Ticket::State::kDone) {
+      if (out != nullptr) *out = t.cached;
+      return true;
+    }
     assert(t.state == Ticket::State::kPending);
     nmp::Response r = set_.retrieve(t.handle);
     if (must_retry(r)) {
+      if (cache_ != nullptr && r.failed_over) {
+        cache_->bump_generation(t.frame.partition);
+      }
       host_retry_->inc();
       switch (t.op) {
         case nmp::OpCode::kRead: {
@@ -661,6 +855,21 @@ class HybridBTree {
       }
       return insert(t.key, t.new_value, t.tid);  // locking failed: redo
     }
+    if (cache_ != nullptr && r.ok) {
+      const std::uint32_t part = t.frame.partition;
+      switch (t.op) {
+        case nmp::OpCode::kRead:
+          cache_->fill_value(t.key, part, r.value, r.aux, t.cache_gen);
+          break;
+        case nmp::OpCode::kUpdate:
+          cache_->invalidate_value(t.key, part, r.aux);
+          cache_->fill_value(t.key, part, t.new_value, r.aux, t.cache_gen);
+          break;
+        default:  // kInsert / kRemove
+          cache_->invalidate_value(t.key, part, r.aux);
+          break;
+      }
+    }
     if (out != nullptr) *out = r.value;
     return r.ok;
   }
@@ -673,6 +882,10 @@ class HybridBTree {
   /// The underlying partition set (failover tests and the availability
   /// bench use it for trigger_failover / degraded / failovers).
   nmp::PartitionSet& partition_set() { return set_; }
+
+  /// The hot-key cache, or nullptr when disabled (budget 0, runtime switch
+  /// off, or HYBRIDS_NO_CACHE).
+  cache::HotCache* hot_cache() { return cache_.get(); }
 
   int height() const {
     return root_.load(std::memory_order_acquire)->level + 1;
@@ -703,6 +916,20 @@ class HybridBTree {
     return r.retry || r.failed_over;
   }
 
+  std::uint64_t cache_gen(std::uint32_t part) const {
+    return cache_ != nullptr ? cache_->generation(part) : 0;
+  }
+
+  /// Cache bookkeeping for a retried response: a shortcut-derived post that
+  /// bounced means the cached begin reference is stale (drop it); a
+  /// failover bounce drops the partition's whole cached generation.
+  void on_retry_response(const nmp::Response& r, std::uint32_t part, Key key,
+                         bool from_shortcut) {
+    if (cache_ == nullptr) return;
+    if (from_shortcut) cache_->erase_shortcut(key);
+    if (r.failed_over) cache_->bump_generation(part);
+  }
+
   static nmp::PartitionConfig make_partition_config(const Config& c) {
     nmp::PartitionConfig pc;
     pc.partitions = c.partitions;
@@ -730,6 +957,9 @@ class HybridBTree {
       }
       if (retries_ >= tree_.config_.retry_budget) backoff_.wait();
     }
+    /// Past the budget the op stops trusting cached shortcuts (a poisoned
+    /// entry must not keep feeding the retry loop).
+    bool exhausted() const { return retries_ >= tree_.config_.retry_budget; }
 
    private:
     HybridBTree& tree_;
@@ -1000,6 +1230,11 @@ class HybridBTree {
       frame.path[lvl]->unlock();
     }
     for (HostBNode* n : created) n->unlock();
+    // The escalated insert committed and rewired begin subtrees:
+    // conservatively drop the partition's cached entries. Escalations are
+    // rare split events — a generation bump is cheaper than threading a
+    // version through the two-phase protocol.
+    if (cache_ != nullptr) cache_->bump_generation(partition);
     done = true;
     return true;
   }
@@ -1140,6 +1375,21 @@ class HybridBTree {
       resp.value = res.up_key;
     } else {
       resp.value = res.value;
+    }
+    // Version echoes for the host value cache — point ops only (kScan's aux
+    // is the continuation key and must stay untouched). Reads echo the
+    // partition's CURRENT version, not a node stamp: a never-updated key
+    // would otherwise sit below the partition fill floor forever and be
+    // permanently uncacheable.
+    if (!res.retry) {
+      if (req.op == nmp::OpCode::kRead) {
+        resp.aux = bt.current_version();
+      } else if (res.ok && !res.lock_path &&
+                 (req.op == nmp::OpCode::kUpdate ||
+                  req.op == nmp::OpCode::kInsert ||
+                  req.op == nmp::OpCode::kRemove)) {
+        resp.aux = bt.next_version();
+      }
     }
   }
 
@@ -1365,6 +1615,7 @@ class HybridBTree {
   // Scan stitching: partition changes between chunks and retried chunks.
   telemetry::Counter* scan_hops_;
   telemetry::Counter* scan_retry_;
+  std::unique_ptr<cache::HotCache> cache_;
 };
 
 }  // namespace hybrids::ds

@@ -40,6 +40,7 @@
 #include <optional>
 #include <vector>
 
+#include "hybrids/cache/hot_cache.hpp"
 #include "hybrids/ds/lockfree_skiplist.hpp"
 #include "hybrids/ds/seq_skiplist.hpp"
 #include "hybrids/host/interleave.hpp"
@@ -67,9 +68,20 @@ class HybridSkipList {
 
     // Adaptive promotion (§7 extension): when a short (NMP-only) key is
     // accessed `promote_threshold` times, it is raised into the host-managed
-    // portion, up to `promote_budget` promotions. 0 disables.
+    // portion, up to `promote_budget` promotions. 0 disables. The budget is
+    // a live knob (set_promote_budget) so the cache controller can move the
+    // host-managed split online.
     std::uint32_t promote_threshold = 0;
     std::uint32_t promote_budget = 0;
+
+    // Hot-key cache (cache/hot_cache.hpp): shared byte budget for the
+    // value + shortcut tiers; 0 disables (also disabled by
+    // HYBRIDS_NO_CACHE or cache::set_cache_enabled(false) at construction).
+    // The shortcut tier serves read/update descents; insert/remove/scan
+    // keep their full host descent (remove's host-portion-first ordering
+    // is semantic, inserts need the host window anyway).
+    std::size_t cache_budget_bytes = 0;
+    double cache_value_ratio = 0.5;
 
     // Stale-begin-node retries per operation before the budget counts as
     // exhausted. Past the budget the operation backs off exponentially and
@@ -108,9 +120,18 @@ class HybridSkipList {
   explicit HybridSkipList(const Config& config)
       : config_(config),
         host_(config.host_height()),
-        set_(make_partition_config(config)) {
+        set_(make_partition_config(config)),
+        promote_budget_(config.promote_budget) {
     assert(config.total_height > config.nmp_height);
     assert(config.nmp_height >= 1);
+    if (cache::kCacheCompiledIn && cache::cache_enabled() &&
+        config.cache_budget_bytes > 0) {
+      cache::HotCache::Config cc;
+      cc.budget_bytes = config.cache_budget_bytes;
+      cc.value_ratio = config.cache_value_ratio;
+      cc.partitions = config.partitions;
+      cache_ = std::make_unique<cache::HotCache>(cc);
+    }
     namespace tn = telemetry::names;
     host_read_hits_ = &telemetry::counter(tn::kHostReadHits);
     host_retry_ = &telemetry::counter(tn::kHostRetryTotal);
@@ -157,33 +178,62 @@ class HybridSkipList {
     RetryBudget budget(*this);
     const std::uint32_t part = set_.partition_of(key);
     const auto part16 = static_cast<std::int16_t>(part);
-    while (true) {
-      nmp::Request req;
-      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
-      {
-        mem::EbrGuard guard;  // spans find + every pred0/succ0 field read
-        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-        if (host_.find(key, preds, succs)) {
-          // Tall node: the value is mirrored host-side; serve from cache.
-          host_read_hits_->inc();
-          out = succs[0]->value_now();
-          if (tok.sampled()) {
-            const std::uint64_t now = telemetry::now_ns();
-            trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
-                               op8, part16);
-            trace::end_op(tok, now, op8, part16, /*offloaded=*/false);
-          }
-          return true;
-        }
-        req = make_request(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr,
-                           part, budget.exhausted());
-        req.trace_id = tok.id;
+    if (cache_ != nullptr && cache_->lookup_value(key, out)) {
+      // Hot key: served from the value tier, no structure touched at all.
+      if (tok.sampled()) {
+        const std::uint64_t now = telemetry::now_ns();
+        trace::record_instant(tok.id, trace::Phase::kCacheLookup, now, op8,
+                              part16);
+        trace::end_op(tok, now, op8, part16, /*offloaded=*/false);
       }
-      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
-                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      return true;
+    }
+    while (true) {
+      const std::uint64_t gen0 = cache_gen(part);
+      nmp::Request req;
+      bool from_shortcut = false;
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
+      cache::HotCache::Shortcut sc;
+      if (cache_ != nullptr && !budget.exhausted() &&
+          cache_->lookup_shortcut(key, sc)) {
+        // Warm key: post straight to the partition with the cached begin
+        // node, skipping the host descent; a stale target comes back as an
+        // ordinary retry and the entry is dropped below.
+        from_shortcut = true;
+        req.op = nmp::OpCode::kRead;
+        req.key = key;
+        req.node = sc.node;
+        req.trace_id = tok.id;
+        trace::record_instant(tok.id, trace::Phase::kCacheLookup, d0, op8,
+                              part16);
+      } else {
+        {
+          mem::EbrGuard guard;  // spans find + every pred0/succ0 field read
+          LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+          LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+          if (host_.find(key, preds, succs)) {
+            // Tall node: the value is mirrored host-side; serve from cache.
+            host_read_hits_->inc();
+            out = succs[0]->value_now();
+            if (tok.sampled()) {
+              const std::uint64_t now = telemetry::now_ns();
+              trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
+                                 op8, part16);
+              trace::end_op(tok, now, op8, part16, /*offloaded=*/false);
+            }
+            return true;
+          }
+          req = make_request(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr,
+                             part, budget.exhausted());
+          req.trace_id = tok.id;
+        }
+        trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                           tok.sampled() ? telemetry::now_ns() : 0, op8,
+                           part16);
+      }
       nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
+        on_retry_response(r, part, key, from_shortcut);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -192,6 +242,14 @@ class HybridSkipList {
       }
       if (r.promote_hint) try_promote(key, tid);
       out = r.value;
+      if (cache_ != nullptr && r.ok) {
+        // r.aux echoes the partition's current version for reads, so this
+        // fill is ordered against every write version the combiner issued.
+        cache_->fill_value(key, part, r.value, r.aux, gen0);
+        if (!from_shortcut && req.node != nullptr) {
+          cache_->fill_shortcut(key, part, req.node, 0, gen0);
+        }
+      }
       if (tok.sampled()) {
         trace::end_op(tok, telemetry::now_ns(), op8, part16,
                       /*offloaded=*/true);
@@ -207,29 +265,58 @@ class HybridSkipList {
     const std::uint32_t part = set_.partition_of(key);
     const auto part16 = static_cast<std::int16_t>(part);
     while (true) {
+      const std::uint64_t gen0 = cache_gen(part);
       nmp::Request req;
+      bool from_shortcut = false;
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
-      {
-        mem::EbrGuard guard;
-        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-        (void)host_.find(key, preds, succs);
-        // Updates always go through the NMP portion (the authoritative
-        // copy); the response tells us which host mirror to refresh, and
-        // with which version, so racing updates converge (§3.3).
-        req = make_request(nmp::OpCode::kUpdate, key, value, 0, preds[0],
-                           nullptr, part, budget.exhausted());
+      cache::HotCache::Shortcut sc;
+      if (cache_ != nullptr && !budget.exhausted() &&
+          cache_->lookup_shortcut(key, sc)) {
+        // Updates go through the NMP portion regardless, so a cached begin
+        // node replaces the whole host descent.
+        from_shortcut = true;
+        req.op = nmp::OpCode::kUpdate;
+        req.key = key;
+        req.value = value;
+        req.node = sc.node;
         req.trace_id = tok.id;
+        trace::record_instant(tok.id, trace::Phase::kCacheLookup, d0, op8,
+                              part16);
+      } else {
+        {
+          mem::EbrGuard guard;
+          LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+          LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+          (void)host_.find(key, preds, succs);
+          // Updates always go through the NMP portion (the authoritative
+          // copy); the response tells us which host mirror to refresh, and
+          // with which version, so racing updates converge (§3.3).
+          req = make_request(nmp::OpCode::kUpdate, key, value, 0, preds[0],
+                             nullptr, part, budget.exhausted());
+          req.trace_id = tok.id;
+        }
+        trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                           tok.sampled() ? telemetry::now_ns() : 0, op8,
+                           part16);
       }
-      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
-                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
+        on_retry_response(r, part, key, from_shortcut);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
         budget.note_retry();
         continue;
+      }
+      if (cache_ != nullptr && r.ok) {
+        // Erase + raise the partition fill floor to the write's version
+        // (r.aux) BEFORE returning, then write through: the fresh fill
+        // carries that same version, so it beats any stale in-flight fill.
+        cache_->invalidate_value(key, part, r.aux);
+        cache_->fill_value(key, part, value, r.aux, gen0);
+        if (!from_shortcut && req.node != nullptr) {
+          cache_->fill_shortcut(key, part, req.node, 0, gen0);
+        }
       }
       if (r.ok) refresh_mirror(key, r, value);
       if (r.promote_hint) try_promote(key, tid);
@@ -279,6 +366,7 @@ class HybridSkipList {
       // lives in the NMP partition).
       nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
+        on_retry_response(r, part, key, /*from_shortcut=*/false);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -294,6 +382,9 @@ class HybridSkipList {
         }
         return false;  // key already present
       }
+      // Inserting a key that was recently removed must kill any cached
+      // "old incarnation" value; r.aux carries the insert's fresh version.
+      if (cache_ != nullptr) cache_->invalidate_value(key, part, r.aux);
       if (hnode != nullptr) {
         hnode->payload = r.node;  // NMP counterpart (begin-node shortcut)
         // Seed the mirror at the insert-time version (r.aux) before linking:
@@ -355,12 +446,16 @@ class HybridSkipList {
                          tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       nmp::Response r = set_.call(part, tid, req);
       if (must_retry(r)) {
+        on_retry_response(r, part, key, /*from_shortcut=*/false);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
         budget.note_retry();
         continue;
       }
+      // r.aux carries the remove's version on success; the linearization
+      // point has passed, so the cached value (if any) is now stale.
+      if (cache_ != nullptr && r.ok) cache_->invalidate_value(key, part, r.aux);
       if (tok.sampled()) {
         trace::end_op(tok, telemetry::now_ns(), op8, part16,
                       /*offloaded=*/true);
@@ -417,6 +512,7 @@ class HybridSkipList {
       trace::record_span(tok.id, trace::Phase::kScanChunk, c0,
                          tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       if (must_retry(resp)) {
+        on_retry_response(resp, p, cur, /*from_shortcut=*/false);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -476,32 +572,57 @@ class HybridSkipList {
     RetryBudget budget(*this);
     const std::uint32_t part = set_.partition_of(key);
     const auto part16 = static_cast<std::int16_t>(part);
-    while (true) {
-      nmp::Request req;
-      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
-      {
-        mem::EbrGuard guard;  // spans find_co + every pred0/succ0 field read
-        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-        if (co_await host_.find_co(key, preds, succs)) {
-          host_read_hits_->inc();
-          *out = succs[0]->value_now();
-          if (tok.sampled()) {
-            const std::uint64_t now = telemetry::now_ns();
-            trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
-                               op8, part16);
-            trace::end_op(tok, now, op8, part16, /*offloaded=*/false);
-          }
-          co_return true;
-        }
-        req = make_request(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr,
-                           part, budget.exhausted());
-        req.trace_id = tok.id;
+    if (cache_ != nullptr && cache_->lookup_value(key, *out)) {
+      if (tok.sampled()) {
+        const std::uint64_t now = telemetry::now_ns();
+        trace::record_instant(tok.id, trace::Phase::kCacheLookup, now, op8,
+                              part16);
+        trace::end_op(tok, now, op8, part16, /*offloaded=*/false);
       }
-      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
-                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
+      co_return true;
+    }
+    while (true) {
+      const std::uint64_t gen0 = cache_gen(part);
+      nmp::Request req;
+      bool from_shortcut = false;
+      const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
+      cache::HotCache::Shortcut sc;
+      if (cache_ != nullptr && !budget.exhausted() &&
+          cache_->lookup_shortcut(key, sc)) {
+        from_shortcut = true;
+        req.op = nmp::OpCode::kRead;
+        req.key = key;
+        req.node = sc.node;
+        req.trace_id = tok.id;
+        trace::record_instant(tok.id, trace::Phase::kCacheLookup, d0, op8,
+                              part16);
+      } else {
+        {
+          mem::EbrGuard guard;  // spans find_co + every pred0/succ0 read
+          LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+          LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+          if (co_await host_.find_co(key, preds, succs)) {
+            host_read_hits_->inc();
+            *out = succs[0]->value_now();
+            if (tok.sampled()) {
+              const std::uint64_t now = telemetry::now_ns();
+              trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
+                                 op8, part16);
+              trace::end_op(tok, now, op8, part16, /*offloaded=*/false);
+            }
+            co_return true;
+          }
+          req = make_request(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr,
+                             part, budget.exhausted());
+          req.trace_id = tok.id;
+        }
+        trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                           tok.sampled() ? telemetry::now_ns() : 0, op8,
+                           part16);
+      }
       nmp::Response r = co_await call_co(part, tid, req);
       if (must_retry(r)) {
+        on_retry_response(r, part, key, from_shortcut);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -510,6 +631,12 @@ class HybridSkipList {
       }
       if (r.promote_hint) try_promote(key, tid);
       *out = r.value;
+      if (cache_ != nullptr && r.ok) {
+        cache_->fill_value(key, part, r.value, r.aux, gen0);
+        if (!from_shortcut && req.node != nullptr) {
+          cache_->fill_shortcut(key, part, req.node, 0, gen0);
+        }
+      }
       if (tok.sampled()) {
         trace::end_op(tok, telemetry::now_ns(), op8, part16,
                       /*offloaded=*/true);
@@ -525,26 +652,50 @@ class HybridSkipList {
     const std::uint32_t part = set_.partition_of(key);
     const auto part16 = static_cast<std::int16_t>(part);
     while (true) {
+      const std::uint64_t gen0 = cache_gen(part);
       nmp::Request req;
+      bool from_shortcut = false;
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
-      {
-        mem::EbrGuard guard;
-        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-        (void)co_await host_.find_co(key, preds, succs);
-        req = make_request(nmp::OpCode::kUpdate, key, value, 0, preds[0],
-                           nullptr, part, budget.exhausted());
+      cache::HotCache::Shortcut sc;
+      if (cache_ != nullptr && !budget.exhausted() &&
+          cache_->lookup_shortcut(key, sc)) {
+        from_shortcut = true;
+        req.op = nmp::OpCode::kUpdate;
+        req.key = key;
+        req.value = value;
+        req.node = sc.node;
         req.trace_id = tok.id;
+        trace::record_instant(tok.id, trace::Phase::kCacheLookup, d0, op8,
+                              part16);
+      } else {
+        {
+          mem::EbrGuard guard;
+          LfSkipList::Node* preds[LfSkipList::kMaxLevels];
+          LfSkipList::Node* succs[LfSkipList::kMaxLevels];
+          (void)co_await host_.find_co(key, preds, succs);
+          req = make_request(nmp::OpCode::kUpdate, key, value, 0, preds[0],
+                             nullptr, part, budget.exhausted());
+          req.trace_id = tok.id;
+        }
+        trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
+                           tok.sampled() ? telemetry::now_ns() : 0, op8,
+                           part16);
       }
-      trace::record_span(tok.id, trace::Phase::kHostDescend, d0,
-                         tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       nmp::Response r = co_await call_co(part, tid, req);
       if (must_retry(r)) {
+        on_retry_response(r, part, key, from_shortcut);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
         budget.note_retry();
         continue;
+      }
+      if (cache_ != nullptr && r.ok) {
+        cache_->invalidate_value(key, part, r.aux);
+        cache_->fill_value(key, part, value, r.aux, gen0);
+        if (!from_shortcut && req.node != nullptr) {
+          cache_->fill_shortcut(key, part, req.node, 0, gen0);
+        }
       }
       if (r.ok) refresh_mirror(key, r, value);
       if (r.promote_hint) try_promote(key, tid);
@@ -592,6 +743,7 @@ class HybridSkipList {
                          tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       nmp::Response r = co_await call_co(part, tid, req);
       if (must_retry(r)) {
+        on_retry_response(r, part, key, /*from_shortcut=*/false);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -607,6 +759,7 @@ class HybridSkipList {
         }
         co_return false;  // key already present
       }
+      if (cache_ != nullptr) cache_->invalidate_value(key, part, r.aux);
       if (hnode != nullptr) {
         hnode->payload = r.node;
         LfSkipList::update_versioned(hnode, static_cast<std::uint32_t>(r.aux),
@@ -659,12 +812,14 @@ class HybridSkipList {
                          tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       nmp::Response r = co_await call_co(part, tid, req);
       if (must_retry(r)) {
+        on_retry_response(r, part, key, /*from_shortcut=*/false);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
         budget.note_retry();
         continue;
       }
+      if (cache_ != nullptr && r.ok) cache_->invalidate_value(key, part, r.aux);
       if (tok.sampled()) {
         trace::end_op(tok, telemetry::now_ns(), op8, part16,
                       /*offloaded=*/true);
@@ -711,6 +866,7 @@ class HybridSkipList {
       trace::record_span(tok.id, trace::Phase::kScanChunk, c0,
                          tok.sampled() ? telemetry::now_ns() : 0, op8, part16);
       if (must_retry(resp)) {
+        on_retry_response(resp, p, cur, /*from_shortcut=*/false);
         trace::record_instant(tok.id, trace::Phase::kRetry,
                               tok.sampled() ? telemetry::now_ns() : 0, op8,
                               part16);
@@ -746,9 +902,10 @@ class HybridSkipList {
   /// key fires, because the hint is raised exactly when the counter crosses
   /// the threshold on the serializing combiner).
   void try_promote(Key key, std::uint32_t tid) {
-    if (config_.promote_threshold == 0 || config_.promote_budget == 0) return;
-    if (promoted_.fetch_add(1, std::memory_order_relaxed) >=
-        config_.promote_budget) {
+    const std::uint32_t budget =
+        promote_budget_.load(std::memory_order_relaxed);
+    if (config_.promote_threshold == 0 || budget == 0) return;
+    if (promoted_.fetch_add(1, std::memory_order_relaxed) >= budget) {
       promoted_.fetch_sub(1, std::memory_order_relaxed);
       return;
     }
@@ -787,6 +944,21 @@ class HybridSkipList {
     return promoted_.load(std::memory_order_relaxed);
   }
 
+  /// Live promote-budget knob: the cache controller raises it when
+  /// partitions are queue-bound (more host-mirrored keys absorb reads
+  /// host-side) and lowers it when host levels are pure overhead. Lowering
+  /// does not demote already-promoted keys; it only stops further growth.
+  void set_promote_budget(std::uint32_t budget) {
+    promote_budget_.store(budget, std::memory_order_relaxed);
+  }
+  std::uint32_t promote_budget() const {
+    return promote_budget_.load(std::memory_order_relaxed);
+  }
+
+  /// The hot-key cache, or nullptr when disabled (budget 0, runtime flag
+  /// off, or HYBRIDS_NO_CACHE). Exposed for the controller and tests.
+  cache::HotCache* hot_cache() { return cache_.get(); }
+
   // ----- non-blocking operations (§3.5) --------------------------------------
 
   /// A non-blocking operation in flight. Obtain via *_async, complete via
@@ -804,6 +976,7 @@ class HybridSkipList {
     nmp::OpHandle handle{};
     LfSkipList::Node* hnode = nullptr;  // pre-built host node (insert)
     std::uint32_t tid = 0;
+    std::uint64_t cache_gen = 0;  // partition cache generation at post time
   };
 
   Ticket read_async(Key key, std::uint32_t tid) {
@@ -812,6 +985,12 @@ class HybridSkipList {
     t.key = key;
     t.tid = tid;
     const std::uint32_t part = set_.partition_of(key);
+    if (cache_ != nullptr && cache_->lookup_value(key, t.value)) {
+      t.state = Ticket::State::kImmediate;
+      t.ok = true;
+      return t;
+    }
+    t.cache_gen = cache_gen(part);
     // Async ops record their transport phases but no enclosing kOp span:
     // the ticket's wall-clock overlaps whatever else the thread interleaves,
     // so it is not a latency. The blocking fallback in finish() traces as a
@@ -915,6 +1094,7 @@ class HybridSkipList {
     t.new_value = value;
     t.tid = tid;
     const std::uint32_t part = set_.partition_of(key);
+    t.cache_gen = cache_gen(part);
     nmp::Request req;
     {
       mem::EbrGuard guard;
@@ -952,6 +1132,8 @@ class HybridSkipList {
     // blocking path, which carries its own retry budget.
     const bool retry = must_retry(r);
     if (retry) host_retry_->inc();
+    const std::uint32_t part = set_.partition_of(t.key);
+    if (cache_ != nullptr && r.failed_over) cache_->bump_generation(part);
     switch (t.op) {
       case nmp::OpCode::kRead:
         if (retry) {
@@ -961,10 +1143,17 @@ class HybridSkipList {
           return ok;
         }
         if (r.promote_hint) try_promote(t.key, t.tid);
+        if (cache_ != nullptr && r.ok) {
+          cache_->fill_value(t.key, part, r.value, r.aux, t.cache_gen);
+        }
         if (out != nullptr) *out = r.value;
         return r.ok;
       case nmp::OpCode::kUpdate:
         if (retry) return update(t.key, t.new_value, t.tid);
+        if (cache_ != nullptr && r.ok) {
+          cache_->invalidate_value(t.key, part, r.aux);
+          cache_->fill_value(t.key, part, t.new_value, r.aux, t.cache_gen);
+        }
         if (r.ok) refresh_mirror(t.key, r, t.new_value);
         if (r.promote_hint) try_promote(t.key, t.tid);
         return r.ok;
@@ -979,6 +1168,7 @@ class HybridSkipList {
           t.hnode = nullptr;
           return false;
         }
+        if (cache_ != nullptr) cache_->invalidate_value(t.key, part, r.aux);
         if (t.hnode != nullptr) {
           t.hnode->payload = r.node;
           LfSkipList::update_versioned(
@@ -989,6 +1179,9 @@ class HybridSkipList {
         return true;
       case nmp::OpCode::kRemove:
         if (retry) return remove(t.key, t.tid);
+        if (cache_ != nullptr && r.ok) {
+          cache_->invalidate_value(t.key, part, r.aux);
+        }
         return r.ok;
       default:
         return false;
@@ -1070,6 +1263,23 @@ class HybridSkipList {
     // applied; re-routing through the ordinary retry loop (with its backoff)
     // rides out the recovery window.
     return r.retry || r.lock_path || r.failed_over;
+  }
+
+  /// Partition cache generation at request-build time; 0 when the cache is
+  /// disabled (then never compared against anything).
+  std::uint64_t cache_gen(std::uint32_t part) const {
+    return cache_ != nullptr ? cache_->generation(part) : 0;
+  }
+
+  /// Cache upkeep for a response the host must re-execute: a shortcut-
+  /// derived begin node that bounced is dropped (the next attempt descends
+  /// for real and refills), and a failover bounce invalidates the
+  /// partition's whole cached population via its generation.
+  void on_retry_response(const nmp::Response& r, std::uint32_t part, Key key,
+                         bool from_shortcut) {
+    if (cache_ == nullptr) return;
+    if (from_shortcut) cache_->erase_shortcut(key);
+    if (r.failed_over) cache_->bump_generation(part);
   }
 
   static nmp::PartitionConfig make_partition_config(const Config& c) {
@@ -1164,6 +1374,12 @@ class HybridSkipList {
         SeqSkipList::Node* n = list.read(req.key, begin);
         resp.ok = n != nullptr;
         if (n != nullptr) resp.value = n->value;
+        // Echo the partition's CURRENT version (not the node's): the host
+        // cache fill must carry a token ordered against every write this
+        // combiner has issued, including writes to other keys that raised
+        // the fill floor — a never-updated key would otherwise sit below
+        // the floor forever and be permanently uncacheable.
+        resp.aux = list.current_version();
         note_access(n);
         break;
       }
@@ -1199,10 +1415,12 @@ class HybridSkipList {
             list.insert(req.key, req.value, height, req.host_node, begin);
         resp.ok = !existed;
         resp.node = node;
-        if (!existed && req.host_node != nullptr) {
-          // Host-mirrored insert: stamp a fresh version and echo it so the
-          // host seeds the mirror strictly above any stale in-flight refresh
-          // for a previous incarnation of this key.
+        if (!existed) {
+          // Stamp a fresh version and echo it on EVERY successful insert
+          // (not just host-mirrored ones): the host seeds a tall mirror
+          // strictly above any stale in-flight refresh for a previous
+          // incarnation of this key, and the hot-key cache uses the same
+          // token to invalidate that incarnation's cached value.
           node->version = list.next_version();
           resp.aux = node->version;
         }
@@ -1210,6 +1428,9 @@ class HybridSkipList {
       }
       case nmp::OpCode::kRemove:
         resp.ok = list.remove(req.key, begin);
+        // A fresh version for the removal so the host cache's fill floor
+        // rises past every read that could still observe the key.
+        if (resp.ok) resp.aux = list.next_version();
         break;
       case nmp::OpCode::kScan: {
         std::uint32_t max = static_cast<std::uint32_t>(req.value);
@@ -1236,7 +1457,9 @@ class HybridSkipList {
   nmp::PartitionSet set_;
   std::vector<std::unique_ptr<SeqSkipList>> lists_;
   std::vector<util::CacheAligned<util::Xoshiro256>> rngs_;
+  std::unique_ptr<cache::HotCache> cache_;  // null when disabled
   std::atomic<std::uint32_t> promoted_{0};
+  std::atomic<std::uint32_t> promote_budget_;  // live knob (controller)
   // Host-layer telemetry: reads served from the host cache mirror, and
   // NMP responses that requested a retry (stale begin node).
   telemetry::Counter* host_read_hits_;

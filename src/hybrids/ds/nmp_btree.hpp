@@ -77,6 +77,13 @@ class NmpBTree {
 
   std::size_t node_count() const { return node_count_; }
 
+  /// Monotonic per-partition value version, the B+tree twin of
+  /// SeqSkipList's counter (combiner-thread only). The hybrid's apply path
+  /// bumps it on every successful write and echoes it (or, for reads, the
+  /// current value) to the host as the hot-key cache's invalidation token.
+  std::uint64_t next_version() { return ++version_counter_; }
+  std::uint64_t current_version() const { return version_counter_; }
+
   /// The partition's arena (test/introspection hook).
   const mem::PartitionArena& arena() const { return arena_; }
 
@@ -567,6 +574,7 @@ class NmpBTree {
   mem::PartitionArena arena_;  // declared before any node allocation use
   int top_level_;
   std::size_t node_count_ = 0;  // drives Finger split-invalidation
+  std::uint64_t version_counter_ = 0;
   std::vector<std::unique_ptr<PendingInsert>> pending_;
 };
 

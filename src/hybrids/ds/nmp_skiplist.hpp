@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "hybrids/cache/hot_cache.hpp"
 #include "hybrids/ds/lockfree_skiplist.hpp"  // random_height
 #include "hybrids/ds/seq_skiplist.hpp"
 #include "hybrids/host/interleave.hpp"
@@ -44,6 +45,11 @@ class NmpSkipList {
     std::uint32_t watchdog_misses_to_degrade = 5;
     std::uint32_t watchdog_misses_to_recover = 3;
     nmp::FailoverPolicy failover = nmp::FailoverPolicy::kRespawn;
+    // Host-side hot-key cache budget in bytes (0 = off). The NMP-only
+    // skiplist gets the value tier only: its combiner always descends from
+    // the partition head sentinel, so a cached begin-node shortcut has
+    // nothing to skip and the whole budget goes to values.
+    std::size_t cache_budget_bytes = 0;
   };
 
   explicit NmpSkipList(const Config& config)
@@ -78,35 +84,68 @@ class NmpSkipList {
     for (std::uint32_t t = 0; t < config.max_threads; ++t) {
       *rngs_[t] = util::Xoshiro256(config.seed * 0x9E3779B97F4A7C15ULL + t);
     }
+    if (cache::kCacheCompiledIn && cache::cache_enabled() &&
+        config.cache_budget_bytes > 0) {
+      cache::HotCache::Config cc;
+      cc.budget_bytes = config.cache_budget_bytes;
+      cc.value_ratio = 1.0;  // no host descent to shortcut past
+      cc.partitions = config.partitions;
+      cache_ = std::make_unique<cache::HotCache>(cc);
+      // One flag per publication slot: set when the slot holds an async
+      // write, consumed in retrieve(). Slots are single-owner (see the
+      // layout note in partition_set.hpp), so plain bytes suffice.
+      async_write_flags_.assign(
+          static_cast<std::size_t>(config.partitions) * config.max_threads *
+              (1 + config.slots_per_thread),
+          0);
+    }
     set_.start();
   }
 
   ~NmpSkipList() { set_.stop(); }
 
   bool read(Key key, Value& out, std::uint32_t tid) {
-    nmp::Response r = call_retry(set_.partition_of(key), tid,
-                                 make_request(nmp::OpCode::kRead, key, 0, 0));
+    const std::uint32_t part = set_.partition_of(key);
+    if (cache_ != nullptr && cache_->lookup_value(key, out)) return true;
+    const std::uint64_t gen = cache_gen(part);
+    nmp::Response r =
+        call_retry(part, tid, make_request(nmp::OpCode::kRead, key, 0, 0));
     out = r.value;
+    if (cache_ != nullptr && r.ok) {
+      cache_->fill_value(key, part, r.value, r.aux, gen);
+    }
     return r.ok;
   }
 
   bool update(Key key, Value value, std::uint32_t tid) {
-    return call_retry(set_.partition_of(key), tid,
-                      make_request(nmp::OpCode::kUpdate, key, value, 0))
-        .ok;
+    const std::uint32_t part = set_.partition_of(key);
+    const std::uint64_t gen = cache_gen(part);
+    nmp::Response r =
+        call_retry(part, tid, make_request(nmp::OpCode::kUpdate, key, value, 0));
+    if (cache_ != nullptr && r.ok) {
+      // Invalidate (raises the fill floor past any in-flight stale read
+      // fill), then write through at the same version.
+      cache_->invalidate_value(key, part, r.aux);
+      cache_->fill_value(key, part, value, r.aux, gen);
+    }
+    return r.ok;
   }
 
   bool insert(Key key, Value value, std::uint32_t tid) {
+    const std::uint32_t part = set_.partition_of(key);
     const int h = random_height(*rngs_[tid], config_.total_height);
-    return call_retry(set_.partition_of(key), tid,
-                      make_request(nmp::OpCode::kInsert, key, value, h))
-        .ok;
+    nmp::Response r =
+        call_retry(part, tid, make_request(nmp::OpCode::kInsert, key, value, h));
+    if (cache_ != nullptr && r.ok) cache_->invalidate_value(key, part, r.aux);
+    return r.ok;
   }
 
   bool remove(Key key, std::uint32_t tid) {
-    return call_retry(set_.partition_of(key), tid,
-                      make_request(nmp::OpCode::kRemove, key, 0, 0))
-        .ok;
+    const std::uint32_t part = set_.partition_of(key);
+    nmp::Response r =
+        call_retry(part, tid, make_request(nmp::OpCode::kRemove, key, 0, 0));
+    if (cache_ != nullptr && r.ok) cache_->invalidate_value(key, part, r.aux);
+    return r.ok;
   }
 
   /// Range scan: fills `out` with up to `count` (key, value) pairs with key
@@ -167,35 +206,52 @@ class NmpSkipList {
         resp = set_.retrieve(h);
       }
       if (!resp.failed_over) co_return resp;
+      if (cache_ != nullptr) cache_->bump_generation(p);
       std::this_thread::yield();
     }
   }
 
   host::CoTask<bool> read_co(Key key, Value* out, std::uint32_t tid) {
+    const std::uint32_t part = set_.partition_of(key);
+    if (cache_ != nullptr && cache_->lookup_value(key, *out)) {
+      co_return true;
+    }
+    const std::uint64_t gen = cache_gen(part);
     nmp::Response r = co_await call_retry_co(
-        set_.partition_of(key), tid, make_request(nmp::OpCode::kRead, key, 0, 0));
+        part, tid, make_request(nmp::OpCode::kRead, key, 0, 0));
     *out = r.value;
+    if (cache_ != nullptr && r.ok) {
+      cache_->fill_value(key, part, r.value, r.aux, gen);
+    }
     co_return r.ok;
   }
 
   host::CoTask<bool> update_co(Key key, Value value, std::uint32_t tid) {
-    nmp::Response r =
-        co_await call_retry_co(set_.partition_of(key), tid,
-                               make_request(nmp::OpCode::kUpdate, key, value, 0));
+    const std::uint32_t part = set_.partition_of(key);
+    const std::uint64_t gen = cache_gen(part);
+    nmp::Response r = co_await call_retry_co(
+        part, tid, make_request(nmp::OpCode::kUpdate, key, value, 0));
+    if (cache_ != nullptr && r.ok) {
+      cache_->invalidate_value(key, part, r.aux);
+      cache_->fill_value(key, part, value, r.aux, gen);
+    }
     co_return r.ok;
   }
 
   host::CoTask<bool> insert_co(Key key, Value value, std::uint32_t tid) {
+    const std::uint32_t part = set_.partition_of(key);
     const int h = random_height(*rngs_[tid], config_.total_height);
-    nmp::Response r =
-        co_await call_retry_co(set_.partition_of(key), tid,
-                               make_request(nmp::OpCode::kInsert, key, value, h));
+    nmp::Response r = co_await call_retry_co(
+        part, tid, make_request(nmp::OpCode::kInsert, key, value, h));
+    if (cache_ != nullptr && r.ok) cache_->invalidate_value(key, part, r.aux);
     co_return r.ok;
   }
 
   host::CoTask<bool> remove_co(Key key, std::uint32_t tid) {
+    const std::uint32_t part = set_.partition_of(key);
     nmp::Response r = co_await call_retry_co(
-        set_.partition_of(key), tid, make_request(nmp::OpCode::kRemove, key, 0, 0));
+        part, tid, make_request(nmp::OpCode::kRemove, key, 0, 0));
+    if (cache_ != nullptr && r.ok) cache_->invalidate_value(key, part, r.aux);
     co_return r.ok;
   }
 
@@ -229,25 +285,52 @@ class NmpSkipList {
 
   /// Non-blocking variants (§3.5): returns an invalid handle when `tid`
   /// already has all of its slots in flight on the target partition.
+  ///
+  /// The raw-handle API cannot express a cached hit (a handle implies a
+  /// publication round-trip), so reads bypass the value tier. Async writes
+  /// mark their slot and retrieve() conservatively bumps the partition's
+  /// cache generation, dropping every cached value and in-flight fill for
+  /// it — correct, if blunter than the keyed invalidation the blocking
+  /// path does.
   nmp::OpHandle read_async(Key key, std::uint32_t tid) {
     return set_.call_async(set_.partition_of(key), tid,
                            make_request(nmp::OpCode::kRead, key, 0, 0));
   }
   nmp::OpHandle insert_async(Key key, Value value, std::uint32_t tid) {
     const int h = random_height(*rngs_[tid], config_.total_height);
-    return set_.call_async(set_.partition_of(key), tid,
-                           make_request(nmp::OpCode::kInsert, key, value, h));
+    nmp::OpHandle hd = set_.call_async(set_.partition_of(key), tid,
+                                       make_request(nmp::OpCode::kInsert, key,
+                                                    value, h));
+    mark_async_write(hd);
+    return hd;
   }
   nmp::OpHandle remove_async(Key key, std::uint32_t tid) {
-    return set_.call_async(set_.partition_of(key), tid,
-                           make_request(nmp::OpCode::kRemove, key, 0, 0));
+    nmp::OpHandle hd = set_.call_async(set_.partition_of(key), tid,
+                                       make_request(nmp::OpCode::kRemove, key,
+                                                    0, 0));
+    mark_async_write(hd);
+    return hd;
   }
   bool poll(const nmp::OpHandle& h) { return set_.poll(h); }
-  nmp::Response retrieve(const nmp::OpHandle& h) { return set_.retrieve(h); }
+  nmp::Response retrieve(const nmp::OpHandle& h) {
+    nmp::Response r = set_.retrieve(h);
+    if (cache_ != nullptr) {
+      const std::size_t i = slot_flag_index(h);
+      if (r.failed_over || (r.ok && async_write_flags_[i] != 0)) {
+        cache_->bump_generation(h.partition);
+      }
+      async_write_flags_[i] = 0;
+    }
+    return r;
+  }
 
   /// The underlying partition set (failover tests use it for
   /// trigger_failover / degraded / failovers).
   nmp::PartitionSet& partition_set() { return set_; }
+
+  /// The hot-key cache, or nullptr when disabled (budget 0, runtime switch
+  /// off, or HYBRIDS_NO_CACHE).
+  cache::HotCache* hot_cache() { return cache_.get(); }
 
   /// Quiescent-only helpers for tests.
   std::size_t size() const {
@@ -280,6 +363,11 @@ class NmpSkipList {
         SeqSkipList::Node* n = locate(req.key);
         resp.ok = n != nullptr;
         if (n != nullptr) resp.value = n->value;
+        // Echo the partition's CURRENT version for cache fills — the
+        // partition counter, not the node's own stamp: a never-updated
+        // key's node version would sit below the partition fill floor
+        // forever and be permanently uncacheable.
+        resp.aux = list.current_version();
         break;
       }
       case nmp::OpCode::kUpdate: {
@@ -290,23 +378,34 @@ class NmpSkipList {
           // Same versioning discipline as the hybrid's combiner: monotonic
           // over the list, not per node (stays ordered across re-inserts).
           n->version = list.next_version();
+          resp.aux = n->version;
         }
         break;
       }
       case nmp::OpCode::kInsert: {
         SeqSkipList::Node* found = locate(req.key);
         resp.ok = found == nullptr;
-        resp.node = found != nullptr
-                        ? found
-                        : list.link(req.key, req.value,
-                                    static_cast<int>(req.aux), nullptr, preds,
-                                    succs);
+        if (found != nullptr) {
+          resp.node = found;
+        } else {
+          SeqSkipList::Node* node =
+              list.link(req.key, req.value, static_cast<int>(req.aux), nullptr,
+                        preds, succs);
+          // Version every successful insert so the host can invalidate any
+          // cached miss-turned-hit for this key.
+          node->version = list.next_version();
+          resp.aux = node->version;
+          resp.node = node;
+        }
         break;
       }
       case nmp::OpCode::kRemove: {
         SeqSkipList::Node* found = locate(req.key);
         resp.ok = found != nullptr;
-        if (found != nullptr) list.unlink(found, preds);
+        if (found != nullptr) {
+          list.unlink(found, preds);
+          resp.aux = list.next_version();
+        }
         break;
       }
       case nmp::OpCode::kScan: {
@@ -350,8 +449,25 @@ class NmpSkipList {
     while (true) {
       nmp::Response resp = set_.call(p, tid, r);
       if (!resp.failed_over) return resp;
+      // No cached value survives a bounced partition: the takeover path may
+      // have served writes this host never saw acks for.
+      if (cache_ != nullptr) cache_->bump_generation(p);
       std::this_thread::yield();
     }
+  }
+
+  std::uint64_t cache_gen(std::uint32_t part) const {
+    return cache_ != nullptr ? cache_->generation(part) : 0;
+  }
+
+  void mark_async_write(const nmp::OpHandle& h) {
+    if (cache_ != nullptr && h.valid) async_write_flags_[slot_flag_index(h)] = 1;
+  }
+
+  std::size_t slot_flag_index(const nmp::OpHandle& h) const {
+    return static_cast<std::size_t>(h.partition) * config_.max_threads *
+               (1 + config_.slots_per_thread) +
+           h.slot;
   }
 
   static nmp::PartitionConfig make_partition_config(const Config& c) {
@@ -381,6 +497,8 @@ class NmpSkipList {
   nmp::PartitionSet set_;
   std::vector<std::unique_ptr<SeqSkipList>> lists_;
   std::vector<util::CacheAligned<util::Xoshiro256>> rngs_;
+  std::unique_ptr<cache::HotCache> cache_;
+  std::vector<std::uint8_t> async_write_flags_;
 };
 
 }  // namespace hybrids::ds

@@ -89,6 +89,11 @@ class SeqSkipList {
   /// can never be re-ordered by a remove/re-insert of that key.
   std::uint32_t next_version() { return ++version_counter_; }
 
+  /// Latest issued version (combiner-thread only, like next_version()). Read
+  /// ops echo it to the host so cache fills carry a token totally ordered
+  /// against every write version of this partition.
+  std::uint32_t current_version() const { return version_counter_; }
+
   /// The partition's arena (test/introspection hook).
   const mem::PartitionArena& arena() const { return arena_; }
 

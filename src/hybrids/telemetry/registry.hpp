@@ -67,6 +67,10 @@ inline constexpr const char* kInterleaveFallbackWaits = "host.interleave_fallbac
 inline constexpr const char* kMemArenaBytes = "mem.arena_bytes";
 inline constexpr const char* kMemPoolRecycled = "mem.pool_recycled";
 inline constexpr const char* kMemPoolShardMisses = "mem.pool_shard_misses";
+inline constexpr const char* kCacheHits = "cache.hits";
+inline constexpr const char* kCacheMisses = "cache.misses";
+inline constexpr const char* kCacheBytes = "cache.bytes";
+inline constexpr const char* kCacheInvalidations = "cache.invalidations";
 inline constexpr const char* kTraceSampledOps = "trace.sampled_ops";
 inline constexpr const char* kTraceDroppedEvents = "trace.dropped_events";
 inline constexpr const char* kFaultInjectedPrefix = "fault_injected_";  // + kind

@@ -55,10 +55,12 @@ inline constexpr bool kCompiledIn = true;
 #endif
 
 /// Lifecycle phases of one (possibly offloaded) operation. kOp is the
-/// enclosing span; every other span phase nests inside it. kRetry and
-/// kFailover are instant markers, not spans (kFailover: the op was bounced
-/// off a fenced partition and will re-route through the retry machinery).
-/// Keep phase_name() in sync.
+/// enclosing span; every other span phase nests inside it. kRetry,
+/// kFailover, and kCacheLookup are instant markers, not spans (kFailover:
+/// the op was bounced off a fenced partition and will re-route through the
+/// retry machinery; kCacheLookup: the op hit the host-side hot-key cache —
+/// a value hit ends the op right there, a shortcut hit skips the host
+/// descent). Keep phase_name() in sync.
 enum class Phase : std::uint8_t {
   kOp = 0,
   kHostDescend,
@@ -71,8 +73,9 @@ enum class Phase : std::uint8_t {
   kScanChunk,
   kRetry,
   kFailover,
+  kCacheLookup,
 };
-inline constexpr int kPhaseCount = static_cast<int>(Phase::kFailover) + 1;
+inline constexpr int kPhaseCount = static_cast<int>(Phase::kCacheLookup) + 1;
 
 inline const char* phase_name(Phase p) {
   switch (p) {
@@ -87,6 +90,7 @@ inline const char* phase_name(Phase p) {
     case Phase::kScanChunk: return "scan_chunk";
     case Phase::kRetry: return "retry";
     case Phase::kFailover: return "failover";
+    case Phase::kCacheLookup: return "cache_lookup";
   }
   return "?";
 }

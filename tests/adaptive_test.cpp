@@ -1,10 +1,14 @@
 // Tests for the adaptive-promotion extension (§7 future work): hot NMP-only
-// keys are raised into the host-managed portion.
+// keys are raised into the host-managed portion — and for the SplitController
+// that drives the cache value/shortcut ratio and the promote budget online
+// (ext_adaptive_skew's closed loop).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <thread>
 
+#include "hybrids/cache/controller.hpp"
 #include "hybrids/ds/hybrid_skiplist.hpp"
 #include "hybrids/ds/seq_skiplist.hpp"
 #include "hybrids/util/rng.hpp"
@@ -146,4 +150,144 @@ TEST(AdaptiveHybridSkipList, DisabledByDefault) {
   Value v = 0;
   for (int i = 0; i < 100; ++i) (void)list.read(10, v, 0);
   EXPECT_EQ(list.promoted(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SplitController: the closed-loop knob driver for the hot-key cache split
+// and the host-managed split. Pure logic over synthetic samples, so skew
+// shifts and noisy windows are driven exactly.
+// ---------------------------------------------------------------------------
+
+namespace hcc = hybrids::cache;
+
+namespace {
+
+/// A window where the value tier clearly earns more benefit per byte.
+hcc::SplitController::Sample value_favoring() {
+  hcc::SplitController::Sample s;
+  s.value_hits = 1000;
+  s.shortcut_hits = 100;
+  s.misses = 200;
+  s.value_save_ns = 900;
+  s.shortcut_save_ns = 300;
+  s.queue_wait_share = 0.4;  // inside the promote band: promote knob holds
+  return s;
+}
+
+/// The mirror image: shortcuts dominate.
+hcc::SplitController::Sample shortcut_favoring() {
+  hcc::SplitController::Sample s;
+  s.value_hits = 100;
+  s.shortcut_hits = 1000;
+  s.misses = 200;
+  s.value_save_ns = 300;
+  s.shortcut_save_ns = 900;
+  s.queue_wait_share = 0.4;
+  return s;
+}
+
+}  // namespace
+
+TEST(SplitController, RatioConvergesUnderSustainedSkewShift) {
+  hcc::SplitController::Config cfg;
+  cfg.ratio = 0.5;
+  cfg.hysteresis = 3;
+  hcc::SplitController ctl(cfg);
+
+  // Phase 1: value-dominated traffic. The ratio climbs toward ratio_max and
+  // clamps there — never past it.
+  for (int w = 0; w < 60; ++w) (void)ctl.observe(value_favoring());
+  EXPECT_DOUBLE_EQ(ctl.value_ratio(), cfg.ratio_max)
+      << "sustained value skew did not converge to the clamp";
+
+  // Phase 2: the workload shifts — shortcuts now dominate. The controller
+  // tracks the shift down to ratio_min.
+  for (int w = 0; w < 120; ++w) (void)ctl.observe(shortcut_favoring());
+  EXPECT_DOUBLE_EQ(ctl.value_ratio(), cfg.ratio_min)
+      << "controller failed to track the skew shift";
+}
+
+TEST(SplitController, SingleNoisyWindowNeverMovesAKnob) {
+  hcc::SplitController::Config cfg;
+  cfg.hysteresis = 3;
+  hcc::SplitController ctl(cfg);
+  const double r0 = ctl.value_ratio();
+  const std::uint32_t p0 = ctl.promote_budget();
+
+  // Alternating directions: the streak resets every window, so hysteresis
+  // never fires no matter how many windows flow.
+  for (int w = 0; w < 100; ++w) {
+    (void)ctl.observe((w & 1) ? value_favoring() : shortcut_favoring());
+  }
+  EXPECT_DOUBLE_EQ(ctl.value_ratio(), r0) << "flapping input moved the ratio";
+  EXPECT_EQ(ctl.promote_budget(), p0);
+  EXPECT_EQ(ctl.ratio_moves(), 0u);
+
+  // Two agreeing windows (one short of hysteresis) then a hold: no move.
+  // (The hold first clears the +1 streak the alternating phase left behind.)
+  hcc::SplitController::Sample hold;  // zero traffic → direction 0
+  (void)ctl.observe(hold);
+  (void)ctl.observe(value_favoring());
+  (void)ctl.observe(value_favoring());
+  (void)ctl.observe(hold);
+  (void)ctl.observe(value_favoring());
+  (void)ctl.observe(value_favoring());
+  EXPECT_EQ(ctl.ratio_moves(), 0u)
+      << "a hold window failed to reset the streak";
+}
+
+TEST(SplitController, NeverOscillatesPastHysteresisBound) {
+  // Worst-case adversarial input: always pulls against the last move. The
+  // anti-flap bound says a knob moves at most once per `hysteresis`
+  // consecutive agreeing windows, so N windows allow at most N/hysteresis
+  // moves, and the excursion between direction changes is one step.
+  hcc::SplitController::Config cfg;
+  cfg.hysteresis = 4;
+  hcc::SplitController ctl(cfg);
+  constexpr int kWindows = 400;
+  double prev = ctl.value_ratio();
+  double max_excursion = 0;
+  for (int w = 0; w < kWindows; ++w) {
+    // Blocks of `hysteresis` agreeing windows with alternating direction:
+    // the fastest legal flip-flop schedule.
+    const bool up = (w / cfg.hysteresis) % 2 == 0;
+    (void)ctl.observe(up ? value_favoring() : shortcut_favoring());
+    max_excursion = std::max(max_excursion, std::abs(ctl.value_ratio() - prev));
+    prev = ctl.value_ratio();
+  }
+  EXPECT_LE(ctl.ratio_moves(),
+            static_cast<std::uint64_t>(kWindows / cfg.hysteresis))
+      << "more moves than one per hysteresis period";
+  EXPECT_LE(max_excursion, ctl.ratio_step() + 1e-12)
+      << "a single window moved the ratio more than one step";
+  // And the position stayed inside the clamp throughout (spot check end).
+  EXPECT_GE(ctl.value_ratio(), cfg.ratio_min);
+  EXPECT_LE(ctl.value_ratio(), cfg.ratio_max);
+}
+
+TEST(SplitController, PromoteBudgetFollowsQueueWaitShare) {
+  hcc::SplitController::Config cfg;
+  cfg.hysteresis = 2;
+  cfg.promote_budget = 64;
+  cfg.promote_step = 16;
+  cfg.promote_max = 128;
+  hcc::SplitController ctl(cfg);
+
+  hcc::SplitController::Sample s = value_favoring();
+  s.queue_wait_share = 0.9;  // queue-bound: NMP side is the bottleneck
+  for (int w = 0; w < 20; ++w) (void)ctl.observe(s);
+  EXPECT_EQ(ctl.promote_budget(), cfg.promote_max)
+      << "queue-bound windows did not raise the promote budget to the clamp";
+
+  s.queue_wait_share = 0.05;  // idle queues: host levels are pure overhead
+  for (int w = 0; w < 40; ++w) (void)ctl.observe(s);
+  EXPECT_EQ(ctl.promote_budget(), cfg.promote_min)
+      << "idle-queue windows did not lower the promote budget";
+
+  // Inside the [queue_low, queue_high] band the knob holds (the band is
+  // itself hysteresis).
+  const std::uint64_t moves = ctl.promote_moves();
+  s.queue_wait_share = 0.4;
+  for (int w = 0; w < 20; ++w) (void)ctl.observe(s);
+  EXPECT_EQ(ctl.promote_moves(), moves) << "in-band windows moved the knob";
 }

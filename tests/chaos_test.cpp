@@ -211,6 +211,9 @@ void run_skiplist_chaos(const fault::Config& fc, std::uint32_t ops_per_thread,
   cfg.slots_per_thread = 2;
   cfg.seed = fc.seed;
   cfg.retry_budget = 4;  // small, so chaos actually exhausts budgets
+  // Tiny hot-key cache: injected faults race fills, invalidations, and
+  // generation bumps; a stale cached value is an exact oracle divergence.
+  cfg.cache_budget_bytes = 2 * 1024;
   if (ft != nullptr) {
     cfg.watchdog_interval_ms = ft->interval_ms;
     cfg.watchdog_misses_to_degrade = ft->degrade;
@@ -341,6 +344,8 @@ void run_nmp_skiplist_chaos(const fault::Config& fc,
   cfg.slots_per_thread = 2;
   cfg.seed = fc.seed;
   cfg.batching = true;
+  // Value-tier hot-key cache riding the batch-apply path under faults.
+  cfg.cache_budget_bytes = 2 * 1024;
   ds::NmpSkipList list(cfg);
 
   std::vector<std::map<Key, Value>> oracles(kThreads);
@@ -432,6 +437,8 @@ void run_btree_chaos(const fault::Config& fc, std::uint32_t ops_per_thread,
   cfg.max_threads = kThreads;
   cfg.slots_per_thread = 2;
   cfg.retry_budget = 4;
+  // Same tiny hot-key cache as the skiplist chaos runs (see above).
+  cfg.cache_budget_bytes = 2 * 1024;
   if (ft != nullptr) {
     cfg.watchdog_interval_ms = ft->interval_ms;
     cfg.watchdog_misses_to_degrade = ft->degrade;

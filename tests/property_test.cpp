@@ -39,6 +39,9 @@ TEST_P(HybridSkipListGeometry, MatchesReferenceModel) {
   cfg.partitions = partitions;
   cfg.partition_width = static_cast<Key>((1u << 16) / partitions);
   cfg.max_threads = 1;
+  // Hot-key cache at a deliberately tiny budget: every sweep churns fills,
+  // evictions, and write invalidations while the model check stays exact.
+  cfg.cache_budget_bytes = 2 * 1024;
   hd::HybridSkipList list(cfg);
 
   std::map<Key, Value> model;
@@ -120,6 +123,9 @@ TEST_P(HybridBTreeGeometry, MatchesReferenceModel) {
   cfg.partitions = partitions;
   cfg.max_threads = 1;
   cfg.fill = fill;
+  // Same tiny-budget hot-key cache as the skiplist sweep: eviction churn on
+  // every geometry, exact-model equivalence unchanged.
+  cfg.cache_budget_bytes = 2 * 1024;
   hd::HybridBTree tree(cfg, keys, vals);
   ASSERT_EQ(tree.size(), model.size());
   ASSERT_TRUE(tree.validate());
