@@ -54,12 +54,7 @@ namespace hb = hybrids::bench;
 
 namespace {
 
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+using hybrids::bench::now_ns;
 
 enum class KeyPattern { kSortedWindow, kZipf, kUniform };
 

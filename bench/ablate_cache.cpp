@@ -44,21 +44,9 @@ namespace {
 
 constexpr std::size_t kLlcBytes = 1 << 20;  // §3.3 / §3.4 sizing target
 
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+using hybrids::bench::now_ns;
 
-/// Scatters zipf ranks over the loaded key set (the ScrambledZipfian idea,
-/// done locally so theta stays a free parameter).
-std::uint64_t scramble(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
+using hybrids::bench::scramble;
 
 struct RunResult {
   double mops = 0;

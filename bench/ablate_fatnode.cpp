@@ -1,0 +1,296 @@
+// Ablation — fat-node host index layout (fat nodes × software prefetch).
+//
+// The 2x2 sweep behind the fat-node tentpole: host index layout
+// (pointer-node LfSkipList vs fat-node B-link FatSkipList, flipped per arm
+// with hd::set_fatnode_enabled and sampled by HostIndex at construction)
+// crossed with the memory layer's prefetch toggle. Both engines sit behind
+// the same HostIndex facade, are preloaded with the identical (shuffled odd)
+// key set, and replay identical pre-generated access streams:
+//
+//   reads  — zipfian point lookups (theta 0.99), all host threads hammering
+//            the structure concurrently; the fat layout's claim is fewer,
+//            fatter nodes per descent (one two-line node per level instead
+//            of one line per key).
+//   scans  — range scans of --scan-max entries from zipfian start keys; the
+//            fat layout stitches 8-key sorted runs and prefetches the whole
+//            run before touching the first value (memory-level parallelism),
+//            the pointer layout chases one node per entry.
+//
+// Checksums must agree bit-exactly across every arm (same residents, same
+// streams) — a mismatch is a correctness bug and exits nonzero, so this
+// bench doubles as an end-to-end cross-layout oracle. The summary lines name
+// the fat-vs-pointer speedup at equal prefetch setting — the numbers
+// EXPERIMENTS.md records for the fat-node ablation.
+//
+// Under -DHYBRIDS_NO_FATNODE the fat arms are compiled out and only the
+// pointer-node column runs (the bench stays a valid smoke test).
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hybrids/ds/host_index.hpp"
+#include "hybrids/mem/memlayer.hpp"
+#include "hybrids/util/table.hpp"
+
+namespace hd = hybrids::ds;
+namespace hb = hybrids::bench;
+namespace hm = hybrids::mem;
+
+namespace {
+
+using hybrids::bench::now_ns;
+using hybrids::bench::RunResult;
+
+struct Arm {
+  bool fat;
+  bool prefetch;
+};
+
+const char* onoff(bool b) { return b ? "on" : "off"; }
+const char* layout_name(bool fat) { return fat ? "fat" : "pointer"; }
+
+/// Builds a HostIndex under the requested layout, preloaded with `preload`
+/// odd keys (value == key) in shuffled order — shuffled so fat leaves settle
+/// at realistic mid-occupancy instead of the ascending-insert worst case,
+/// identically for every arm.
+std::unique_ptr<hd::HostIndex> build_index(bool fat, std::uint64_t preload) {
+  hd::set_fatnode_enabled(fat);
+  std::vector<hybrids::Key> keys = hb::odd_preload_keys(preload);
+  std::mt19937 shuffle_rng(0xF47);
+  std::shuffle(keys.begin(), keys.end(), shuffle_rng);
+  // Height: log2 for the pointer towers, log_{kFatKeys/2} + slack for the
+  // B-link levels (splits leave nodes half full in the worst case).
+  int height = 1;
+  if (fat) {
+    while (std::uint64_t(1) << (2 * height) < preload) ++height;
+    height += 2;
+  } else {
+    while (std::uint64_t(1) << height < preload) ++height;
+  }
+  auto idx = std::make_unique<hd::HostIndex>(height);
+  hybrids::util::Xoshiro256 rng(7);
+  for (hybrids::Key k : keys) {
+    hd::HostIndex::Node* n = idx->make_node(
+        k, k, hd::random_height(rng, height));
+    if (!idx->insert_node(n)) {
+      std::cerr << "BUG: preload collision on key " << k << "\n";
+      std::exit(1);
+    }
+  }
+  return idx;
+}
+
+/// Timed multi-threaded point reads: thread t replays probes[t]; the found
+/// values fold into the checksum. Mops/s across all threads.
+RunResult run_reads(hd::HostIndex& idx,
+                    const std::vector<std::vector<hybrids::Key>>& probes,
+                    std::uint64_t warmup_per_thread) {
+  const std::uint32_t threads = static_cast<std::uint32_t>(probes.size());
+  std::atomic<std::uint64_t> checksum{0};
+  std::atomic<std::uint32_t> ready{0};
+  std::uint64_t t0 = 0;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::vector<hybrids::Key>& mine = probes[t];
+      const std::uint64_t warm = std::min<std::uint64_t>(
+          warmup_per_thread, mine.size());
+      std::uint64_t my_sum = 0;
+      for (std::uint64_t i = 0; i < warm; ++i) {
+        (void)idx.get_node(mine[i]);
+      }
+      ready.fetch_add(1);
+      while (ready.load() < threads) std::this_thread::yield();
+      if (t == 0) t0 = now_ns();
+      for (const hybrids::Key k : mine) {
+        hd::HostIndex::Node* n = idx.get_node(k);
+        if (n != nullptr) my_sum += n->value_now();
+      }
+      checksum.fetch_add(my_sum, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double secs = static_cast<double>(now_ns() - t0) * 1e-9;
+  RunResult r;
+  std::uint64_t total = 0;
+  for (const auto& p : probes) total += p.size();
+  r.mops = static_cast<double>(total) / secs / 1e6;
+  r.checksum = checksum.load();
+  return r;
+}
+
+/// Timed multi-threaded range scans of `scan_len` entries from each start
+/// key; folded scan keys are the checksum. Throughput is million scanned
+/// entries per second (the quantity the stitching serves).
+RunResult run_scans(hd::HostIndex& idx,
+                    const std::vector<std::vector<hybrids::Key>>& starts,
+                    std::uint32_t scan_len, std::uint64_t warmup_per_thread) {
+  const std::uint32_t threads = static_cast<std::uint32_t>(starts.size());
+  std::atomic<std::uint64_t> checksum{0};
+  std::atomic<std::uint64_t> entries{0};
+  std::atomic<std::uint32_t> ready{0};
+  std::uint64_t t0 = 0;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::vector<hybrids::Key>& mine = starts[t];
+      std::vector<hybrids::ScanEntry> buf(scan_len);
+      const std::uint64_t warm = std::min<std::uint64_t>(
+          warmup_per_thread, mine.size());
+      for (std::uint64_t i = 0; i < warm; ++i) {
+        (void)idx.scan(mine[i], scan_len, buf.data());
+      }
+      ready.fetch_add(1);
+      while (ready.load() < threads) std::this_thread::yield();
+      if (t == 0) t0 = now_ns();
+      std::uint64_t my_sum = 0;
+      std::uint64_t my_entries = 0;
+      for (const hybrids::Key k : mine) {
+        const std::size_t n = idx.scan(k, scan_len, buf.data());
+        my_entries += n;
+        for (std::size_t j = 0; j < n; ++j) my_sum += buf[j].key;
+      }
+      checksum.fetch_add(my_sum, std::memory_order_relaxed);
+      entries.fetch_add(my_entries, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double secs = static_cast<double>(now_ns() - t0) * 1e-9;
+  RunResult r;
+  r.mops = static_cast<double>(entries.load()) / secs / 1e6;
+  r.checksum = checksum.load();
+  return r;
+}
+
+struct ArmResult {
+  RunResult reads;
+  RunResult scans;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hb::Options opt = hb::parse_options(argc, argv);
+  hb::StatsSession stats(opt);
+
+  const std::uint64_t keys = opt.keys != 0 ? opt.keys
+                             : (opt.full ? (1ull << 22) : (1ull << 18));
+  const std::uint64_t preload = keys / 2;  // every other key loaded
+  // Default to the hardware, capped at 4: the sweep measures layout, not
+  // scheduler time-slicing, so never oversubscribe the machine.
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint32_t threads =
+      opt.threads.empty() ? std::min(4u, hw) : opt.threads.back();
+  const std::uint64_t reads_per_thread =
+      std::max<std::uint64_t>(opt.ops * 16, 1ull << 17);
+  const std::uint64_t scans_per_thread =
+      std::max<std::uint64_t>(reads_per_thread / 64, 256);
+  const std::uint64_t warmup = opt.warmup;
+  const int reps = 3;
+
+  // Pre-generated per-thread streams, shared by every arm.
+  std::vector<std::vector<hybrids::Key>> probes(threads);
+  std::vector<std::vector<hybrids::Key>> starts(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    probes[t] = hb::zipfian_probe_keys(reads_per_thread, 2 * preload,
+                                       /*seed=*/0x5EED + t);
+    starts[t] = hb::zipfian_probe_keys(scans_per_thread, 2 * preload,
+                                       /*seed=*/0x5CA4 + t);
+  }
+
+  std::vector<Arm> arms;
+  for (const bool fat : {false, true}) {
+    if (fat && !hd::kFatnodeCompiledIn) continue;
+    for (const bool prefetch : {false, true}) arms.push_back({fat, prefetch});
+  }
+  if (!hd::kFatnodeCompiledIn) {
+    std::cout << "note: built with -DHYBRIDS_NO_FATNODE, fat arms skipped\n";
+  }
+
+  std::cout << "Ablation: fat-node host index (layout x prefetch)\n\n"
+            << preload << " loaded keys, " << threads << " threads, "
+            << reads_per_thread << " zipfian reads + " << scans_per_thread
+            << " scans of " << opt.scan_max
+            << " per thread, best of " << reps << " reps\n\n";
+
+  // Build per arm (layout is sampled at construction), interleave the timed
+  // reps rep-major so machine drift hits every arm equally.
+  std::vector<std::unique_ptr<hd::HostIndex>> indexes;
+  indexes.reserve(arms.size());
+  for (const Arm& arm : arms) indexes.push_back(build_index(arm.fat, preload));
+  hd::set_fatnode_enabled(true);
+
+  std::vector<ArmResult> results(arms.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t a = 0; a < arms.size(); ++a) {
+      hm::set_prefetch_enabled(arms[a].prefetch);
+      const RunResult rr = run_reads(*indexes[a], probes, warmup);
+      const RunResult rs = run_scans(*indexes[a], starts, opt.scan_max, warmup);
+      if (rr.mops > results[a].reads.mops) results[a].reads = rr;
+      results[a].reads.checksum = rr.checksum;
+      if (rs.mops > results[a].scans.mops) results[a].scans = rs;
+      results[a].scans.checksum = rs.checksum;
+    }
+  }
+  hm::set_prefetch_enabled(true);
+
+  // Checksum parity: identical residents + identical streams, every arm and
+  // every rep must fold to the same sums.
+  for (std::size_t a = 1; a < arms.size(); ++a) {
+    if (results[a].reads.checksum != results[0].reads.checksum ||
+        results[a].scans.checksum != results[0].scans.checksum) {
+      std::cerr << "BUG: checksum differs between arms (layout="
+                << layout_name(arms[a].fat)
+                << ", prefetch=" << onoff(arms[a].prefetch) << ")\n";
+      return 1;
+    }
+  }
+
+  hybrids::util::Table table({"layout", "prefetch", "reads Mops/s",
+                              "scan Mentries/s", "read x", "scan x"});
+  const auto baseline = [&](bool prefetch) -> const ArmResult& {
+    for (std::size_t a = 0; a < arms.size(); ++a) {
+      if (!arms[a].fat && arms[a].prefetch == prefetch) return results[a];
+    }
+    return results[0];
+  };
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    const ArmResult& base = baseline(arms[a].prefetch);
+    table.new_row()
+        .add_cell(layout_name(arms[a].fat))
+        .add_cell(onoff(arms[a].prefetch))
+        .add_num(results[a].reads.mops)
+        .add_num(results[a].scans.mops)
+        .add_num(results[a].reads.mops / base.reads.mops)
+        .add_num(results[a].scans.mops / base.scans.mops);
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  if (hd::kFatnodeCompiledIn) {
+    const ArmResult& ptr_on = baseline(true);
+    const ArmResult* fat_on = nullptr;
+    for (std::size_t a = 0; a < arms.size(); ++a) {
+      if (arms[a].fat && arms[a].prefetch) fat_on = &results[a];
+    }
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "\nfat-node read speedup: %.2fx\n"
+                  "fat-node scan speedup: %.2fx\n",
+                  fat_on->reads.mops / ptr_on.reads.mops,
+                  fat_on->scans.mops / ptr_on.scans.mops);
+    std::cout << line;
+  }
+  return 0;
+}

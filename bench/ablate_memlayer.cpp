@@ -60,12 +60,7 @@ namespace {
 
 constexpr std::size_t kLlcBytes = 1 << 20;  // §3.3 / §3.4 sizing target
 
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+using hybrids::bench::now_ns;
 
 struct Arm {
   bool arena;
@@ -77,65 +72,9 @@ constexpr Arm kArms[] = {
 
 const char* onoff(bool b) { return b ? "on" : "off"; }
 
-struct RunResult {
-  double mops = 0;
-  std::uint64_t checksum = 0;  // folded results: cross-checks arms, defeats DCE
-};
-
-/// One timed multi-threaded run of `spec` against `ds`. Same shape as the
-/// figure benches: per-thread deterministic OpStreams, warmup untimed, rough
-/// start barrier, wall-clock Mops/s.
-template <typename DS>
-RunResult run_threads(DS& ds, const hw::WorkloadSpec& spec,
-                      std::uint32_t threads, std::uint64_t warmup_per_thread,
-                      std::uint64_t ops_per_thread) {
-  std::atomic<std::uint64_t> checksum{0};
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  std::uint64_t t0 = 0;
-  std::atomic<std::uint32_t> ready{0};
-  for (std::uint32_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      hw::OpStream stream(spec, t);
-      std::vector<hybrids::ScanEntry> buf(spec.max_scan_len);
-      std::uint64_t my_sum = 0;
-      auto run_one = [&] {
-        const hw::Op op = stream.next();
-        switch (op.type) {
-          case hw::OpType::kScan: {
-            const std::size_t n = ds.scan(op.key, op.scan_len, buf.data(), t);
-            for (std::size_t j = 0; j < n; ++j) my_sum += buf[j].key;
-            break;
-          }
-          case hw::OpType::kInsert:
-            my_sum += ds.insert(op.key, op.value, t);
-            break;
-          case hw::OpType::kRemove:
-            my_sum += ds.remove(op.key, t);
-            break;
-          default: {
-            hybrids::Value v = 0;
-            if (ds.read(op.key, v, t)) my_sum += v;
-            break;
-          }
-        }
-      };
-      for (std::uint64_t i = 0; i < warmup_per_thread; ++i) run_one();
-      ready.fetch_add(1);
-      while (ready.load() < threads) std::this_thread::yield();
-      if (t == 0) t0 = now_ns();
-      for (std::uint64_t i = 0; i < ops_per_thread; ++i) run_one();
-      checksum.fetch_add(my_sum, std::memory_order_relaxed);
-    });
-  }
-  for (std::thread& w : workers) w.join();
-  const double secs = static_cast<double>(now_ns() - t0) * 1e-9;
-  RunResult r;
-  r.mops = static_cast<double>(threads) * static_cast<double>(ops_per_thread) /
-           secs / 1e6;
-  r.checksum = checksum.load();
-  return r;
-}
+// The timed op-mix harness and RunResult now live in bench_common.hpp
+// (hb::run_op_mix), shared with the other structure ablations.
+using hybrids::bench::RunResult;
 
 struct ArmResult {
   RunResult ycsb_c;
@@ -148,7 +87,7 @@ ArmResult measure(DS& ds, const hw::WorkloadSpec& spec_c,
                   std::uint64_t warmup, std::uint64_t ops, int reps) {
   ArmResult best;
   for (int r = 0; r < reps; ++r) {
-    const RunResult c = run_threads(ds, spec_c, threads, warmup, ops);
+    const RunResult c = hb::run_op_mix(ds, spec_c, threads, warmup, ops);
     if (c.mops > best.ycsb_c.mops) best.ycsb_c = c;
     // YCSB-C is read-only, so every rep replays the identical stream against
     // identical contents: checksums must agree exactly across reps and arms.
@@ -160,7 +99,7 @@ ArmResult measure(DS& ds, const hw::WorkloadSpec& spec_c,
   for (int r = 0; r < reps; ++r) {
     // YCSB-E inserts mutate the structure, so only throughput is kept; every
     // arm runs the same number of E reps, keeping the arms comparable.
-    const RunResult e = run_threads(ds, spec_e, threads, warmup, ops);
+    const RunResult e = hb::run_op_mix(ds, spec_e, threads, warmup, ops);
     if (e.mops > best.ycsb_e.mops) best.ycsb_e = e;
   }
   return best;
@@ -267,11 +206,7 @@ ModeATargets build_mode_a(bool arena, std::uint64_t preload) {
   // SeqLockBTree: bulk-built from the same sorted key set.
   t.tree = std::make_unique<hd::SeqLockBTree>();
   {
-    std::vector<hybrids::Key> keys;
-    keys.reserve(preload);
-    for (std::uint64_t k = 0; k < preload; ++k) {
-      keys.push_back(static_cast<hybrids::Key>(2 * k + 1));
-    }
+    const std::vector<hybrids::Key> keys = hb::odd_preload_keys(preload);
     const std::vector<hybrids::Value> vals(keys.begin(), keys.end());
     t.tree->build_from_sorted(keys, vals);
   }
@@ -364,16 +299,10 @@ int main(int argc, char** argv) {
       std::max<std::uint64_t>(opt.ops * 8, 1ull << 17);
   const std::uint64_t sweep_scans = std::max<std::uint64_t>(sweep_ops / 64, 64);
   const int sweep_reps = 5;
-  std::vector<hybrids::Key> probes(sweep_ops);
-  std::vector<hybrids::Key> scan_starts(sweep_scans);
-  {
-    hybrids::util::Xoshiro256 rng(0x5EED);
-    hw::ZipfianGenerator zipf(2 * preload);
-    for (auto& k : probes) k = 1 + static_cast<hybrids::Key>(zipf.next(rng));
-    for (auto& k : scan_starts) {
-      k = 1 + static_cast<hybrids::Key>(zipf.next(rng));
-    }
-  }
+  const std::vector<hybrids::Key> probes =
+      hb::zipfian_probe_keys(sweep_ops, 2 * preload, /*seed=*/0x5EED);
+  const std::vector<hybrids::Key> scan_starts =
+      hb::zipfian_probe_keys(sweep_scans, 2 * preload, /*seed=*/0x5CA4);
 
   std::cout << "Ablation: memory layer (arena x prefetch)\n\nMode A: "
                "structure-level sweep (" << preload << " loaded keys, "

@@ -51,21 +51,32 @@
 // can't silently run the bench with defaults.
 #pragma once
 
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "hybrids/nmp/fault.hpp"
 #include "hybrids/telemetry/export.hpp"
 #include "hybrids/telemetry/timeline.hpp"
 #include "hybrids/trace/export.hpp"
 #include "hybrids/trace/trace.hpp"
+#include "hybrids/types.hpp"
+#include "hybrids/util/rng.hpp"
+#include "hybrids/workload/workload.hpp"
+#include "hybrids/workload/zipf.hpp"
 
 namespace hybrids::bench {
 
@@ -316,6 +327,135 @@ inline Options parse_options(int argc, char** argv) {
   return opt;
 }
 
+// ---------------------------------------------------------------------------
+// Shared measurement helpers. Every bench used to carry private copies of
+// these; they live here so the arms of different ablations are timed and
+// keyed identically.
+
+/// Monotonic wall clock for throughput math (steady_clock, ns).
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Scatters zipf ranks over a key set (the ScrambledZipfian idea, done
+/// locally so theta stays a free parameter): rank r -> scramble(r) % space.
+inline std::uint64_t scramble(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// The odd keys {1, 3, 5, ...}: the standard structure-level preload. Leaves
+/// the even keys free so probe misses and churn inserts land between
+/// residents instead of past the tail.
+inline std::vector<Key> odd_preload_keys(std::uint64_t count) {
+  std::vector<Key> keys;
+  keys.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    keys.push_back(static_cast<Key>(2 * k + 1));
+  }
+  return keys;
+}
+
+/// A deterministic zipfian probe sequence over [1, key_space]: the shared
+/// key-gen for structure-level read/scan sweeps, so every arm replays the
+/// same skewed accesses.
+inline std::vector<Key> zipfian_probe_keys(std::size_t count,
+                                           std::uint64_t key_space,
+                                           std::uint64_t seed = 0x5EED,
+                                           double theta = 0.99) {
+  util::Xoshiro256 rng(seed);
+  workload::ZipfianGenerator zipf(key_space, theta);
+  std::vector<Key> probes(count);
+  for (Key& k : probes) k = 1 + static_cast<Key>(zipf.next(rng));
+  return probes;
+}
+
+/// Folded results of one timed run: throughput plus a checksum that
+/// cross-checks the arms of an ablation and defeats dead-code elimination.
+struct RunResult {
+  double mops = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// One timed multi-threaded run of `spec` against `ds` (any structure with
+/// the read/insert/remove/scan(part) shape of the hybrid lists). Same shape
+/// as the figure benches: per-thread deterministic OpStreams, warmup untimed,
+/// rough start barrier, wall-clock Mops/s, results folded into the checksum.
+template <typename DS>
+RunResult run_op_mix(DS& ds, const workload::WorkloadSpec& spec,
+                     std::uint32_t threads, std::uint64_t warmup_per_thread,
+                     std::uint64_t ops_per_thread) {
+  std::atomic<std::uint64_t> checksum{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  std::uint64_t t0 = 0;
+  std::atomic<std::uint32_t> ready{0};
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t, threads, warmup_per_thread, ops_per_thread] {
+      workload::OpStream stream(spec, t);
+      std::vector<ScanEntry> buf(spec.max_scan_len);
+      std::uint64_t my_sum = 0;
+      auto run_one = [&] {
+        const workload::Op op = stream.next();
+        switch (op.type) {
+          case workload::OpType::kScan: {
+            const std::size_t n = ds.scan(op.key, op.scan_len, buf.data(), t);
+            for (std::size_t j = 0; j < n; ++j) my_sum += buf[j].key;
+            break;
+          }
+          case workload::OpType::kInsert:
+            my_sum += ds.insert(op.key, op.value, t);
+            break;
+          case workload::OpType::kRemove:
+            my_sum += ds.remove(op.key, t);
+            break;
+          default: {
+            Value v = 0;
+            if (ds.read(op.key, v, t)) my_sum += v;
+            break;
+          }
+        }
+      };
+      for (std::uint64_t i = 0; i < warmup_per_thread; ++i) run_one();
+      ready.fetch_add(1);
+      while (ready.load() < threads) std::this_thread::yield();
+      if (t == 0) t0 = now_ns();
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) run_one();
+      checksum.fetch_add(my_sum, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double secs = static_cast<double>(now_ns() - t0) * 1e-9;
+  RunResult r;
+  r.mops = static_cast<double>(threads) * static_cast<double>(ops_per_thread) /
+           secs / 1e6;
+  r.checksum = checksum.load();
+  return r;
+}
+
+/// The machine's L1D line size as the OS reports it, or 0 when unknowable.
+/// The node layouts hard-code 64-byte lines (see ds/fat_skiplist.hpp's
+/// static_asserts); StatsSession logs a mismatch so a surprising perf result
+/// on exotic hardware is explainable from the bench output alone.
+inline std::size_t runtime_cache_line_bytes() {
+#if defined(_SC_LEVEL1_DCACHE_LINESIZE)
+  const long sc = sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+  if (sc > 0) return static_cast<std::size_t>(sc);
+#endif
+#if defined(__linux__)
+  std::ifstream f(
+      "/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size");
+  std::size_t v = 0;
+  if (f && (f >> v) && v > 0) return v;
+#endif
+  return 0;
+}
+
 /// RAII wiring of the telemetry/tracing flags: constructs a periodic stderr
 /// reporter if --stats-interval was given (per-interval deltas with
 /// --stats-delta), accumulates a snapshot timeline for --stats-series,
@@ -328,6 +468,13 @@ class StatsSession {
       : json_path_(opt.stats_json),
         series_path_(opt.stats_series),
         trace_path_(opt.trace_json) {
+    // One line of layout provenance per run: the fat-node/B+tree layouts are
+    // tuned to 64-byte lines, so flag hardware where that constant is wrong.
+    if (const std::size_t line = runtime_cache_line_bytes(); line != 0) {
+      std::cerr << "cache: L1D line " << line << " B (layouts assume 64 B"
+                << (line == 64 ? ")" : " -- MISMATCH, node sizing is off)")
+                << "\n";
+    }
     if (trace::kCompiledIn &&
         (!opt.trace_json.empty() || opt.trace_sample.has_value())) {
       // --trace-json alone samples every op; an explicit --trace-sample=0

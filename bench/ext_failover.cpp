@@ -45,12 +45,7 @@ namespace {
 constexpr std::size_t kLlcBytes = 1 << 20;  // §3.3 sizing target
 constexpr std::uint32_t kTimelineIntervalMs = 250;
 
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+using hybrids::bench::now_ns;
 
 /// Per-thread latency sink. The histogram is single-writer; the mutex only
 /// synchronizes the timeline sampler's periodic snapshot against the owner.

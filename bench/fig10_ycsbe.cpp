@@ -34,12 +34,7 @@ namespace {
 
 constexpr std::size_t kLlcBytes = 1 << 20;  // §3.3 / §3.4 sizing target
 
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+using hybrids::bench::now_ns;
 
 struct RunResult {
   double mops = 0;        // all operations

@@ -96,6 +96,11 @@ class HotCache {
     void* node = nullptr;
     std::uint64_t aux = 0;
     std::uint32_t partition = 0;
+    // Fat-node host layout: the fat leaf backing `node`, whose seqlock stamp
+    // rides in `aux` (HostIndex::shortcut_fresh revalidates the pair before
+    // the hit is trusted). Null for layouts whose begin handles never move
+    // (pointer-node skiplist, B+tree).
+    void* host = nullptr;
   };
 
   struct Stats {
@@ -236,6 +241,7 @@ class HotCache {
         out.node = e->node;
         out.aux = e->aux;
         out.partition = e->partition;
+        out.host = e->host;
         e->clock = 1;
         hit = true;
       }
@@ -251,7 +257,8 @@ class HotCache {
   /// combiner for the structure's lifetime (never-freed begin candidates),
   /// and the call must happen inside the EBR window that derived it.
   void fill_shortcut(Key key, std::uint32_t part, void* node,
-                     std::uint64_t aux, std::uint64_t gen) {
+                     std::uint64_t aux, std::uint64_t gen,
+                     void* host = nullptr) {
     Tiers& t = current();
     if (t.shortcut.buckets == 0 || node == nullptr) return;
     if (gen != state(part).gen.load(std::memory_order_acquire)) {
@@ -271,6 +278,7 @@ class HotCache {
       e->aux = aux;
       e->gen = gen;
       e->partition = part;
+      e->host = host;
       e->valid = true;
       e->clock = 1;
     }
@@ -385,6 +393,7 @@ class HotCache {
     void* node = nullptr;
     std::uint64_t aux = 0;
     std::uint64_t gen = 0;
+    void* host = nullptr;  // fat leaf whose seqlock stamp is `aux` (or null)
     std::uint32_t partition = 0;
     bool valid = false;
     std::uint8_t clock = 0;

@@ -8,6 +8,14 @@
 // nmp_height exists in both portions (host part + NMP part linked by
 // payload/host_ptr cross-references); shorter nodes exist only NMP-side.
 //
+// The host portion lives behind ds::HostIndex: cache-line-sized fat B-link
+// nodes by default (fat_skiplist.hpp — one two-line node per descent level),
+// or the classic pointer-node lock-free skiplist under HYBRIDS_NO_FATNODE /
+// set_fatnode_enabled(false). Both engines produce the same per-key Entry
+// records, so the split-structure protocol below is layout-agnostic; a
+// descent's result is a HostIndex::Window (match + pred entries, plus the
+// fat leaf/version token the shortcut cache revalidates with).
+//
 // Host traversals act as shortcuts: the predecessor at the bottom host level
 // supplies the begin-NMP-traversal node for the offloaded remainder of the
 // operation. Correctness around concurrently removed begin nodes follows the
@@ -41,6 +49,7 @@
 #include <vector>
 
 #include "hybrids/cache/hot_cache.hpp"
+#include "hybrids/ds/host_index.hpp"
 #include "hybrids/ds/lockfree_skiplist.hpp"
 #include "hybrids/ds/seq_skiplist.hpp"
 #include "hybrids/host/interleave.hpp"
@@ -191,11 +200,17 @@ class HybridSkipList {
     while (true) {
       const std::uint64_t gen0 = cache_gen(part);
       nmp::Request req;
+      HostIndex::Window w;
       bool from_shortcut = false;
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       cache::HotCache::Shortcut sc;
-      if (cache_ != nullptr && !budget.exhausted() &&
-          cache_->lookup_shortcut(key, sc)) {
+      bool have_sc = cache_ != nullptr && !budget.exhausted() &&
+                     cache_->lookup_shortcut(key, sc);
+      if (have_sc && shortcut_stale(sc)) {
+        cache_->erase_shortcut(key);
+        have_sc = false;
+      }
+      if (have_sc) {
         // Warm key: post straight to the partition with the cached begin
         // node, skipping the host descent; a stale target comes back as an
         // ordinary retry and the entry is dropped below.
@@ -208,13 +223,11 @@ class HybridSkipList {
                               part16);
       } else {
         {
-          mem::EbrGuard guard;  // spans find + every pred0/succ0 field read
-          LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-          LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-          if (host_.find(key, preds, succs)) {
+          mem::EbrGuard guard;  // spans find + every Window entry read
+          if (host_.find(key, w)) {
             // Tall node: the value is mirrored host-side; serve from cache.
             host_read_hits_->inc();
-            out = succs[0]->value_now();
+            out = w.match->value_now();
             if (tok.sampled()) {
               const std::uint64_t now = telemetry::now_ns();
               trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
@@ -223,7 +236,7 @@ class HybridSkipList {
             }
             return true;
           }
-          req = make_request(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr,
+          req = make_request(nmp::OpCode::kRead, key, 0, 0, w.pred, nullptr,
                              part, budget.exhausted());
           req.trace_id = tok.id;
         }
@@ -247,7 +260,10 @@ class HybridSkipList {
         // fill is ordered against every write version the combiner issued.
         cache_->fill_value(key, part, r.value, r.aux, gen0);
         if (!from_shortcut && req.node != nullptr) {
-          cache_->fill_shortcut(key, part, req.node, 0, gen0);
+          // Fat layout: the fill carries the backing leaf + seqlock stamp so
+          // later hits revalidate before trusting the begin node.
+          cache_->fill_shortcut(key, part, req.node, w.leaf_version, gen0,
+                                w.leaf);
         }
       }
       if (tok.sampled()) {
@@ -267,11 +283,17 @@ class HybridSkipList {
     while (true) {
       const std::uint64_t gen0 = cache_gen(part);
       nmp::Request req;
+      HostIndex::Window w;
       bool from_shortcut = false;
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       cache::HotCache::Shortcut sc;
-      if (cache_ != nullptr && !budget.exhausted() &&
-          cache_->lookup_shortcut(key, sc)) {
+      bool have_sc = cache_ != nullptr && !budget.exhausted() &&
+                     cache_->lookup_shortcut(key, sc);
+      if (have_sc && shortcut_stale(sc)) {
+        cache_->erase_shortcut(key);
+        have_sc = false;
+      }
+      if (have_sc) {
         // Updates go through the NMP portion regardless, so a cached begin
         // node replaces the whole host descent.
         from_shortcut = true;
@@ -285,13 +307,11 @@ class HybridSkipList {
       } else {
         {
           mem::EbrGuard guard;
-          LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-          LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-          (void)host_.find(key, preds, succs);
+          (void)host_.find(key, w);
           // Updates always go through the NMP portion (the authoritative
           // copy); the response tells us which host mirror to refresh, and
           // with which version, so racing updates converge (§3.3).
-          req = make_request(nmp::OpCode::kUpdate, key, value, 0, preds[0],
+          req = make_request(nmp::OpCode::kUpdate, key, value, 0, w.pred,
                              nullptr, part, budget.exhausted());
           req.trace_id = tok.id;
         }
@@ -315,7 +335,8 @@ class HybridSkipList {
         cache_->invalidate_value(key, part, r.aux);
         cache_->fill_value(key, part, value, r.aux, gen0);
         if (!from_shortcut && req.node != nullptr) {
-          cache_->fill_shortcut(key, part, req.node, 0, gen0);
+          cache_->fill_shortcut(key, part, req.node, w.leaf_version, gen0,
+                                w.leaf);
         }
       }
       if (r.ok) refresh_mirror(key, r, value);
@@ -341,9 +362,8 @@ class HybridSkipList {
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       {
         mem::EbrGuard guard;
-        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-        if (host_.find(key, preds, succs)) {  // tall node present
+        HostIndex::Window w;
+        if (host_.find(key, w)) {  // tall node present
           if (tok.sampled()) {
             const std::uint64_t now = telemetry::now_ns();
             trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
@@ -356,7 +376,7 @@ class HybridSkipList {
           hnode = host_.make_node(key, value, height - config_.nmp_height);
         }
         req = make_request(nmp::OpCode::kInsert, key, value,
-                           static_cast<std::uint64_t>(height), preds[0], hnode,
+                           static_cast<std::uint64_t>(height), w.pred, hnode,
                            part, budget.exhausted());
         req.trace_id = tok.id;
       }
@@ -417,9 +437,8 @@ class HybridSkipList {
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       {
         mem::EbrGuard guard;
-        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-        if (host_.find(key, preds, succs)) {
+        HostIndex::Window w;
+        if (host_.find(key, w)) {
           // Host portion first (removals proceed top-down across the split).
           if (!host_.remove(key)) {
             // A concurrent remover won the host race; it owns the NMP side.
@@ -438,7 +457,7 @@ class HybridSkipList {
                              part16);
           continue;
         }
-        req = make_request(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr,
+        req = make_request(nmp::OpCode::kRemove, key, 0, 0, w.pred, nullptr,
                            part, budget.exhausted());
         req.trace_id = tok.id;
       }
@@ -495,11 +514,10 @@ class HybridSkipList {
       nmp::Request r;
       {
         mem::EbrGuard guard;
-        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-        (void)host_.find(cur, preds, succs);
+        HostIndex::Window w;
+        (void)host_.find(cur, w);
         r = make_request(nmp::OpCode::kScan, cur, static_cast<Value>(want), 0,
-                         preds[0], nullptr, p, budget.exhausted());
+                         w.pred, nullptr, p, budget.exhausted());
         r.trace_id = tok.id;
       }
       trace::record_span(tok.id, trace::Phase::kHostDescend, c0,
@@ -584,11 +602,17 @@ class HybridSkipList {
     while (true) {
       const std::uint64_t gen0 = cache_gen(part);
       nmp::Request req;
+      HostIndex::Window w;
       bool from_shortcut = false;
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       cache::HotCache::Shortcut sc;
-      if (cache_ != nullptr && !budget.exhausted() &&
-          cache_->lookup_shortcut(key, sc)) {
+      bool have_sc = cache_ != nullptr && !budget.exhausted() &&
+                     cache_->lookup_shortcut(key, sc);
+      if (have_sc && shortcut_stale(sc)) {
+        cache_->erase_shortcut(key);
+        have_sc = false;
+      }
+      if (have_sc) {
         from_shortcut = true;
         req.op = nmp::OpCode::kRead;
         req.key = key;
@@ -598,12 +622,10 @@ class HybridSkipList {
                               part16);
       } else {
         {
-          mem::EbrGuard guard;  // spans find_co + every pred0/succ0 read
-          LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-          LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-          if (co_await host_.find_co(key, preds, succs)) {
+          mem::EbrGuard guard;  // spans find_co + every Window entry read
+          if (co_await host_.find_co(key, &w)) {
             host_read_hits_->inc();
-            *out = succs[0]->value_now();
+            *out = w.match->value_now();
             if (tok.sampled()) {
               const std::uint64_t now = telemetry::now_ns();
               trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
@@ -612,7 +634,7 @@ class HybridSkipList {
             }
             co_return true;
           }
-          req = make_request(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr,
+          req = make_request(nmp::OpCode::kRead, key, 0, 0, w.pred, nullptr,
                              part, budget.exhausted());
           req.trace_id = tok.id;
         }
@@ -634,7 +656,8 @@ class HybridSkipList {
       if (cache_ != nullptr && r.ok) {
         cache_->fill_value(key, part, r.value, r.aux, gen0);
         if (!from_shortcut && req.node != nullptr) {
-          cache_->fill_shortcut(key, part, req.node, 0, gen0);
+          cache_->fill_shortcut(key, part, req.node, w.leaf_version, gen0,
+                                w.leaf);
         }
       }
       if (tok.sampled()) {
@@ -654,11 +677,17 @@ class HybridSkipList {
     while (true) {
       const std::uint64_t gen0 = cache_gen(part);
       nmp::Request req;
+      HostIndex::Window w;
       bool from_shortcut = false;
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       cache::HotCache::Shortcut sc;
-      if (cache_ != nullptr && !budget.exhausted() &&
-          cache_->lookup_shortcut(key, sc)) {
+      bool have_sc = cache_ != nullptr && !budget.exhausted() &&
+                     cache_->lookup_shortcut(key, sc);
+      if (have_sc && shortcut_stale(sc)) {
+        cache_->erase_shortcut(key);
+        have_sc = false;
+      }
+      if (have_sc) {
         from_shortcut = true;
         req.op = nmp::OpCode::kUpdate;
         req.key = key;
@@ -670,10 +699,8 @@ class HybridSkipList {
       } else {
         {
           mem::EbrGuard guard;
-          LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-          LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-          (void)co_await host_.find_co(key, preds, succs);
-          req = make_request(nmp::OpCode::kUpdate, key, value, 0, preds[0],
+          (void)co_await host_.find_co(key, &w);
+          req = make_request(nmp::OpCode::kUpdate, key, value, 0, w.pred,
                              nullptr, part, budget.exhausted());
           req.trace_id = tok.id;
         }
@@ -694,7 +721,8 @@ class HybridSkipList {
         cache_->invalidate_value(key, part, r.aux);
         cache_->fill_value(key, part, value, r.aux, gen0);
         if (!from_shortcut && req.node != nullptr) {
-          cache_->fill_shortcut(key, part, req.node, 0, gen0);
+          cache_->fill_shortcut(key, part, req.node, w.leaf_version, gen0,
+                                w.leaf);
         }
       }
       if (r.ok) refresh_mirror(key, r, value);
@@ -720,9 +748,8 @@ class HybridSkipList {
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       {
         mem::EbrGuard guard;
-        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-        if (co_await host_.find_co(key, preds, succs)) {  // tall node present
+        HostIndex::Window w;
+        if (co_await host_.find_co(key, &w)) {  // tall node present
           if (tok.sampled()) {
             const std::uint64_t now = telemetry::now_ns();
             trace::record_span(tok.id, trace::Phase::kHostDescend, d0, now,
@@ -735,7 +762,7 @@ class HybridSkipList {
           hnode = host_.make_node(key, value, height - config_.nmp_height);
         }
         req = make_request(nmp::OpCode::kInsert, key, value,
-                           static_cast<std::uint64_t>(height), preds[0], hnode,
+                           static_cast<std::uint64_t>(height), w.pred, hnode,
                            part, budget.exhausted());
         req.trace_id = tok.id;
       }
@@ -787,9 +814,8 @@ class HybridSkipList {
       const std::uint64_t d0 = tok.sampled() ? telemetry::now_ns() : 0;
       {
         mem::EbrGuard guard;
-        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-        if (co_await host_.find_co(key, preds, succs)) {
+        HostIndex::Window w;
+        if (co_await host_.find_co(key, &w)) {
           if (!host_.remove(key)) {
             if (tok.sampled()) {
               const std::uint64_t now = telemetry::now_ns();
@@ -804,7 +830,7 @@ class HybridSkipList {
                              part16);
           continue;
         }
-        req = make_request(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr,
+        req = make_request(nmp::OpCode::kRemove, key, 0, 0, w.pred, nullptr,
                            part, budget.exhausted());
         req.trace_id = tok.id;
       }
@@ -851,11 +877,10 @@ class HybridSkipList {
       nmp::Request r;
       {
         mem::EbrGuard guard;
-        LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-        LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-        (void)co_await host_.find_co(cur, preds, succs);
+        HostIndex::Window w;
+        (void)co_await host_.find_co(cur, &w);
         r = make_request(nmp::OpCode::kScan, cur, static_cast<Value>(want), 0,
-                         preds[0], nullptr, p, budget.exhausted());
+                         w.pred, nullptr, p, budget.exhausted());
         r.trace_id = tok.id;
       }
       trace::record_span(tok.id, trace::Phase::kHostDescend, c0,
@@ -915,10 +940,9 @@ class HybridSkipList {
     nmp::Request req;
     {
       mem::EbrGuard guard;
-      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-      (void)host_.find(key, preds, succs);
-      req = make_request(nmp::OpCode::kPromote, key, 0, 0, preds[0], hnode,
+      HostIndex::Window w;
+      (void)host_.find(key, w);
+      req = make_request(nmp::OpCode::kPromote, key, 0, 0, w.pred, hnode,
                          part, /*force_head=*/false);
     }
     nmp::Response r = set_.call(part, tid, req);
@@ -1000,16 +1024,15 @@ class HybridSkipList {
     nmp::Request req;
     {
       mem::EbrGuard guard;
-      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-      if (host_.find(key, preds, succs)) {
+      HostIndex::Window w;
+      if (host_.find(key, w)) {
         host_read_hits_->inc();
         t.state = Ticket::State::kImmediate;
         t.ok = true;
-        t.value = succs[0]->value_now();
+        t.value = w.match->value_now();
         return t;
       }
-      req = make_request(nmp::OpCode::kRead, key, 0, 0, preds[0], nullptr,
+      req = make_request(nmp::OpCode::kRead, key, 0, 0, w.pred, nullptr,
                          part, /*force_head=*/false);
       req.trace_id = tok.id;
     }
@@ -1032,9 +1055,8 @@ class HybridSkipList {
     nmp::Request req;
     {
       mem::EbrGuard guard;
-      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-      if (host_.find(key, preds, succs)) {
+      HostIndex::Window w;
+      if (host_.find(key, w)) {
         t.state = Ticket::State::kImmediate;
         t.ok = false;
         return t;
@@ -1044,7 +1066,7 @@ class HybridSkipList {
         t.hnode = host_.make_node(key, value, height - config_.nmp_height);
       }
       req = make_request(nmp::OpCode::kInsert, key, value,
-                         static_cast<std::uint64_t>(height), preds[0], t.hnode,
+                         static_cast<std::uint64_t>(height), w.pred, t.hnode,
                          part, /*force_head=*/false);
       req.trace_id = trace::begin_op().id;
     }
@@ -1068,17 +1090,16 @@ class HybridSkipList {
     nmp::Request req;
     {
       mem::EbrGuard guard;
-      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-      if (host_.find(key, preds, succs)) {
+      HostIndex::Window w;
+      if (host_.find(key, w)) {
         if (!host_.remove(key)) {
           t.state = Ticket::State::kImmediate;
           t.ok = false;
           return t;
         }
-        (void)host_.find(key, preds, succs);  // refresh window post-removal
+        (void)host_.find(key, w);  // refresh window post-removal
       }
-      req = make_request(nmp::OpCode::kRemove, key, 0, 0, preds[0], nullptr,
+      req = make_request(nmp::OpCode::kRemove, key, 0, 0, w.pred, nullptr,
                          part, /*force_head=*/false);
       req.trace_id = trace::begin_op().id;
     }
@@ -1098,10 +1119,9 @@ class HybridSkipList {
     nmp::Request req;
     {
       mem::EbrGuard guard;
-      LfSkipList::Node* preds[LfSkipList::kMaxLevels];
-      LfSkipList::Node* succs[LfSkipList::kMaxLevels];
-      (void)host_.find(key, preds, succs);
-      req = make_request(nmp::OpCode::kUpdate, key, value, 0, preds[0],
+      HostIndex::Window w;
+      (void)host_.find(key, w);
+      req = make_request(nmp::OpCode::kUpdate, key, value, 0, w.pred,
                          nullptr, part, /*force_head=*/false);
       req.trace_id = trace::begin_op().id;
     }
@@ -1209,17 +1229,16 @@ class HybridSkipList {
       if (!l->validate()) return false;
     }
     if (!host_.validate()) return false;
-    // Every host node must reference a live NMP counterpart with equal key.
-    for (LfSkipList::Node* n = host_.head()->next_ptr(0); n != nullptr;
-         n = n->next_ptr(0)) {
-      if (n->marked_at(0)) continue;
+    // Every host entry must reference a live NMP counterpart with equal key.
+    bool ok = true;
+    host_.for_each_entry([&](LfSkipList::Node* n) {
       auto* counterpart = static_cast<SeqSkipList::Node*>(n->payload);
-      if (counterpart == nullptr) return false;
-      if (counterpart->key != n->key) return false;
-      if (counterpart->marked) return false;
-      if (counterpart->host_ptr != n) return false;
-    }
-    return true;
+      if (counterpart == nullptr || counterpart->key != n->key ||
+          counterpart->marked || counterpart->host_ptr != n) {
+        ok = false;
+      }
+    });
+    return ok;
   }
 
   /// Number of nodes in the host-managed portion (for split-sizing tests).
@@ -1326,14 +1345,25 @@ class HybridSkipList {
     r.value = value;
     r.aux = aux;
     r.host_node = hnode;
-    // Begin-NMP-traversal node (Listing 1 lines 14-15): only usable if the
-    // host-side predecessor lives in the same partition as the lookup key,
-    // and not suppressed by an exhausted retry budget (force_head).
-    if (!force_head && pred0 != host_.head() &&
+    // Begin-NMP-traversal node (Listing 1 lines 14-15): only usable if a
+    // host-side predecessor exists (Window::pred is null when the key
+    // precedes every host entry) and lives in the same partition as the
+    // lookup key, and not suppressed by an exhausted retry budget
+    // (force_head).
+    if (!force_head && pred0 != nullptr &&
         set_.partition_of(pred0->key) == part) {
       r.node = pred0->payload;
     }
     return r;
+  }
+
+  /// Fat-layout shortcuts carry the backing host leaf and its seqlock stamp
+  /// in (host, aux); a moved leaf means the cached begin node may already be
+  /// unlinked, so drop the entry and descend for real instead of eating a
+  /// bounced offload round-trip. Entries with host == nullptr (pointer-node
+  /// engine, whose begin candidates never move) are always fresh.
+  bool shortcut_stale(const cache::HotCache::Shortcut& sc) const {
+    return sc.host != nullptr && !host_.shortcut_fresh(sc.host, sc.aux);
   }
 
  public:
@@ -1453,7 +1483,7 @@ class HybridSkipList {
 
  private:
   Config config_;
-  LfSkipList host_;
+  HostIndex host_;
   nmp::PartitionSet set_;
   std::vector<std::unique_ptr<SeqSkipList>> lists_;
   std::vector<util::CacheAligned<util::Xoshiro256>> rngs_;

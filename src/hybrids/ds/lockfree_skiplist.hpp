@@ -265,6 +265,43 @@ class LfSkipList {
 
   bool contains(Key key) const { return get_node(key) != nullptr; }
 
+  /// Bottom-level range scan: descends to the first unmarked node with
+  /// key >= start, then walks the level-0 chain with one-ahead prefetch.
+  /// Same traversal contract as get(): wait-free, EBR-pinned.
+  std::size_t scan(Key start, std::size_t count, ScanEntry* out) const {
+    if (count == 0) return 0;
+    mem::EbrGuard guard;
+    Node* pred = head_;
+    for (int lvl = max_height_ - 1; lvl >= 0; --lvl) {
+      Node* curr = unmark(pred->next[lvl].load(std::memory_order_acquire));
+      while (curr != nullptr) {
+        std::uintptr_t succ_bits =
+            curr->next[lvl].load(std::memory_order_acquire);
+        mem::prefetch_read(unmark(succ_bits));
+        if (is_marked(succ_bits) || curr->key < start) {
+          if (!is_marked(succ_bits)) pred = curr;
+          curr = unmark(succ_bits);
+          continue;
+        }
+        break;
+      }
+    }
+    std::size_t filled = 0;
+    Node* curr = unmark(pred->next[0].load(std::memory_order_acquire));
+    while (curr != nullptr && filled < count) {
+      const std::uintptr_t succ_bits =
+          curr->next[0].load(std::memory_order_acquire);
+      mem::prefetch_read(unmark(succ_bits));
+      if (!is_marked(succ_bits) && curr->key >= start) {
+        out[filled].key = curr->key;
+        out[filled].value = curr->value_now();
+        ++filled;
+      }
+      curr = unmark(succ_bits);
+    }
+    return filled;
+  }
+
   /// Allocates a node that is not yet linked. The hybrid skiplist builds the
   /// host node before offloading (Listing 1) so the NMP side can record its
   /// address as host_ptr, then links it with insert_node() after the NMP

@@ -64,9 +64,11 @@ inline constexpr const char* kScanRetry = "host.scan_retry";
 inline constexpr const char* kInterleaveDepth = "host.interleave_depth";
 inline constexpr const char* kInterleaveYields = "host.interleave_yields";
 inline constexpr const char* kInterleaveFallbackWaits = "host.interleave_fallback_waits";
+inline constexpr const char* kHostNodeKeysScanned = "host.node_keys_scanned";
 inline constexpr const char* kMemArenaBytes = "mem.arena_bytes";
 inline constexpr const char* kMemPoolRecycled = "mem.pool_recycled";
 inline constexpr const char* kMemPoolShardMisses = "mem.pool_shard_misses";
+inline constexpr const char* kMemFatnodeSplits = "mem.fatnode_splits";
 inline constexpr const char* kCacheHits = "cache.hits";
 inline constexpr const char* kCacheMisses = "cache.misses";
 inline constexpr const char* kCacheBytes = "cache.bytes";
